@@ -1,0 +1,200 @@
+//! Fig 2 (adoption trends) and Fig 8/9 (rank distributions).
+
+use crate::{overlapping_ids, Series};
+use scanner::{NsCategory, SnapshotStore};
+use std::collections::HashSet;
+
+/// The four Fig 2 series: apex/www × dynamic/overlapping.
+#[derive(Debug, Clone)]
+pub struct AdoptionSeries {
+    /// % of the daily (dynamic) list's apexes with HTTPS.
+    pub dynamic_apex: Series,
+    /// % of the daily list's www names with HTTPS.
+    pub dynamic_www: Series,
+    /// % of overlapping apexes with HTTPS.
+    pub overlapping_apex: Series,
+    /// % of overlapping www names with HTTPS.
+    pub overlapping_www: Series,
+}
+
+impl std::fmt::Display for AdoptionSeries {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}{}{}{}",
+            self.dynamic_apex, self.dynamic_www, self.overlapping_apex, self.overlapping_www
+        )
+    }
+}
+
+/// Compute the Fig 2 adoption series. `source_change_day` splits the
+/// overlapping phases exactly as the paper does.
+pub fn fig2_adoption(store: &SnapshotStore, source_change_day: u32) -> AdoptionSeries {
+    let days = store.days();
+    let phase1: Vec<u32> = days.iter().copied().filter(|d| *d < source_change_day).collect();
+    let phase2: Vec<u32> = days.iter().copied().filter(|d| *d >= source_change_day).collect();
+    let ov1 = overlapping_ids(store, &phase1);
+    let ov2 = overlapping_ids(store, &phase2);
+
+    let pct = |day: u32, www: bool, filter: Option<&HashSet<u32>>| -> f64 {
+        let mut total = 0usize;
+        let mut https = 0usize;
+        for o in store.day(day) {
+            if o.is_www() != www {
+                continue;
+            }
+            if let Some(set) = filter {
+                if !set.contains(&o.domain_id) {
+                    continue;
+                }
+            }
+            total += 1;
+            if o.https() {
+                https += 1;
+            }
+        }
+        if total == 0 {
+            0.0
+        } else {
+            100.0 * https as f64 / total as f64
+        }
+    };
+
+    let series = |label: &str, www: bool, overlapping: bool| -> Series {
+        let points = days
+            .iter()
+            .map(|&d| {
+                let filter = if overlapping {
+                    Some(if d < source_change_day { &ov1 } else { &ov2 })
+                } else {
+                    None
+                };
+                (d, pct(d, www, filter))
+            })
+            .collect();
+        Series { label: label.to_string(), points }
+    };
+
+    AdoptionSeries {
+        dynamic_apex: series("fig2a dynamic apex %HTTPS", false, false),
+        dynamic_www: series("fig2a dynamic www %HTTPS", true, false),
+        overlapping_apex: series("fig2b overlapping apex %HTTPS", false, true),
+        overlapping_www: series("fig2b overlapping www %HTTPS", true, true),
+    }
+}
+
+/// Rank-distribution buckets (deciles of the list) for two domain sets.
+#[derive(Debug, Clone)]
+pub struct RankBuckets {
+    /// Bucket upper bounds (ranks).
+    pub bounds: Vec<u32>,
+    /// Count of set-A domains per bucket.
+    pub set_a: Vec<usize>,
+    /// Count of set-B domains per bucket.
+    pub set_b: Vec<usize>,
+    /// Labels.
+    pub label_a: String,
+    /// Label of set B.
+    pub label_b: String,
+}
+
+impl RankBuckets {
+    /// Mean rank of set A (approximate, using bucket midpoints).
+    pub fn mean_rank(counts: &[usize], bounds: &[u32]) -> f64 {
+        let total: usize = counts.iter().sum();
+        if total == 0 {
+            return f64::NAN;
+        }
+        let mut acc = 0.0;
+        let mut prev = 0u32;
+        for (c, b) in counts.iter().zip(bounds) {
+            acc += *c as f64 * f64::from(prev + (b - prev) / 2);
+            prev = *b;
+        }
+        acc / total as f64
+    }
+}
+
+impl std::fmt::Display for RankBuckets {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "# rank buckets: {} vs {}", self.label_a, self.label_b)?;
+        for ((b, a), c) in self.bounds.iter().zip(&self.set_a).zip(&self.set_b) {
+            writeln!(f, "<= {b}: {a} vs {c}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Fig 8: rank distribution of overlapping vs non-overlapping domains
+/// (averaged over phase-1 days). Also used for Fig 9 by passing the
+/// non-CF adopter set as `special`.
+pub fn fig8_rank_distribution(
+    store: &SnapshotStore,
+    phase_days: &[u32],
+    special: Option<&HashSet<u32>>,
+) -> RankBuckets {
+    let overlapping = overlapping_ids(store, phase_days);
+    let Some(&probe_day) = phase_days.iter().next() else {
+        return RankBuckets {
+            bounds: vec![],
+            set_a: vec![],
+            set_b: vec![],
+            label_a: "overlapping".into(),
+            label_b: "non-overlapping".into(),
+        };
+    };
+    let obs = store.day(probe_day);
+    let max_rank = obs.iter().map(|o| o.rank).max().unwrap_or(1).max(1);
+    let buckets = 10usize;
+    let width = max_rank.div_ceil(buckets as u32).max(1);
+    let bounds: Vec<u32> = (1..=buckets as u32).map(|i| i * width).collect();
+    let mut set_a = vec![0usize; buckets];
+    let mut set_b = vec![0usize; buckets];
+    for o in obs {
+        if o.is_www() || o.rank == 0 {
+            continue;
+        }
+        let idx = ((o.rank - 1) / width) as usize;
+        let idx = idx.min(buckets - 1);
+        match special {
+            Some(set) => {
+                // Fig 9 mode: bucket only the special set (e.g. non-CF
+                // HTTPS adopters), compared against everyone.
+                if set.contains(&o.domain_id) && o.https() {
+                    set_a[idx] += 1;
+                } else {
+                    set_b[idx] += 1;
+                }
+            }
+            None => {
+                if overlapping.contains(&o.domain_id) {
+                    set_a[idx] += 1;
+                } else {
+                    set_b[idx] += 1;
+                }
+            }
+        }
+    }
+    RankBuckets {
+        bounds,
+        set_a,
+        set_b,
+        label_a: if special.is_some() { "non-CF adopters".into() } else { "overlapping".into() },
+        label_b: if special.is_some() { "others".into() } else { "non-overlapping".into() },
+    }
+}
+
+/// Domain ids whose apex observation shows HTTPS on non-Cloudflare NS on
+/// any sampled day (the Fig 9 population).
+pub fn noncf_adopter_ids(store: &SnapshotStore) -> HashSet<u32> {
+    store
+        .all()
+        .iter()
+        .filter(|o| {
+            !o.is_www()
+                && o.https()
+                && NsCategory::from_u8(o.ns_category) == NsCategory::NoneCloudflare
+        })
+        .map(|o| o.domain_id)
+        .collect()
+}

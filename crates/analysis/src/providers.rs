@@ -1,0 +1,240 @@
+//! Table 2 (NS categories), Table 3 (top non-CF providers), Fig 3 / Fig
+//! 10 (non-CF provider and domain counts), and §4.2.3 (intermittent
+//! HTTPS records).
+
+use crate::Series;
+use scanner::{flags, NsCategory, SnapshotStore};
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// Table 2: mean/std shares of NS categories among HTTPS-positive apexes.
+#[derive(Debug, Clone)]
+pub struct NsCategoryShares {
+    /// Mean % on full-Cloudflare NS.
+    pub full_mean: f64,
+    /// Std of the full-Cloudflare share.
+    pub full_std: f64,
+    /// Mean % on no-Cloudflare NS.
+    pub none_mean: f64,
+    /// Std of that share.
+    pub none_std: f64,
+    /// Mean % on mixed NS sets.
+    pub partial_mean: f64,
+    /// Std of that share.
+    pub partial_std: f64,
+}
+
+impl std::fmt::Display for NsCategoryShares {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "Table 2: NS category shares among HTTPS apexes")?;
+        writeln!(f, "  Full Cloudflare NS   : {:6.2}% (std {:.2})", self.full_mean, self.full_std)?;
+        writeln!(f, "  None Cloudflare NS   : {:6.2}% (std {:.2})", self.none_mean, self.none_std)?;
+        writeln!(f, "  Partial Cloudflare NS: {:6.2}% (std {:.2})", self.partial_mean, self.partial_std)
+    }
+}
+
+/// Compute Table 2 over all sampled days.
+pub fn tab2_ns_category(store: &SnapshotStore) -> NsCategoryShares {
+    let mut full = Vec::new();
+    let mut none = Vec::new();
+    let mut partial = Vec::new();
+    for day in store.days() {
+        let mut counts = [0usize; 3];
+        for o in store.day(day) {
+            if o.is_www() || !o.https() {
+                continue;
+            }
+            match NsCategory::from_u8(o.ns_category) {
+                NsCategory::FullCloudflare => counts[0] += 1,
+                NsCategory::PartialCloudflare => counts[1] += 1,
+                NsCategory::NoneCloudflare => counts[2] += 1,
+                NsCategory::NoNs => {}
+            }
+        }
+        let total: usize = counts.iter().sum();
+        if total > 0 {
+            full.push(100.0 * counts[0] as f64 / total as f64);
+            partial.push(100.0 * counts[1] as f64 / total as f64);
+            none.push(100.0 * counts[2] as f64 / total as f64);
+        }
+    }
+    let stats = |v: &[f64]| -> (f64, f64) {
+        if v.is_empty() {
+            return (0.0, 0.0);
+        }
+        let m = v.iter().sum::<f64>() / v.len() as f64;
+        let s = (v.iter().map(|x| (x - m).powi(2)).sum::<f64>() / v.len() as f64).sqrt();
+        (m, s)
+    };
+    let (full_mean, full_std) = stats(&full);
+    let (none_mean, none_std) = stats(&none);
+    let (partial_mean, partial_std) = stats(&partial);
+    NsCategoryShares { full_mean, full_std, none_mean, none_std, partial_mean, partial_std }
+}
+
+/// Table 3: top non-Cloudflare providers by distinct HTTPS domains.
+#[derive(Debug, Clone)]
+pub struct TopProviders {
+    /// (provider org, distinct domain count), descending.
+    pub providers: Vec<(String, usize)>,
+}
+
+impl std::fmt::Display for TopProviders {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "Table 3: top non-Cloudflare DNS providers (distinct HTTPS domains)")?;
+        for (org, n) in &self.providers {
+            writeln!(f, "  {org:<28} {n}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Compute Table 3 over all sampled days.
+pub fn tab3_top_noncf(store: &SnapshotStore) -> TopProviders {
+    let mut per_org: HashMap<u16, HashSet<u32>> = HashMap::new();
+    for o in store.all() {
+        if o.is_www() || !o.https() {
+            continue;
+        }
+        if NsCategory::from_u8(o.ns_category) != NsCategory::NoneCloudflare {
+            continue;
+        }
+        if o.org != u16::MAX {
+            per_org.entry(o.org).or_default().insert(o.domain_id);
+        }
+    }
+    let mut providers: Vec<(String, usize)> = per_org
+        .into_iter()
+        .map(|(org, domains)| {
+            (store.orgs.name(org).unwrap_or("<unknown>").to_string(), domains.len())
+        })
+        .collect();
+    providers.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    TopProviders { providers }
+}
+
+/// Fig 3 + Fig 10 series.
+#[derive(Debug, Clone)]
+pub struct NoncfSeries {
+    /// Distinct non-CF providers with ≥1 HTTPS domain, per day (Fig 3).
+    pub provider_count: Series,
+    /// Domains with HTTPS on non-CF NS, per day (Fig 10).
+    pub domain_count: Series,
+}
+
+impl std::fmt::Display for NoncfSeries {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}{}", self.provider_count, self.domain_count)
+    }
+}
+
+/// Compute the Fig 3 provider-count series.
+pub fn fig3_noncf_provider_count(store: &SnapshotStore) -> NoncfSeries {
+    let mut provider_points = Vec::new();
+    let mut domain_points = Vec::new();
+    for day in store.days() {
+        let mut orgs = HashSet::new();
+        let mut domains = 0usize;
+        for o in store.day(day) {
+            if o.is_www() || !o.https() {
+                continue;
+            }
+            if NsCategory::from_u8(o.ns_category) == NsCategory::NoneCloudflare {
+                domains += 1;
+                if o.org != u16::MAX {
+                    orgs.insert(o.org);
+                }
+            }
+        }
+        provider_points.push((day, orgs.len() as f64));
+        domain_points.push((day, domains as f64));
+    }
+    NoncfSeries {
+        provider_count: Series { label: "fig3 distinct non-CF providers".into(), points: provider_points },
+        domain_count: Series { label: "fig10 domains with HTTPS on non-CF NS".into(), points: domain_points },
+    }
+}
+
+/// Alias of [`fig3_noncf_provider_count`] for the Fig 10 series.
+pub fn fig10_noncf_domains(store: &SnapshotStore) -> Series {
+    fig3_noncf_provider_count(store).domain_count
+}
+
+/// §4.2.3: breakdown of domains with intermittent HTTPS records.
+#[derive(Debug, Clone, Default)]
+pub struct IntermittentBreakdown {
+    /// Domains seen both with and without HTTPS across sampled days.
+    pub intermittent_total: usize,
+    /// … of which the NS category never changed.
+    pub same_ns: usize,
+    /// … same-NS domains on exclusively Cloudflare NS (proxied toggles).
+    pub same_ns_cloudflare: usize,
+    /// … domains whose NS category changed between observations.
+    pub ns_changed: usize,
+    /// … domains that at some point had no resolvable NS.
+    pub lost_ns: usize,
+}
+
+impl std::fmt::Display for IntermittentBreakdown {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "Sec 4.2.3: intermittent HTTPS records")?;
+        writeln!(f, "  intermittent domains       : {}", self.intermittent_total)?;
+        writeln!(f, "  same NS throughout         : {}", self.same_ns)?;
+        writeln!(f, "    of which all-Cloudflare  : {}", self.same_ns_cloudflare)?;
+        writeln!(f, "  NS set changed             : {}", self.ns_changed)?;
+        writeln!(f, "  lost NS records            : {}", self.lost_ns)
+    }
+}
+
+/// Compute the §4.2.3 breakdown.
+pub fn sec423_intermittent(store: &SnapshotStore) -> IntermittentBreakdown {
+    // Track per-domain: days with/without HTTPS (only days the domain was
+    // listed) and the NS categories observed while HTTPS was active or not.
+    #[derive(Default)]
+    struct Track {
+        with: usize,
+        without: usize,
+        categories: HashSet<u8>,
+        lost_ns: bool,
+    }
+    let mut tracks: BTreeMap<u32, Track> = BTreeMap::new();
+    for o in store.all() {
+        if o.is_www() || o.has(flags::RESOLUTION_FAILED) {
+            // Resolution failures count as "lost NS" evidence.
+            if !o.is_www() && o.has(flags::RESOLUTION_FAILED) {
+                tracks.entry(o.domain_id).or_default().lost_ns = true;
+                tracks.entry(o.domain_id).or_default().without += 1;
+            }
+            continue;
+        }
+        let t = tracks.entry(o.domain_id).or_default();
+        if NsCategory::from_u8(o.ns_category) == NsCategory::NoNs {
+            // Delegation gone while listed: the "no NS records" class.
+            t.lost_ns = true;
+        } else {
+            t.categories.insert(o.ns_category);
+        }
+        if o.https() {
+            t.with += 1;
+        } else {
+            t.without += 1;
+        }
+    }
+    let mut out = IntermittentBreakdown::default();
+    for t in tracks.values() {
+        if t.with == 0 || t.without == 0 {
+            continue;
+        }
+        out.intermittent_total += 1;
+        if t.lost_ns {
+            out.lost_ns += 1;
+        } else if t.categories.len() <= 1 {
+            out.same_ns += 1;
+            if t.categories.contains(&(NsCategory::FullCloudflare as u8)) {
+                out.same_ns_cloudflare += 1;
+            }
+        } else {
+            out.ns_changed += 1;
+        }
+    }
+    out
+}

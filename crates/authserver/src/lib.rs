@@ -1,0 +1,22 @@
+//! # authserver
+//!
+//! Authoritative DNS serving for the simulated ecosystem: [`Zone`] data
+//! with real lookup semantics (CNAME, DNAME synthesis, NODATA/NXDOMAIN,
+//! DNSSEC RRSIG attachment), the [`AuthoritativeServer`] datagram
+//! service, and the [`DelegationRegistry`] that tells resolvers which
+//! name servers serve which apex.
+//!
+//! A provider in the ecosystem owns one or more `AuthoritativeServer`
+//! instances bound to IPs on the simulated network; domains migrate
+//! between providers by re-pointing their registry delegation — the
+//! mechanism behind the paper's §4.2.3 intermittent-HTTPS findings.
+
+#![warn(missing_docs)]
+
+pub mod registry;
+pub mod server;
+pub mod zone;
+
+pub use registry::{DelegationRegistry, NsEndpoint};
+pub use server::{AuthoritativeServer, ZoneSet};
+pub use zone::{rrsig_rdatas, LookupResult, Zone};

@@ -1,0 +1,156 @@
+//! The delegation registry: which name servers (by name and IP) are
+//! authoritative for which zone apex.
+//!
+//! This stands in for full root/TLD referral chasing: resolvers consult
+//! the registry to find the NS set of the deepest enclosing zone, then
+//! query those servers directly. Parent-zone information (needed for the
+//! DNSSEC DS lookup) is derived by walking apex ancestors in the same
+//! registry.
+
+use dns_wire::DnsName;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::net::IpAddr;
+use std::sync::Arc;
+
+/// One authoritative name-server endpoint for a zone.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct NsEndpoint {
+    /// The NS host name (e.g. `amir.ns.cloudflare.com.`).
+    pub name: DnsName,
+    /// Its address on the simulated network.
+    pub ip: IpAddr,
+}
+
+#[derive(Default)]
+struct RegistryState {
+    delegations: HashMap<String, Vec<NsEndpoint>>,
+}
+
+/// Shared registry of zone delegations.
+#[derive(Clone, Default)]
+pub struct DelegationRegistry {
+    state: Arc<RwLock<RegistryState>>,
+}
+
+impl DelegationRegistry {
+    /// Empty registry.
+    pub fn new() -> DelegationRegistry {
+        DelegationRegistry::default()
+    }
+
+    /// Set (replace) the NS endpoints for a zone apex.
+    pub fn delegate(&self, apex: &DnsName, endpoints: Vec<NsEndpoint>) {
+        self.state.write().delegations.insert(apex.key(), endpoints);
+    }
+
+    /// Remove a delegation entirely (the §4.2.3 "no NS records" case).
+    pub fn undelegate(&self, apex: &DnsName) -> bool {
+        self.state.write().delegations.remove(&apex.key()).is_some()
+    }
+
+    /// NS endpoints for exactly this apex.
+    pub fn endpoints_of(&self, apex: &DnsName) -> Option<Vec<NsEndpoint>> {
+        self.state.read().delegations.get(&apex.key()).cloned()
+    }
+
+    /// Find the deepest delegated zone containing `name`, returning
+    /// `(zone apex, endpoints)`.
+    pub fn find_authority(&self, name: &DnsName) -> Option<(DnsName, Vec<NsEndpoint>)> {
+        let st = self.state.read();
+        let mut candidate = Some(name.clone());
+        while let Some(c) = candidate {
+            if let Some(eps) = st.delegations.get(&c.key()) {
+                return Some((c, eps.clone()));
+            }
+            candidate = c.parent();
+        }
+        None
+    }
+
+    /// Find the authority for the *parent* of `apex` — where the DS
+    /// record for `apex` lives.
+    pub fn find_parent_authority(&self, apex: &DnsName) -> Option<(DnsName, Vec<NsEndpoint>)> {
+        self.find_authority(&apex.parent()?)
+    }
+
+    /// All delegated apexes (sorted, for deterministic iteration).
+    pub fn apexes(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.state.read().delegations.keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// Number of delegations.
+    pub fn len(&self) -> usize {
+        self.state.read().delegations.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.state.read().delegations.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn name(s: &str) -> DnsName {
+        DnsName::parse(s).unwrap()
+    }
+
+    fn ep(ns: &str, ip: &str) -> NsEndpoint {
+        NsEndpoint { name: name(ns), ip: ip.parse().unwrap() }
+    }
+
+    #[test]
+    fn deepest_delegation_wins() {
+        let reg = DelegationRegistry::new();
+        reg.delegate(&DnsName::root(), vec![ep("a.root-servers.net", "198.41.0.4")]);
+        reg.delegate(&name("com"), vec![ep("a.gtld-servers.net", "192.5.6.30")]);
+        reg.delegate(&name("a.com"), vec![ep("ns1.cloudflare.com", "173.245.58.1")]);
+
+        let (apex, eps) = reg.find_authority(&name("www.a.com")).unwrap();
+        assert_eq!(apex, name("a.com"));
+        assert_eq!(eps.len(), 1);
+
+        let (apex, _) = reg.find_authority(&name("b.com")).unwrap();
+        assert_eq!(apex, name("com"));
+
+        let (apex, _) = reg.find_authority(&name("x.org")).unwrap();
+        assert_eq!(apex, DnsName::root());
+    }
+
+    #[test]
+    fn parent_authority_for_ds() {
+        let reg = DelegationRegistry::new();
+        reg.delegate(&DnsName::root(), vec![ep("a.root-servers.net", "198.41.0.4")]);
+        reg.delegate(&name("com"), vec![ep("a.gtld-servers.net", "192.5.6.30")]);
+        reg.delegate(&name("a.com"), vec![ep("ns1.cloudflare.com", "173.245.58.1")]);
+
+        let (apex, _) = reg.find_parent_authority(&name("a.com")).unwrap();
+        assert_eq!(apex, name("com"));
+        let (apex, _) = reg.find_parent_authority(&name("com")).unwrap();
+        assert_eq!(apex, DnsName::root());
+        assert!(reg.find_parent_authority(&DnsName::root()).is_none());
+    }
+
+    #[test]
+    fn undelegate_removes() {
+        let reg = DelegationRegistry::new();
+        reg.delegate(&name("a.com"), vec![ep("ns1.x.net", "1.1.1.1")]);
+        assert!(reg.undelegate(&name("a.com")));
+        assert!(!reg.undelegate(&name("a.com")));
+        assert!(reg.find_authority(&name("a.com")).is_none());
+    }
+
+    #[test]
+    fn multiple_endpoints_preserved_in_order() {
+        let reg = DelegationRegistry::new();
+        let eps = vec![ep("ns1.x.net", "1.1.1.1"), ep("ns2.y.net", "2.2.2.2")];
+        reg.delegate(&name("a.com"), eps.clone());
+        assert_eq!(reg.endpoints_of(&name("a.com")).unwrap(), eps);
+        assert_eq!(reg.len(), 1);
+    }
+}

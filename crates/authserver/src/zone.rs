@@ -1,0 +1,443 @@
+//! Zone data: RRsets keyed by (name, type), optional DNSSEC signing,
+//! and lookup semantics (exact match, CNAME, DNAME synthesis, NODATA vs
+//! NXDOMAIN).
+
+use dns_wire::record::RrsigRdata;
+use dns_wire::{DnsName, RData, Record, RecordType, SoaRdata};
+use dnssec::ZoneKeys;
+use std::collections::BTreeMap;
+
+/// Outcome of a lookup inside a single zone.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LookupResult {
+    /// The RRset exists; includes RRSIGs when the zone is signed.
+    Found {
+        /// The answer RRset.
+        records: Vec<Record>,
+        /// Covering RRSIG records (empty when unsigned).
+        rrsigs: Vec<Record>,
+    },
+    /// A CNAME exists at the name (and the query was for another type).
+    Cname {
+        /// The CNAME record.
+        record: Record,
+        /// Its RRSIG records (empty when unsigned).
+        rrsigs: Vec<Record>,
+        /// The alias target, for chasing.
+        target: DnsName,
+    },
+    /// The name exists but has no RRset of the queried type.
+    NoData,
+    /// The name does not exist in the zone.
+    NxDomain,
+}
+
+/// A single authoritative zone.
+#[derive(Debug, Clone)]
+pub struct Zone {
+    /// Apex name of the zone.
+    pub apex: DnsName,
+    rrsets: BTreeMap<(DnsName, u16), Vec<Record>>,
+    /// Signing keys; `Some` when the zone is DNSSEC-signed.
+    keys: Option<ZoneKeys>,
+    /// Signature validity window applied to generated RRSIGs.
+    sig_window: (u32, u32),
+}
+
+impl Zone {
+    /// Create an empty zone with a default SOA.
+    pub fn new(apex: DnsName) -> Zone {
+        let soa = Record::new(
+            apex.clone(),
+            3600,
+            RData::Soa(SoaRdata {
+                mname: apex.prepend("ns1").unwrap_or_else(|_| apex.clone()),
+                rname: apex.prepend("hostmaster").unwrap_or_else(|_| apex.clone()),
+                serial: 1,
+                refresh: 7200,
+                retry: 3600,
+                expire: 1_209_600,
+                minimum: 300,
+            }),
+        );
+        let mut zone = Zone {
+            apex,
+            rrsets: BTreeMap::new(),
+            keys: None,
+            sig_window: (0, u32::MAX - 1),
+        };
+        zone.add(soa);
+        zone
+    }
+
+    /// Enable DNSSEC signing with the given keys.
+    pub fn enable_signing(&mut self, keys: ZoneKeys, inception: u32, expiration: u32) {
+        self.keys = Some(keys);
+        self.sig_window = (inception, expiration);
+    }
+
+    /// Disable DNSSEC signing.
+    pub fn disable_signing(&mut self) {
+        self.keys = None;
+    }
+
+    /// Whether the zone is signed.
+    pub fn is_signed(&self) -> bool {
+        self.keys.is_some()
+    }
+
+    /// The signing keys, if any.
+    pub fn keys(&self) -> Option<&ZoneKeys> {
+        self.keys.as_ref()
+    }
+
+    /// Add a record to its RRset (no deduplication of identical records).
+    pub fn add(&mut self, record: Record) {
+        debug_assert!(
+            record.name.is_subdomain_of(&self.apex),
+            "record {} outside zone {}",
+            record.name,
+            self.apex
+        );
+        self.rrsets
+            .entry((record.name.clone(), record.rtype.code()))
+            .or_default()
+            .push(record);
+    }
+
+    /// Replace the whole RRset at (name, type).
+    pub fn set(&mut self, name: DnsName, rtype: RecordType, records: Vec<Record>) {
+        if records.is_empty() {
+            self.rrsets.remove(&(name, rtype.code()));
+        } else {
+            self.rrsets.insert((name, rtype.code()), records);
+        }
+    }
+
+    /// Remove the RRset at (name, type); returns whether it existed.
+    pub fn remove(&mut self, name: &DnsName, rtype: RecordType) -> bool {
+        self.rrsets.remove(&(name.clone(), rtype.code())).is_some()
+    }
+
+    /// Fetch the RRset at (name, type) if present.
+    pub fn get(&self, name: &DnsName, rtype: RecordType) -> Option<&Vec<Record>> {
+        self.rrsets.get(&(name.clone(), rtype.code()))
+    }
+
+    /// Iterate over every record in the zone.
+    pub fn iter(&self) -> impl Iterator<Item = &Record> {
+        self.rrsets.values().flatten()
+    }
+
+    /// The zone's SOA record.
+    pub fn soa(&self) -> Option<&Record> {
+        self.get(&self.apex, RecordType::Soa).and_then(|v| v.first())
+    }
+
+    /// RRSIG records covering `rrset`, if the zone is signed.
+    pub fn sign_rrset(&self, rrset: &[Record]) -> Vec<Record> {
+        match (&self.keys, rrset.first()) {
+            (Some(keys), Some(_)) => {
+                vec![keys.sign(rrset, self.sig_window.0, self.sig_window.1)]
+            }
+            _ => Vec::new(),
+        }
+    }
+
+    /// Look up (name, type) with full zone semantics.
+    pub fn lookup(&self, name: &DnsName, rtype: RecordType) -> LookupResult {
+        if !name.is_subdomain_of(&self.apex) {
+            return LookupResult::NxDomain;
+        }
+        // DNSKEY queries are answered from the signing keys directly so
+        // key state can never drift from record state.
+        if rtype == RecordType::Dnskey && *name == self.apex {
+            if let Some(keys) = &self.keys {
+                let rec = keys.dnskey_record(300);
+                let rrsigs = self.sign_rrset(std::slice::from_ref(&rec));
+                return LookupResult::Found { records: vec![rec], rrsigs };
+            }
+        }
+        if let Some(rrset) = self.get(name, rtype) {
+            let rrsigs = self.sign_rrset(rrset);
+            return LookupResult::Found { records: rrset.clone(), rrsigs };
+        }
+        // CNAME at the name answers any other type (except CNAME itself,
+        // handled above, and DNSSEC meta-queries at the apex).
+        if rtype != RecordType::Cname {
+            if let Some(cnames) = self.get(name, RecordType::Cname) {
+                if let Some(rec) = cnames.first() {
+                    if let RData::Cname(target) = &rec.rdata {
+                        let rrsigs = self.sign_rrset(std::slice::from_ref(rec));
+                        return LookupResult::Cname {
+                            record: rec.clone(),
+                            rrsigs,
+                            target: target.clone(),
+                        };
+                    }
+                }
+            }
+        }
+        // DNAME at a strict ancestor synthesizes a CNAME (RFC 6672).
+        let mut ancestor = name.parent();
+        while let Some(anc) = ancestor {
+            if !anc.is_subdomain_of(&self.apex) {
+                break;
+            }
+            if let Some(dnames) = self.get(&anc, RecordType::Dname) {
+                if let Some(rec) = dnames.first() {
+                    if let RData::Dname(target) = &rec.rdata {
+                        if let Some(synth_target) = substitute_dname(name, &anc, target) {
+                            let synth = Record::new(
+                                name.clone(),
+                                rec.ttl,
+                                RData::Cname(synth_target.clone()),
+                            );
+                            return LookupResult::Cname {
+                                record: synth,
+                                rrsigs: Vec::new(),
+                                target: synth_target,
+                            };
+                        }
+                    }
+                }
+            }
+            ancestor = anc.parent();
+        }
+        // Does the name exist at all (any type, or as an empty non-terminal)?
+        let exists = self
+            .rrsets
+            .keys()
+            .any(|(n, _)| n == name || n.is_subdomain_of(name));
+        if exists {
+            LookupResult::NoData
+        } else {
+            LookupResult::NxDomain
+        }
+    }
+}
+
+impl Zone {
+    /// Build a zone from presentation-format text (a BIND-style master
+    /// file). The default SOA is replaced if the text provides one.
+    pub fn from_text(apex: DnsName, text: &str) -> Result<Zone, dns_wire::ParseError> {
+        let records = dns_wire::presentation::parse_zone_text(text, &apex)?;
+        let mut zone = Zone::new(apex);
+        for rec in records {
+            if rec.rtype == RecordType::Soa {
+                let owner = rec.name.clone();
+                zone.set(owner, RecordType::Soa, vec![rec]);
+            } else {
+                zone.add(rec);
+            }
+        }
+        Ok(zone)
+    }
+
+    /// Render the zone as presentation-format text.
+    pub fn to_text(&self) -> String {
+        let records: Vec<Record> = self.iter().cloned().collect();
+        dns_wire::presentation::to_zone_text(&records)
+    }
+}
+
+/// Replace the `owner` suffix of `name` with `target` (DNAME logic).
+fn substitute_dname(name: &DnsName, owner: &DnsName, target: &DnsName) -> Option<DnsName> {
+    if !name.is_subdomain_of(owner) || name == owner {
+        return None;
+    }
+    let keep = name.label_count() - owner.label_count();
+    let mut labels: Vec<Vec<u8>> = name.labels()[..keep].to_vec();
+    labels.extend(target.labels().iter().cloned());
+    Some(DnsName::from_labels(labels))
+}
+
+/// The RRSIG RDATA values inside a set of RRSIG records.
+pub fn rrsig_rdatas(records: &[Record]) -> Vec<RrsigRdata> {
+    records
+        .iter()
+        .filter_map(|r| match &r.rdata {
+            RData::Rrsig(s) => Some(s.clone()),
+            _ => None,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dns_wire::SvcbRdata;
+    use std::net::Ipv4Addr;
+
+    fn name(s: &str) -> DnsName {
+        DnsName::parse(s).unwrap()
+    }
+
+    fn test_zone() -> Zone {
+        let mut z = Zone::new(name("a.com"));
+        z.add(Record::new(name("a.com"), 300, RData::A(Ipv4Addr::new(1, 2, 3, 4))));
+        z.add(Record::new(
+            name("a.com"),
+            300,
+            RData::Https(SvcbRdata::service_self(vec![dns_wire::SvcParam::Alpn(vec![b"h2".to_vec()])])),
+        ));
+        z.add(Record::new(name("www.a.com"), 300, RData::Cname(name("a.com"))));
+        z.add(Record::new(name("mail.a.com"), 300, RData::A(Ipv4Addr::new(5, 6, 7, 8))));
+        z
+    }
+
+    #[test]
+    fn exact_match() {
+        let z = test_zone();
+        match z.lookup(&name("a.com"), RecordType::A) {
+            LookupResult::Found { records, rrsigs } => {
+                assert_eq!(records.len(), 1);
+                assert!(rrsigs.is_empty());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn cname_for_other_types() {
+        let z = test_zone();
+        match z.lookup(&name("www.a.com"), RecordType::Https) {
+            LookupResult::Cname { target, .. } => assert_eq!(target, name("a.com")),
+            other => panic!("{other:?}"),
+        }
+        // Query for the CNAME itself returns it as Found.
+        match z.lookup(&name("www.a.com"), RecordType::Cname) {
+            LookupResult::Found { records, .. } => assert_eq!(records.len(), 1),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn nodata_vs_nxdomain() {
+        let z = test_zone();
+        assert_eq!(z.lookup(&name("mail.a.com"), RecordType::Https), LookupResult::NoData);
+        assert_eq!(z.lookup(&name("nope.a.com"), RecordType::A), LookupResult::NxDomain);
+        assert_eq!(z.lookup(&name("other.org"), RecordType::A), LookupResult::NxDomain);
+    }
+
+    #[test]
+    fn empty_non_terminal_is_nodata() {
+        let mut z = Zone::new(name("a.com"));
+        z.add(Record::new(name("x.y.a.com"), 60, RData::A(Ipv4Addr::new(1, 1, 1, 1))));
+        // y.a.com has no records but has a descendant.
+        assert_eq!(z.lookup(&name("y.a.com"), RecordType::A), LookupResult::NoData);
+    }
+
+    #[test]
+    fn signed_zone_attaches_rrsigs() {
+        let mut z = test_zone();
+        z.enable_signing(ZoneKeys::derive(&name("a.com"), 0), 0, u32::MAX - 1);
+        match z.lookup(&name("a.com"), RecordType::Https) {
+            LookupResult::Found { rrsigs, .. } => {
+                assert_eq!(rrsigs.len(), 1);
+                let sigs = rrsig_rdatas(&rrsigs);
+                assert_eq!(sigs[0].type_covered, RecordType::Https);
+            }
+            other => panic!("{other:?}"),
+        }
+        // DNSKEY query is answered from key state.
+        match z.lookup(&name("a.com"), RecordType::Dnskey) {
+            LookupResult::Found { records, rrsigs } => {
+                assert_eq!(records.len(), 1);
+                assert_eq!(rrsigs.len(), 1);
+            }
+            other => panic!("{other:?}"),
+        }
+        z.disable_signing();
+        match z.lookup(&name("a.com"), RecordType::Https) {
+            LookupResult::Found { rrsigs, .. } => assert!(rrsigs.is_empty()),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn dname_synthesis() {
+        let mut z = Zone::new(name("a.com"));
+        z.add(Record::new(name("legacy.a.com"), 300, RData::Dname(name("modern.a.com"))));
+        z.add(Record::new(name("svc.modern.a.com"), 300, RData::A(Ipv4Addr::new(9, 9, 9, 9))));
+        match z.lookup(&name("svc.legacy.a.com"), RecordType::A) {
+            LookupResult::Cname { target, .. } => {
+                assert_eq!(target, name("svc.modern.a.com"));
+            }
+            other => panic!("{other:?}"),
+        }
+        // The DNAME owner itself is not rewritten (HTTPS RR can live there,
+        // per the paper's §2 discussion).
+        z.add(Record::new(
+            name("legacy.a.com"),
+            300,
+            RData::Https(SvcbRdata::alias(name("modern.a.com"))),
+        ));
+        match z.lookup(&name("legacy.a.com"), RecordType::Https) {
+            LookupResult::Found { records, .. } => assert_eq!(records.len(), 1),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn set_and_remove() {
+        let mut z = test_zone();
+        assert!(z.remove(&name("a.com"), RecordType::Https));
+        assert!(!z.remove(&name("a.com"), RecordType::Https));
+        assert_eq!(z.lookup(&name("a.com"), RecordType::Https), LookupResult::NoData);
+        z.set(
+            name("a.com"),
+            RecordType::A,
+            vec![Record::new(name("a.com"), 60, RData::A(Ipv4Addr::new(9, 9, 9, 9)))],
+        );
+        match z.lookup(&name("a.com"), RecordType::A) {
+            LookupResult::Found { records, .. } => {
+                assert_eq!(records[0].rdata, RData::A(Ipv4Addr::new(9, 9, 9, 9)));
+            }
+            other => panic!("{other:?}"),
+        }
+        z.set(name("a.com"), RecordType::A, vec![]);
+        assert_eq!(z.lookup(&name("a.com"), RecordType::A), LookupResult::NoData);
+    }
+
+    #[test]
+    fn zone_from_text_round_trip() {
+        let text = "\
+$ORIGIN a.com.
+$TTL 300
+@ IN SOA ns1.a.com. hostmaster.a.com. 7 7200 3600 1209600 300
+@ IN NS ns1.a.com.
+@ IN A 2.2.3.4
+@ IN HTTPS 1 . alpn=h2,h3 ipv4hint=104.16.1.1
+www IN CNAME a.com.
+";
+        let zone = Zone::from_text(name("a.com"), text).unwrap();
+        match zone.lookup(&name("a.com"), RecordType::Https) {
+            LookupResult::Found { records, .. } => assert_eq!(records.len(), 1),
+            other => panic!("{other:?}"),
+        }
+        // The SOA from the file replaced the default (serial 7).
+        match &zone.soa().unwrap().rdata {
+            RData::Soa(soa) => assert_eq!(soa.serial, 7),
+            other => panic!("{other:?}"),
+        }
+        // Round-trip through text preserves lookups.
+        let again = Zone::from_text(name("a.com"), &zone.to_text()).unwrap();
+        assert_eq!(
+            again.lookup(&name("www.a.com"), RecordType::Https),
+            zone.lookup(&name("www.a.com"), RecordType::Https)
+        );
+    }
+
+    #[test]
+    fn zone_from_text_rejects_bad_lines() {
+        assert!(Zone::from_text(name("a.com"), "@ IN BOGUS x").is_err());
+        assert!(Zone::from_text(name("a.com"), "@ IN HTTPS one .").is_err());
+    }
+
+    #[test]
+    fn soa_present_by_default() {
+        let z = Zone::new(name("a.com"));
+        assert!(z.soa().is_some());
+    }
+}

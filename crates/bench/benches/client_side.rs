@@ -1,0 +1,59 @@
+//! Regenerates and benchmarks the client-side experiments: the Table 6
+//! and Table 7 browser support matrices (§5) plus navigation-path
+//! micro-benchmarks.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use httpsrr::browser::{table6_row, table7_row, BrowserProfile, Testbed, UrlScheme};
+use httpsrr::client_side_report;
+
+fn regenerate() {
+    println!("=== tab6_browser_matrix / tab7_ech_matrix ===");
+    println!("{}", client_side_report());
+    let spec = BrowserProfile::spec_compliant();
+    let t7 = table7_row(&spec);
+    println!(
+        "spec-compliant reference: shared={} split={} (the gap browsers leave)",
+        t7.shared_mode, t7.split_mode
+    );
+}
+
+fn benches(c: &mut Criterion) {
+    regenerate();
+    c.bench_function("table6_row_chrome", |b| {
+        b.iter(|| table6_row(&BrowserProfile::chrome()))
+    });
+    c.bench_function("table7_row_firefox", |b| {
+        b.iter(|| table7_row(&BrowserProfile::firefox()))
+    });
+
+    // One full navigation (DNS + HTTPS-RR interpretation + TLS) on a
+    // prepared testbed.
+    let tb = Testbed::new();
+    tb.set_domain_records(
+        vec!["203.0.113.10".parse().expect("v4")],
+        Some(tb.basic_service_record()),
+    );
+    tb.web_server(
+        httpsrr::browser::testbed::addr::WEB_PRIMARY,
+        443,
+        vec![tb.domain.clone()],
+        vec!["h2", "http/1.1"],
+    );
+    let chrome = tb.browser(BrowserProfile::chrome());
+    c.bench_function("navigate_https_warm_cache", |b| {
+        b.iter(|| chrome.navigate(&tb.domain.key(), UrlScheme::Https))
+    });
+    c.bench_function("navigate_https_cold_cache", |b| {
+        b.iter(|| {
+            tb.flush_dns();
+            chrome.navigate(&tb.domain.key(), UrlScheme::Https)
+        })
+    });
+}
+
+criterion_group! {
+    name = client_side;
+    config = Criterion::default().sample_size(20);
+    targets = benches
+}
+criterion_main!(client_side);

@@ -1,0 +1,65 @@
+//! Regenerates and benchmarks the DNSSEC experiments: Fig 5 (signed /
+//! validated trends), Fig 14 (signed ECH), Table 9 (chain audit).
+
+use bench::{bench_config, bench_study};
+use criterion::{criterion_group, criterion_main, Criterion};
+use httpsrr::analysis;
+use httpsrr::ecosystem::World;
+
+fn regenerate() {
+    let study = bench_study();
+    let fig5 = analysis::fig5_dnssec_trend(&study.store);
+    println!(
+        "=== fig5_dnssec === apex signed {:.2}% -> {:.2}% (mean {:.2}%), validated mean {:.2}%",
+        fig5.signed_apex.first().unwrap_or(0.0),
+        fig5.signed_apex.last().unwrap_or(0.0),
+        fig5.signed_apex.mean(),
+        fig5.validated_apex.mean(),
+    );
+    println!(
+        "=== fig14_ech_signed === signed-ECH mean {:.2}%, validated-ECH mean {:.2}%",
+        fig5.signed_ech.mean(),
+        fig5.validated_ech.mean()
+    );
+
+    // Table 9: audit on the paper's date (2024-01-02, day 239).
+    let mut world = World::build(bench_config());
+    world.step_to_day(239);
+    let audit = analysis::tab9_chain_audit(&world);
+    println!("=== tab9_dnssec_chain ===\n{audit}");
+    println!(
+        "insecure: with HTTPS {:.1}% vs without {:.1}% (paper: 49.4% vs 23.7%)",
+        audit.insecure_pct_with_https(),
+        audit.insecure_pct_without_https()
+    );
+}
+
+fn benches(c: &mut Criterion) {
+    regenerate();
+    let study = bench_study();
+    c.bench_function("fig5_dnssec_trend", |b| b.iter(|| analysis::fig5_dnssec_trend(&study.store)));
+    c.bench_function("tab9_chain_audit", |b| b.iter(|| analysis::tab9_chain_audit(&study.world)));
+
+    // Substrate micro-benches: signing and verifying one HTTPS RRset.
+    use httpsrr::dns_wire::{DnsName, RData, Record, SvcParam, SvcbRdata};
+    use httpsrr::dnssec::{signer::verify_rrsig, ZoneKeys};
+    let apex = DnsName::parse("bench.example").expect("valid");
+    let keys = ZoneKeys::derive(&apex, 0);
+    let rrset = vec![Record::new(
+        apex.clone(),
+        300,
+        RData::Https(SvcbRdata::service_self(vec![SvcParam::Alpn(vec![b"h2".to_vec()])])),
+    )];
+    c.bench_function("sign_https_rrset", |b| b.iter(|| keys.sign(&rrset, 0, u32::MAX - 1)));
+    let sig_rec = keys.sign(&rrset, 0, u32::MAX - 1);
+    let RData::Rrsig(sig) = &sig_rec.rdata else { panic!("rrsig") };
+    let dnskey = keys.dnskey_rdata();
+    c.bench_function("verify_https_rrsig", |b| b.iter(|| verify_rrsig(sig, &rrset, &dnskey, 100)));
+}
+
+criterion_group! {
+    name = dnssec;
+    config = Criterion::default().sample_size(10);
+    targets = benches
+}
+criterion_main!(dnssec);

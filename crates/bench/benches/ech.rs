@@ -1,0 +1,70 @@
+//! Regenerates and benchmarks the ECH experiments: Fig 13 (ECH share
+//! with the kill-switch drop) and Fig 4 (hourly rotation scan).
+
+use bench::{bench_config, bench_study};
+use criterion::{criterion_group, criterion_main, Criterion};
+use httpsrr::analysis;
+use httpsrr::ecosystem::{EcosystemConfig, World};
+use httpsrr::scanner::hourly_ech_scan;
+
+fn regenerate() {
+    let study = bench_study();
+    let fig13 = analysis::fig13_ech_share(&study.store);
+    let lm = study.world.config.landmarks;
+    let pre: Vec<f64> = fig13
+        .apex
+        .points
+        .iter()
+        .filter(|(d, _)| (*d as u64) < lm.ech_disable)
+        .map(|(_, v)| *v)
+        .collect();
+    let post: Vec<f64> = fig13
+        .apex
+        .points
+        .iter()
+        .filter(|(d, _)| (*d as u64) >= lm.ech_disable)
+        .map(|(_, v)| *v)
+        .collect();
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    println!(
+        "=== fig13_ech_share === apex pre-kill {:.2}%  post-kill {:.2}% (kill day {})",
+        mean(&pre),
+        mean(&post),
+        lm.ech_disable
+    );
+
+    // Fig 4: the 7-day hourly scan on a fresh world, aligned with the
+    // paper's July window (day 74 = 2023-07-21).
+    let mut world = World::build(bench_config());
+    world.step_to_day(74);
+    let obs = hourly_ech_scan(&mut world, 7 * 24, 30);
+    println!("=== fig4_ech_rotation ===\n{}", analysis::fig4_rotation(&obs));
+}
+
+fn benches(c: &mut Criterion) {
+    regenerate();
+    let study = bench_study();
+    c.bench_function("fig13_ech_share", |b| b.iter(|| analysis::fig13_ech_share(&study.store)));
+    c.bench_function("hourly_ech_scan_12h", |b| {
+        b.iter_batched(
+            || {
+                let mut w = World::build(EcosystemConfig::tiny());
+                w.step_to_day(74);
+                w
+            },
+            |mut w| hourly_ech_scan(&mut w, 12, 10),
+            criterion::BatchSize::PerIteration,
+        )
+    });
+    c.bench_function("ech_key_rotation_step", |b| {
+        let mut world = World::build(EcosystemConfig::tiny());
+        b.iter(|| world.advance_hours(2))
+    });
+}
+
+criterion_group! {
+    name = ech;
+    config = Criterion::default().sample_size(10);
+    targets = benches
+}
+criterion_main!(ech);

@@ -1,0 +1,64 @@
+//! Regenerates and benchmarks the HTTPS-RR parameter experiments:
+//! Table 4 (CF default vs custom), Table 5 (provider shapes), §4.3.3
+//! anomalies, Table 8 (ALPN), Fig 11/12 (IP hints), §4.3.5 connectivity.
+
+use bench::{bench_config, bench_study};
+use criterion::{criterion_group, criterion_main, Criterion};
+use httpsrr::analysis;
+use httpsrr::ecosystem::World;
+use httpsrr::scanner::connectivity_probe;
+
+fn regenerate() {
+    let study = bench_study();
+    let lm = study.world.config.landmarks;
+    println!("=== tab4_default_config ===\n{}", analysis::tab4_cf_config(&study.store));
+    println!("=== tab5_google_godaddy ===\n{}", analysis::tab5_other_providers(&study.store));
+    println!("=== sec433_priority ===\n{}", analysis::sec433_anomalies(&study.store));
+    println!("=== tab8_alpn ===\n{}", analysis::tab8_alpn(&study.store, lm.h3_29_sunset as u32));
+    let hints = analysis::fig11_iphints(&study.store);
+    println!(
+        "=== fig11_iphints === apex util {:.2}% match {:.2}% | www util {:.2}% match {:.2}%",
+        hints.apex_utilization.mean(),
+        hints.apex_match.mean(),
+        hints.www_utilization.mean(),
+        hints.www_match.mean()
+    );
+    println!(
+        "=== fig12_mismatch_duration ===\n{}",
+        analysis::fig12_mismatch_durations(&study.store)
+    );
+
+    // §4.3.5 connectivity experiment: fresh world, probed across the
+    // paper's Jan 24 – Mar 31 window (days 261..=328, sampled weekly).
+    let mut world = World::build(bench_config());
+    let mut reports = Vec::new();
+    for day in (261..=328).step_by(7) {
+        world.step_to_day(day);
+        reports.extend(connectivity_probe(&world));
+    }
+    println!("=== sec435_connectivity ===\n{}", analysis::sec435_connectivity(&reports));
+}
+
+fn benches(c: &mut Criterion) {
+    regenerate();
+    let study = bench_study();
+    let lm = study.world.config.landmarks;
+    c.bench_function("tab4_cf_config", |b| b.iter(|| analysis::tab4_cf_config(&study.store)));
+    c.bench_function("tab8_alpn", |b| {
+        b.iter(|| analysis::tab8_alpn(&study.store, lm.h3_29_sunset as u32))
+    });
+    c.bench_function("fig11_iphints", |b| b.iter(|| analysis::fig11_iphints(&study.store)));
+    c.bench_function("fig12_mismatch_durations", |b| {
+        b.iter(|| analysis::fig12_mismatch_durations(&study.store))
+    });
+    c.bench_function("sec435_connectivity_probe", |b| {
+        b.iter(|| connectivity_probe(&study.world))
+    });
+}
+
+criterion_group! {
+    name = params;
+    config = Criterion::default().sample_size(20);
+    targets = benches
+}
+criterion_main!(params);

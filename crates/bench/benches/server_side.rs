@@ -1,0 +1,76 @@
+//! Regenerates and benchmarks the server-side adoption experiments:
+//! Fig 2 (adoption trends), Table 2 (NS categories), Table 3 / Fig 3 /
+//! Fig 10 (non-CF providers), §4.2.3 (intermittency), Fig 8/9 (ranks).
+
+use bench::bench_study;
+use criterion::{criterion_group, criterion_main, Criterion};
+use httpsrr::analysis::{self, adoption::noncf_adopter_ids};
+
+fn regenerate() {
+    let study = bench_study();
+    let lm = study.world.config.landmarks;
+    println!("=== fig2_adoption ===");
+    let adoption = analysis::fig2_adoption(&study.store, lm.source_change as u32);
+    println!(
+        "dynamic apex: {:.2}% -> {:.2}% | dynamic www: {:.2}% -> {:.2}%",
+        adoption.dynamic_apex.first().unwrap_or(0.0),
+        adoption.dynamic_apex.last().unwrap_or(0.0),
+        adoption.dynamic_www.first().unwrap_or(0.0),
+        adoption.dynamic_www.last().unwrap_or(0.0),
+    );
+    println!(
+        "overlapping apex mean: {:.2}% (std {:.2})",
+        adoption.overlapping_apex.mean(),
+        adoption.overlapping_apex.std()
+    );
+    println!("=== tab2_ns_category ===\n{}", analysis::tab2_ns_category(&study.store));
+    println!("=== tab3_providers ===\n{}", analysis::tab3_top_noncf(&study.store));
+    let noncf = analysis::fig3_noncf_provider_count(&study.store);
+    println!(
+        "=== fig3/fig10 === providers {:.0} -> {:.0}; domains {:.0} -> {:.0}",
+        noncf.provider_count.first().unwrap_or(0.0),
+        noncf.provider_count.last().unwrap_or(0.0),
+        noncf.domain_count.first().unwrap_or(0.0),
+        noncf.domain_count.last().unwrap_or(0.0),
+    );
+    println!("=== sec423_intermittent ===\n{}", analysis::sec423_intermittent(&study.store));
+    let days = study.store.days();
+    let phase1: Vec<u32> = days.iter().copied().filter(|d| (*d as u64) < lm.source_change).collect();
+    println!(
+        "=== fig8_rank_overlap ===\n{}",
+        analysis::fig8_rank_distribution(&study.store, &phase1, None)
+    );
+    let adopters = noncf_adopter_ids(&study.store);
+    println!(
+        "=== fig9_noncf_ranks ===\n{}",
+        analysis::fig8_rank_distribution(&study.store, &phase1, Some(&adopters))
+    );
+}
+
+fn benches(c: &mut Criterion) {
+    regenerate();
+    let study = bench_study();
+    let lm = study.world.config.landmarks;
+    let days = study.store.days();
+    c.bench_function("fig2_adoption", |b| {
+        b.iter(|| analysis::fig2_adoption(&study.store, lm.source_change as u32))
+    });
+    c.bench_function("tab2_ns_category", |b| b.iter(|| analysis::tab2_ns_category(&study.store)));
+    c.bench_function("tab3_top_noncf", |b| b.iter(|| analysis::tab3_top_noncf(&study.store)));
+    c.bench_function("sec423_intermittent", |b| {
+        b.iter(|| analysis::sec423_intermittent(&study.store))
+    });
+    c.bench_function("fig8_rank_distribution", |b| {
+        b.iter(|| analysis::fig8_rank_distribution(&study.store, &days, None))
+    });
+    c.bench_function("overlapping_ids", |b| {
+        b.iter(|| analysis::overlapping_ids(&study.store, &days))
+    });
+}
+
+criterion_group! {
+    name = server_side;
+    config = Criterion::default().sample_size(20);
+    targets = benches
+}
+criterion_main!(server_side);

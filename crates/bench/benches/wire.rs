@@ -1,0 +1,97 @@
+//! Substrate micro-benchmarks: wire codec throughput, name compression,
+//! resolver cache hits, and full query/answer cycles — the per-packet
+//! costs every experiment above is built on.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use httpsrr::authserver::{AuthoritativeServer, Zone, ZoneSet};
+use httpsrr::dns_wire::{DnsName, Message, RData, Record, RecordType, SvcParam, SvcbRdata};
+
+fn name(s: &str) -> DnsName {
+    DnsName::parse(s).expect("valid")
+}
+
+fn cf_default_record() -> Record {
+    Record::new(
+        name("bench.example.com"),
+        300,
+        RData::Https(SvcbRdata::service_self(vec![
+            SvcParam::Alpn(vec![b"h2".to_vec(), b"h3".to_vec()]),
+            SvcParam::Ipv4Hint(vec!["104.16.1.1".parse().expect("v4")]),
+            SvcParam::Ipv6Hint(vec!["2606:4700::1".parse().expect("v6")]),
+            SvcParam::Ech(vec![0xAB; 64]),
+        ])),
+    )
+}
+
+fn benches(c: &mut Criterion) {
+    // Message encode/decode.
+    let query = Message::query_dnssec(1, name("www.bench.example.com"), RecordType::Https);
+    let mut response = query.response();
+    for _ in 0..3 {
+        response.answers.push(cf_default_record());
+    }
+    let response_bytes = response.encode();
+    println!(
+        "HTTPS response with 3 records + EDNS: {} bytes on the wire",
+        response_bytes.len()
+    );
+    c.bench_function("message_encode_https_response", |b| b.iter(|| black_box(&response).encode()));
+    c.bench_function("message_decode_https_response", |b| {
+        b.iter(|| Message::decode(black_box(&response_bytes)).expect("valid"))
+    });
+
+    // SVCB RDATA codec.
+    let rd = match &cf_default_record().rdata {
+        RData::Https(rd) => rd.clone(),
+        _ => unreachable!(),
+    };
+    let mut w = httpsrr::dns_wire::wire::WireWriter::new();
+    rd.encode(&mut w);
+    let rd_bytes = w.into_bytes();
+    c.bench_function("svcb_rdata_decode", |b| {
+        b.iter(|| SvcbRdata::decode(black_box(&rd_bytes)).expect("valid"))
+    });
+    c.bench_function("svcb_presentation_round_trip", |b| {
+        b.iter(|| {
+            let text = rd.to_presentation();
+            let tokens: Vec<&str> = text.split_whitespace().collect();
+            SvcbRdata::parse_presentation(&tokens).expect("valid")
+        })
+    });
+
+    // Authoritative answer cycle (decode query → lookup → encode answer).
+    let zones = ZoneSet::new();
+    let mut zone = Zone::new(name("bench.example.com"));
+    zone.add(cf_default_record());
+    zone.add(Record::new(name("bench.example.com"), 300, RData::A("1.2.3.4".parse().expect("v4"))));
+    zones.insert(zone);
+    let server = AuthoritativeServer::new(zones);
+    let query_bytes = query.encode();
+    c.bench_function("authoritative_answer_cycle", |b| {
+        b.iter(|| {
+            let q = Message::decode(black_box(&query_bytes)).expect("valid");
+            server.answer(&q).encode()
+        })
+    });
+
+    // SipHash and simulated signatures.
+    let key = [7u8; 16];
+    let data = vec![0x5Au8; 512];
+    c.bench_function("siphash24_512B", |b| {
+        b.iter(|| httpsrr::simcrypto::siphash::siphash24(black_box(&key), black_box(&data)))
+    });
+    let kp = httpsrr::simcrypto::SimKeyPair::derive("bench");
+    c.bench_function("seal_open_64B", |b| {
+        b.iter(|| {
+            let sealed = kp.public().seal(b"aad", &data[..64]);
+            kp.open(b"aad", &sealed).expect("opens")
+        })
+    });
+}
+
+criterion_group! {
+    name = wire;
+    config = Criterion::default();
+    targets = benches
+}
+criterion_main!(wire);

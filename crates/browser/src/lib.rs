@@ -1,0 +1,23 @@
+//! # browser
+//!
+//! Behavioural models of the four browsers the paper measures (Chrome,
+//! Safari, Edge, Firefox — §5) plus a spec-compliant reference client,
+//! a navigation engine that drives them through DNS → HTTPS-RR
+//! interpretation → TLS/ECH over the simulated network, and the
+//! controlled testbed (Figure 6) with runners for every Table 6 and
+//! Table 7 experiment.
+
+#![warn(missing_docs)]
+
+pub mod navigate;
+pub mod profile;
+pub mod testbed;
+
+pub use navigate::{Browser, FailureReason, NavEvent, Navigation, Outcome, UrlScheme};
+pub use profile::{BrowserProfile, IpFallback, MalformedEchBehavior};
+pub use testbed::{
+    run_alias_mode, run_alpn, run_ech_malformed, run_ech_mismatch, run_ech_shared,
+    run_ech_split, run_ech_unilateral, run_ip_hint_failover, run_ip_hint_preference,
+    run_port_failover, run_port_usage, run_service_target, run_utilization, table6_row,
+    table7_row, Support, Table6Row, Table7Row, Testbed, UtilizationResult,
+};

@@ -1,0 +1,195 @@
+//! Assert that the behavioural models reproduce the paper's Table 6 and
+//! Table 7 matrices exactly, experiment by experiment.
+
+use browser::{
+    run_alias_mode, run_alpn, run_ech_malformed, run_ech_mismatch, run_ech_shared, run_ech_split,
+    run_ech_unilateral, run_ip_hint_failover, run_ip_hint_preference, run_port_failover,
+    run_port_usage, run_service_target, run_utilization, BrowserProfile, FailureReason, Support,
+    Testbed,
+};
+
+fn chrome() -> BrowserProfile {
+    BrowserProfile::chrome()
+}
+fn safari() -> BrowserProfile {
+    BrowserProfile::safari()
+}
+fn edge() -> BrowserProfile {
+    BrowserProfile::edge()
+}
+fn firefox() -> BrowserProfile {
+    BrowserProfile::firefox()
+}
+
+#[test]
+fn utilization_matches_table6() {
+    // Chrome/Edge/Firefox: full circles for all three URL forms.
+    for p in [chrome(), edge(), firefox()] {
+        let u = run_utilization(&Testbed::new(), &p);
+        assert_eq!(u.bare, Support::Full, "{} bare", p.name);
+        assert_eq!(u.http, Support::Full, "{} http", p.name);
+        assert_eq!(u.https, Support::Full, "{} https", p.name);
+    }
+    // Safari: fetches but connects HTTP for the first two forms.
+    let u = run_utilization(&Testbed::new(), &safari());
+    assert_eq!(u.bare, Support::Partial);
+    assert_eq!(u.http, Support::Partial);
+    assert_eq!(u.https, Support::Full);
+}
+
+#[test]
+fn alias_mode_only_safari() {
+    assert_eq!(run_alias_mode(&Testbed::new(), &safari()), Support::Full);
+    for p in [chrome(), edge(), firefox()] {
+        assert_eq!(run_alias_mode(&Testbed::new(), &p), Support::None, "{}", p.name);
+    }
+}
+
+#[test]
+fn service_target_safari_and_firefox() {
+    assert_eq!(run_service_target(&Testbed::new(), &safari()), Support::Full);
+    assert_eq!(run_service_target(&Testbed::new(), &firefox()), Support::Full);
+    assert_eq!(run_service_target(&Testbed::new(), &chrome()), Support::None);
+    assert_eq!(run_service_target(&Testbed::new(), &edge()), Support::None);
+}
+
+#[test]
+fn port_usage_safari_and_firefox() {
+    assert_eq!(run_port_usage(&Testbed::new(), &safari()), Support::Full);
+    assert_eq!(run_port_usage(&Testbed::new(), &firefox()), Support::Full);
+    assert_eq!(run_port_usage(&Testbed::new(), &chrome()), Support::None);
+    assert_eq!(run_port_usage(&Testbed::new(), &edge()), Support::None);
+}
+
+#[test]
+fn port_failover_behaviour() {
+    // Server only on 443, record advertises 8443.
+    // Safari/Firefox fall back to 443 and succeed.
+    for p in [safari(), firefox()] {
+        let (support, fell_back) = run_port_failover(&Testbed::new(), &p);
+        assert_eq!(support, Support::Full, "{}", p.name);
+        assert!(fell_back, "{} should report a port fallback", p.name);
+    }
+    // Chrome/Edge never left 443, so they "succeed" without fallback —
+    // the paper's hard-failure case is captured by run_port_usage.
+    for p in [chrome(), edge()] {
+        let (support, fell_back) = run_port_failover(&Testbed::new(), &p);
+        assert_eq!(support, Support::Full, "{}", p.name);
+        assert!(!fell_back, "{} does not implement port fallback", p.name);
+    }
+}
+
+#[test]
+fn ip_hints_preference_matches_table6() {
+    // Safari/Firefox use the hints directly.
+    for p in [safari(), firefox()] {
+        let (support, first_ip) = run_ip_hint_preference(&Testbed::new(), &p);
+        assert_eq!(support, Support::Full, "{}", p.name);
+        assert_eq!(first_ip.to_string(), "203.0.113.30", "{}", p.name);
+    }
+    // Chrome/Edge prefer the A record.
+    for p in [chrome(), edge()] {
+        let (support, first_ip) = run_ip_hint_preference(&Testbed::new(), &p);
+        assert_eq!(support, Support::None, "{}", p.name);
+        assert_eq!(first_ip.to_string(), "203.0.113.10", "{}", p.name);
+    }
+}
+
+#[test]
+fn ip_hint_failover_matches_section_5_2() {
+    // Only the hint address serves: Safari/Firefox succeed directly;
+    // Chrome/Edge hard-fail on the dead A address.
+    // Only the A address serves: Safari/Firefox fail over; Chrome/Edge
+    // succeed directly.
+    for p in [safari(), firefox()] {
+        let (hint_only, a_only) = run_ip_hint_failover(&Testbed::new(), &p);
+        assert_eq!(hint_only, Support::Full, "{} hint-only", p.name);
+        assert_eq!(a_only, Support::Full, "{} a-only (failover)", p.name);
+    }
+    for p in [chrome(), edge()] {
+        let (hint_only, a_only) = run_ip_hint_failover(&Testbed::new(), &p);
+        assert_eq!(hint_only, Support::None, "{} hint-only (hard fail)", p.name);
+        assert_eq!(a_only, Support::Full, "{} a-only", p.name);
+    }
+}
+
+#[test]
+fn alpn_supported_by_all_browsers() {
+    for p in [chrome(), safari(), edge(), firefox()] {
+        assert_eq!(run_alpn(&Testbed::new(), &p, "h2"), Support::Full, "{} h2", p.name);
+        assert_eq!(run_alpn(&Testbed::new(), &p, "h3"), Support::Full, "{} h3", p.name);
+    }
+}
+
+#[test]
+fn ech_shared_mode_matches_table7() {
+    for p in [chrome(), edge(), firefox()] {
+        assert_eq!(run_ech_shared(&Testbed::new(), &p), Support::Full, "{}", p.name);
+    }
+    // Safari lacks ECH entirely (it still connects, without ECH).
+    assert_eq!(run_ech_shared(&Testbed::new(), &safari()), Support::None);
+}
+
+#[test]
+fn ech_unilateral_fallback_works_everywhere() {
+    for p in [chrome(), edge(), firefox()] {
+        assert_eq!(run_ech_unilateral(&Testbed::new(), &p), Support::Full, "{}", p.name);
+    }
+}
+
+#[test]
+fn ech_malformed_hard_fails_chromium_only() {
+    assert_eq!(run_ech_malformed(&Testbed::new(), &chrome()), Support::None);
+    assert_eq!(run_ech_malformed(&Testbed::new(), &edge()), Support::None);
+    assert_eq!(run_ech_malformed(&Testbed::new(), &firefox()), Support::Full);
+}
+
+#[test]
+fn ech_key_mismatch_recovers_via_retry() {
+    for p in [chrome(), edge(), firefox()] {
+        let (support, retried) = run_ech_mismatch(&Testbed::new(), &p);
+        assert_eq!(support, Support::Full, "{}", p.name);
+        assert!(retried, "{} should use the retry mechanism", p.name);
+    }
+}
+
+#[test]
+fn ech_split_mode_fails_in_all_measured_browsers() {
+    for p in [chrome(), edge(), firefox()] {
+        let (support, reason) = run_ech_split(&Testbed::new(), &p);
+        assert_eq!(support, Support::None, "{}", p.name);
+        // The observed error is the ECH-fallback certificate failure.
+        assert_eq!(reason, Some(FailureReason::CertificateInvalid), "{}", p.name);
+    }
+}
+
+#[test]
+fn spec_compliant_client_passes_everything() {
+    let spec = BrowserProfile::spec_compliant();
+    assert_eq!(run_alias_mode(&Testbed::new(), &spec), Support::Full);
+    assert_eq!(run_service_target(&Testbed::new(), &spec), Support::Full);
+    assert_eq!(run_port_usage(&Testbed::new(), &spec), Support::Full);
+    assert_eq!(run_ech_shared(&Testbed::new(), &spec), Support::Full);
+    assert_eq!(run_ech_unilateral(&Testbed::new(), &spec), Support::Full);
+    assert_eq!(run_ech_malformed(&Testbed::new(), &spec), Support::Full);
+    let (mismatch, _) = run_ech_mismatch(&Testbed::new(), &spec);
+    assert_eq!(mismatch, Support::Full);
+    // The headline: split mode works for a compliant client.
+    let (split, reason) = run_ech_split(&Testbed::new(), &spec);
+    assert_eq!(split, Support::Full, "{reason:?}");
+}
+
+#[test]
+fn firefox_h3_compat_attempt_is_logged() {
+    use browser::{NavEvent, UrlScheme};
+    let tb = Testbed::new();
+    // h3-only service.
+    let _ = run_alpn(&tb, &firefox(), "h3"); // configures zone + server
+    tb.flush_dns();
+    let nav = tb.browser(firefox()).navigate(&tb.domain.key(), UrlScheme::Https);
+    assert!(
+        nav.events.iter().any(|e| matches!(e, NavEvent::H2CompatAttempt)),
+        "Firefox should race an h2 connection after h3-only: {:?}",
+        nav.events
+    );
+}

@@ -1,0 +1,299 @@
+//! HTTPS-record management automation — the tool the paper's §7 calls
+//! for ("the DNS HTTPS ecosystem could borrow experiences learned from
+//! the management of digital certificates … ACME and Certbot").
+//!
+//! [`RecordManager`] owns the coupling the paper shows operators getting
+//! wrong by hand:
+//!
+//! * **Address changes** (§4.3.5): `renumber` updates the A/AAAA RRset
+//!   and every `ipv4hint`/`ipv6hint` in the same zone transaction, so
+//!   hints and addresses can never diverge at the authority. (Resolver
+//!   caches may still serve old *consistent* snapshots — which is
+//!   harmless, because both record sets move together.)
+//! * **ECH key rotation** (§4.4.2): `rotate_ech` installs the fresh
+//!   config in DNS while instructing the server to keep accepting the
+//!   previous key for at least one DNS TTL, guaranteeing that any
+//!   cached config still decrypts or retries.
+
+use authserver::ZoneSet;
+use dns_wire::{DnsName, RData, Record, RecordType, SvcParam};
+use std::net::Ipv4Addr;
+use std::sync::Arc;
+use tlsech::WebServer;
+
+/// Automates coupled updates of A/AAAA records, IP hints, and ECH
+/// configs for one domain.
+pub struct RecordManager {
+    zones: ZoneSet,
+    apex: DnsName,
+    /// Web server whose ECH keys this manager rotates (optional).
+    server: Option<Arc<WebServer>>,
+    /// TTL applied to managed records; also the grace horizon for ECH.
+    ttl: u32,
+}
+
+/// Errors from automated record management.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AutomationError {
+    /// The managed zone does not exist in the zone set.
+    ZoneMissing,
+    /// ECH rotation requested but no server is attached / ECH disabled.
+    NoEchServer,
+}
+
+impl std::fmt::Display for AutomationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AutomationError::ZoneMissing => write!(f, "managed zone missing"),
+            AutomationError::NoEchServer => write!(f, "no ECH-capable server attached"),
+        }
+    }
+}
+
+impl RecordManager {
+    /// Manage `apex` inside `zones` with the given record TTL.
+    pub fn new(zones: ZoneSet, apex: DnsName, ttl: u32) -> RecordManager {
+        RecordManager { zones, apex, server: None, ttl }
+    }
+
+    /// Attach the web server whose ECH keys should be rotated.
+    pub fn with_server(mut self, server: Arc<WebServer>) -> RecordManager {
+        self.server = Some(server);
+        self
+    }
+
+    /// Atomically renumber the service: rewrite the A RRset *and* every
+    /// ipv4hint in the apex (and www) HTTPS records in one zone update.
+    pub fn renumber(&self, new_ip: Ipv4Addr) -> Result<(), AutomationError> {
+        let apex = self.apex.clone();
+        let ttl = self.ttl;
+        self.zones
+            .with_zone(&apex, |zone| {
+                let mut owners = vec![apex.clone()];
+                if let Ok(www) = apex.prepend("www") {
+                    owners.push(www);
+                }
+                for owner in owners {
+                    if zone.get(&owner, RecordType::A).is_some() {
+                        zone.set(
+                            owner.clone(),
+                            RecordType::A,
+                            vec![Record::new(owner.clone(), ttl, RData::A(new_ip))],
+                        );
+                    }
+                    // Rewrite hints inside any HTTPS records at this owner.
+                    if let Some(existing) = zone.get(&owner, RecordType::Https).cloned() {
+                        let updated: Vec<Record> = existing
+                            .into_iter()
+                            .map(|mut rec| {
+                                if let RData::Https(rd) = &mut rec.rdata {
+                                    for p in rd.params.iter_mut() {
+                                        if let SvcParam::Ipv4Hint(v) = p {
+                                            *v = vec![new_ip];
+                                        }
+                                    }
+                                }
+                                rec.ttl = ttl;
+                                rec
+                            })
+                            .collect();
+                        zone.set(owner.clone(), RecordType::Https, updated);
+                    }
+                }
+            })
+            .ok_or(AutomationError::ZoneMissing)
+    }
+
+    /// Rotate the attached server's ECH key *safely*: the server keeps a
+    /// grace window at least one TTL deep (enforced by the caller's
+    /// `EchKeyManager` grace depth), and DNS gets the fresh config in the
+    /// same step. Returns the new config bytes.
+    pub fn rotate_ech(&self, label_seed: &str) -> Result<Vec<u8>, AutomationError> {
+        let server = self.server.as_ref().ok_or(AutomationError::NoEchServer)?;
+        let configs = server.rotate_ech_key(label_seed).ok_or(AutomationError::NoEchServer)?;
+        let apex = self.apex.clone();
+        let ttl = self.ttl;
+        let cfg_clone = configs.clone();
+        self.zones
+            .with_zone(&apex, |zone| {
+                if let Some(existing) = zone.get(&apex, RecordType::Https).cloned() {
+                    let updated: Vec<Record> = existing
+                        .into_iter()
+                        .map(|mut rec| {
+                            if let RData::Https(rd) = &mut rec.rdata {
+                                let mut replaced = false;
+                                for p in rd.params.iter_mut() {
+                                    if let SvcParam::Ech(v) = p {
+                                        *v = cfg_clone.clone();
+                                        replaced = true;
+                                    }
+                                }
+                                if !replaced && !rd.is_alias() {
+                                    rd.params.push(SvcParam::Ech(cfg_clone.clone()));
+                                }
+                            }
+                            rec.ttl = ttl;
+                            rec
+                        })
+                        .collect();
+                    zone.set(apex.clone(), RecordType::Https, updated);
+                }
+            })
+            .ok_or(AutomationError::ZoneMissing)?;
+        Ok(configs)
+    }
+
+    /// Audit the managed zone: true when every ipv4hint matches the A
+    /// RRset (the §4.3.5 consistency condition).
+    pub fn consistent(&self) -> Result<bool, AutomationError> {
+        let apex = self.apex.clone();
+        self.zones
+            .read_zone(&apex, |zone| {
+                let a_ips: Vec<Ipv4Addr> = zone
+                    .get(&apex, RecordType::A)
+                    .map(|rs| {
+                        rs.iter()
+                            .filter_map(|r| match &r.rdata {
+                                RData::A(ip) => Some(*ip),
+                                _ => None,
+                            })
+                            .collect()
+                    })
+                    .unwrap_or_default();
+                let Some(https) = zone.get(&apex, RecordType::Https) else {
+                    return true;
+                };
+                https.iter().all(|rec| match &rec.rdata {
+                    RData::Https(rd) => rd
+                        .ipv4hint()
+                        .map(|hints| hints.iter().all(|h| a_ips.contains(h)))
+                        .unwrap_or(true),
+                    _ => true,
+                })
+            })
+            .ok_or(AutomationError::ZoneMissing)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use authserver::Zone;
+    use dns_wire::SvcbRdata;
+    use netsim::{Network, SimClock};
+    use tlsech::{ClientHello, EchConfigList, EchExtension, EchKeyManager, EchServerState, InnerHello, ServerResponse, WebServerConfig};
+
+    fn name(s: &str) -> DnsName {
+        DnsName::parse(s).unwrap()
+    }
+
+    fn managed_world() -> (ZoneSet, Arc<WebServer>, RecordManager) {
+        let net = Network::new(SimClock::new());
+        let apex = name("managed.example");
+        let zones = ZoneSet::new();
+        let mut zone = Zone::new(apex.clone());
+        zone.add(Record::new(apex.clone(), 300, RData::A(Ipv4Addr::new(10, 0, 0, 1))));
+        zone.add(Record::new(
+            apex.clone(),
+            300,
+            RData::Https(SvcbRdata::service_self(vec![
+                SvcParam::Alpn(vec![b"h2".to_vec()]),
+                SvcParam::Ipv4Hint(vec![Ipv4Addr::new(10, 0, 0, 1)]),
+            ])),
+        ));
+        zones.insert(zone);
+        let server = Arc::new(WebServer::new(
+            net,
+            WebServerConfig { cert_names: vec![apex.clone()], alpn: vec!["h2".into()] },
+        ));
+        server.enable_ech(EchServerState {
+            manager: EchKeyManager::new(name("cover.managed.example"), "auto", 2),
+            retry_enabled: true,
+        });
+        let mgr = RecordManager::new(zones.clone(), apex, 300).with_server(server.clone());
+        (zones, server, mgr)
+    }
+
+    #[test]
+    fn renumber_keeps_hints_and_a_in_lockstep() {
+        let (zones, _server, mgr) = managed_world();
+        assert_eq!(mgr.consistent(), Ok(true));
+        mgr.renumber(Ipv4Addr::new(10, 9, 9, 9)).unwrap();
+        assert_eq!(mgr.consistent(), Ok(true), "automation must keep records in lockstep");
+        // And the values actually changed.
+        let apex = name("managed.example");
+        let hint = zones
+            .read_zone(&apex, |z| {
+                z.get(&apex, RecordType::Https).and_then(|rs| match &rs[0].rdata {
+                    RData::Https(rd) => rd.ipv4hint().map(|h| h[0]),
+                    _ => None,
+                })
+            })
+            .flatten()
+            .unwrap();
+        assert_eq!(hint, Ipv4Addr::new(10, 9, 9, 9));
+    }
+
+    #[test]
+    fn manual_renumber_diverges_automated_does_not() {
+        // The §4.3.5 failure: update A but forget the hints.
+        let (zones, _server, mgr) = managed_world();
+        let apex = name("managed.example");
+        zones.with_zone(&apex, |z| {
+            z.set(
+                apex.clone(),
+                RecordType::A,
+                vec![Record::new(apex.clone(), 300, RData::A(Ipv4Addr::new(10, 7, 7, 7)))],
+            );
+        });
+        assert_eq!(mgr.consistent(), Ok(false), "manual update diverges");
+        mgr.renumber(Ipv4Addr::new(10, 7, 7, 7)).unwrap();
+        assert_eq!(mgr.consistent(), Ok(true), "automation repairs the divergence");
+    }
+
+    #[test]
+    fn rotate_ech_updates_dns_and_keeps_grace() {
+        let (zones, server, mgr) = managed_world();
+        let apex = name("managed.example");
+        // Publish the initial config via rotation 0.
+        let first = mgr.rotate_ech("auto").unwrap();
+        // A client caches this config...
+        let cached = EchConfigList::decode(&first).unwrap();
+        // ...the operator rotates again (within the grace window).
+        let second = mgr.rotate_ech("auto").unwrap();
+        assert_ne!(first, second);
+        // DNS now serves the new config.
+        let in_dns = zones
+            .read_zone(&apex, |z| {
+                z.get(&apex, RecordType::Https).and_then(|rs| match &rs[0].rdata {
+                    RData::Https(rd) => rd.ech().map(|e| e.to_vec()),
+                    _ => None,
+                })
+            })
+            .flatten()
+            .unwrap();
+        assert_eq!(in_dns, second);
+        // The stale cached config still works thanks to the grace window.
+        let cfg = cached.preferred();
+        let inner = InnerHello { sni: "managed.example".into(), alpn: vec!["h2".into()] };
+        let sealed = cfg.public_key.seal(cfg.public_name.key().as_bytes(), &inner.encode());
+        let hello = ClientHello {
+            sni: cfg.public_name.key(),
+            alpn: vec!["h2".into()],
+            ech: Some(EchExtension { config_id: cfg.config_id, sealed_inner: sealed }),
+        };
+        assert!(matches!(
+            server.handshake(&hello),
+            ServerResponse::Accepted { used_ech: true, .. }
+        ));
+    }
+
+    #[test]
+    fn errors_on_missing_zone_or_server() {
+        let zones = ZoneSet::new();
+        let mgr = RecordManager::new(zones, name("ghost.example"), 300);
+        assert_eq!(mgr.renumber(Ipv4Addr::new(1, 1, 1, 1)), Err(AutomationError::ZoneMissing));
+        assert_eq!(mgr.consistent(), Err(AutomationError::ZoneMissing));
+        assert_eq!(mgr.rotate_ech("x").unwrap_err(), AutomationError::NoEchServer);
+    }
+}

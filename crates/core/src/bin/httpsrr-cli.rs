@@ -1,0 +1,154 @@
+//! `httpsrr-cli` — run the reproduction studies from the command line.
+//!
+//! ```text
+//! httpsrr-cli study  [--population N] [--list N] [--stride D] [--seed S] [--csv PATH]
+//! httpsrr-cli matrix
+//! httpsrr-cli rotation [--hours H]
+//! httpsrr-cli audit  [--day D]
+//! httpsrr-cli zone   <apex> <zonefile>    # lint a zone file's HTTPS records
+//! ```
+
+use httpsrr::analysis;
+use httpsrr::ecosystem::{EcosystemConfig, World};
+use httpsrr::scanner::hourly_ech_scan;
+use httpsrr::{client_side_report, server_side_report, Study};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    match command.as_str() {
+        "study" => cmd_study(&args[1..]),
+        "matrix" => {
+            println!("{}", client_side_report());
+            ExitCode::SUCCESS
+        }
+        "rotation" => cmd_rotation(&args[1..]),
+        "audit" => cmd_audit(&args[1..]),
+        "zone" => cmd_zone(&args[1..]),
+        other => {
+            eprintln!("unknown command {other:?}\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  httpsrr-cli study  [--population N] [--list N] [--stride D] [--seed S] [--csv PATH]
+  httpsrr-cli matrix
+  httpsrr-cli rotation [--hours H]
+  httpsrr-cli audit  [--day D]
+  httpsrr-cli zone   <apex> <zonefile>";
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned()
+}
+
+fn num_flag<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> T {
+    flag(args, name).and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn cmd_study(args: &[String]) -> ExitCode {
+    let config = EcosystemConfig {
+        population: num_flag(args, "--population", 2_000),
+        list_size: num_flag(args, "--list", 1_400),
+        seed: num_flag(args, "--seed", EcosystemConfig::default().seed),
+        ..EcosystemConfig::default()
+    };
+    if config.list_size > config.population {
+        eprintln!("--list must not exceed --population");
+        return ExitCode::FAILURE;
+    }
+    let stride = num_flag(args, "--stride", 14u64);
+    eprintln!(
+        "running study: {} domains, {}-entry list, every {} days (seed {:#x}) …",
+        config.population, config.list_size, stride, config.seed
+    );
+    let study = Study::run(config, stride);
+    println!("{}", server_side_report(&study));
+    if let Some(path) = flag(args, "--csv") {
+        match std::fs::write(&path, study.store.to_csv()) {
+            Ok(()) => eprintln!("wrote {} observations to {path}", study.store.len()),
+            Err(e) => {
+                eprintln!("failed to write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_rotation(args: &[String]) -> ExitCode {
+    let hours = num_flag(args, "--hours", 7 * 24u64);
+    let mut world = World::build(EcosystemConfig::tiny());
+    world.step_to_day(74); // the paper's July scan window
+    let obs = hourly_ech_scan(&mut world, hours, 20);
+    println!("{}", analysis::fig4_rotation(&obs));
+    ExitCode::SUCCESS
+}
+
+fn cmd_audit(args: &[String]) -> ExitCode {
+    let day = num_flag(args, "--day", 239u64); // 2024-01-02
+    let mut world = World::build(EcosystemConfig {
+        population: 2_000,
+        list_size: 1_400,
+        ..EcosystemConfig::default()
+    });
+    world.step_to_day(day);
+    let audit = analysis::tab9_chain_audit(&world);
+    println!("{audit}");
+    println!(
+        "insecure: with HTTPS {:.1}% vs without {:.1}%",
+        audit.insecure_pct_with_https(),
+        audit.insecure_pct_without_https()
+    );
+    ExitCode::SUCCESS
+}
+
+fn cmd_zone(args: &[String]) -> ExitCode {
+    let (Some(apex_arg), Some(path)) = (args.first(), args.get(1)) else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let apex = match httpsrr::dns_wire::DnsName::parse(apex_arg) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("bad apex {apex_arg:?}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let zone = match httpsrr::authserver::Zone::from_text(apex, &text) {
+        Ok(z) => z,
+        Err(e) => {
+            eprintln!("zone parse error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut issues = 0usize;
+    let mut https = 0usize;
+    for rec in zone.iter() {
+        if let httpsrr::dns_wire::RData::Https(rd) = &rec.rdata {
+            https += 1;
+            for issue in rd.lint() {
+                issues += 1;
+                println!("{}: {issue}", rec.name);
+            }
+        }
+    }
+    println!("{https} HTTPS record(s), {issues} issue(s)");
+    if issues > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,452 @@
+//! Domain names: label sequences with case-insensitive semantics,
+//! wire encoding/decoding (including RFC 1035 compression pointers),
+//! and presentation-format parsing/printing.
+
+use crate::error::{ParseError, WireError};
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// Maximum wire length of a name (RFC 1035 §3.1).
+pub const MAX_NAME_WIRE_LEN: usize = 255;
+/// Maximum length of a single label.
+pub const MAX_LABEL_LEN: usize = 63;
+/// Budget of compression pointers followed before declaring a loop.
+const MAX_POINTER_HOPS: usize = 64;
+
+/// A fully-qualified DNS domain name.
+///
+/// Stored as a sequence of raw labels (without the root label). Comparison
+/// and hashing are case-insensitive over ASCII, per RFC 1035 §2.3.3; the
+/// original case is preserved for display.
+///
+/// ```
+/// use dns_wire::DnsName;
+/// let a = DnsName::parse("WWW.Example.COM").unwrap();
+/// let b = DnsName::parse("www.example.com").unwrap();
+/// assert_eq!(a, b);
+/// assert_eq!(a.to_string(), "WWW.Example.COM.");
+/// ```
+#[derive(Debug, Clone, Eq)]
+pub struct DnsName {
+    labels: Vec<Vec<u8>>,
+}
+
+impl DnsName {
+    /// The root name (`.`).
+    pub fn root() -> Self {
+        DnsName { labels: Vec::new() }
+    }
+
+    /// Build from raw labels (no root label). Labels are used as-is.
+    pub fn from_labels(labels: Vec<Vec<u8>>) -> Self {
+        DnsName { labels }
+    }
+
+    /// Parse a presentation-format name such as `www.example.com` or
+    /// `example.com.`. A lone `.` yields the root name. Simple `\.`
+    /// escapes inside labels are honoured.
+    pub fn parse(s: &str) -> Result<Self, ParseError> {
+        let s = s.trim();
+        if s.is_empty() {
+            return Err(ParseError::BadName(s.to_string()));
+        }
+        if s == "." {
+            return Ok(DnsName::root());
+        }
+        let mut labels: Vec<Vec<u8>> = Vec::new();
+        let mut current: Vec<u8> = Vec::new();
+        let mut chars = s.bytes().peekable();
+        while let Some(b) = chars.next() {
+            match b {
+                b'\\' => {
+                    let esc = chars
+                        .next()
+                        .ok_or_else(|| ParseError::BadName(s.to_string()))?;
+                    current.push(esc);
+                }
+                b'.' => {
+                    if current.is_empty() {
+                        return Err(ParseError::BadName(s.to_string()));
+                    }
+                    labels.push(std::mem::take(&mut current));
+                }
+                _ => current.push(b),
+            }
+        }
+        if !current.is_empty() {
+            labels.push(current);
+        }
+        let name = DnsName { labels };
+        if name.labels.iter().any(|l| l.len() > MAX_LABEL_LEN) {
+            return Err(ParseError::BadName(s.to_string()));
+        }
+        if name.wire_len() > MAX_NAME_WIRE_LEN {
+            return Err(ParseError::BadName(s.to_string()));
+        }
+        Ok(name)
+    }
+
+    /// The labels of this name, most-specific first, excluding the root.
+    pub fn labels(&self) -> &[Vec<u8>] {
+        &self.labels
+    }
+
+    /// Number of labels (the root name has zero).
+    pub fn label_count(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// True for the root name.
+    pub fn is_root(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Length of the uncompressed wire encoding (labels + root octet).
+    pub fn wire_len(&self) -> usize {
+        self.labels.iter().map(|l| l.len() + 1).sum::<usize>() + 1
+    }
+
+    /// The name with its leftmost label removed; `None` for the root.
+    pub fn parent(&self) -> Option<DnsName> {
+        if self.labels.is_empty() {
+            None
+        } else {
+            Some(DnsName { labels: self.labels[1..].to_vec() })
+        }
+    }
+
+    /// Prepend a label, e.g. `example.com`.prepend("www") = `www.example.com`.
+    pub fn prepend(&self, label: &str) -> Result<DnsName, ParseError> {
+        if label.is_empty() || label.len() > MAX_LABEL_LEN || label.contains('.') {
+            return Err(ParseError::BadName(label.to_string()));
+        }
+        let mut labels = Vec::with_capacity(self.labels.len() + 1);
+        labels.push(label.as_bytes().to_vec());
+        labels.extend(self.labels.iter().cloned());
+        let name = DnsName { labels };
+        if name.wire_len() > MAX_NAME_WIRE_LEN {
+            return Err(ParseError::BadName(label.to_string()));
+        }
+        Ok(name)
+    }
+
+    /// True when `self` equals `other` or is a descendant of it.
+    /// Every name is a subdomain of the root.
+    pub fn is_subdomain_of(&self, other: &DnsName) -> bool {
+        if other.labels.len() > self.labels.len() {
+            return false;
+        }
+        let offset = self.labels.len() - other.labels.len();
+        self.labels[offset..]
+            .iter()
+            .zip(other.labels.iter())
+            .all(|(a, b)| eq_label(a, b))
+    }
+
+    /// The canonical (lowercased) uncompressed wire form; used as a
+    /// compression-dictionary key and in DNSSEC-style canonical ordering.
+    pub fn canonical_wire(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.wire_len());
+        for label in &self.labels {
+            out.push(label.len() as u8);
+            out.extend(label.iter().map(|b| b.to_ascii_lowercase()));
+        }
+        out.push(0);
+        out
+    }
+
+    /// Lowercased presentation form without trailing dot (root → `.`),
+    /// convenient as a map key in higher layers.
+    pub fn key(&self) -> String {
+        if self.labels.is_empty() {
+            return ".".to_string();
+        }
+        let mut s = String::new();
+        for (i, label) in self.labels.iter().enumerate() {
+            if i > 0 {
+                s.push('.');
+            }
+            for &b in label {
+                s.push(b.to_ascii_lowercase() as char);
+            }
+        }
+        s
+    }
+
+    /// Decode a (possibly compressed) name from `buf` starting at `start`.
+    /// Returns the name and the offset at which sequential reading resumes.
+    pub fn decode_at(buf: &[u8], start: usize) -> Result<(DnsName, usize), WireError> {
+        let mut labels: Vec<Vec<u8>> = Vec::new();
+        let mut pos = start;
+        let mut resume: Option<usize> = None;
+        let mut hops = 0usize;
+        let mut wire_len = 1usize; // root octet
+
+        loop {
+            let len_byte = *buf
+                .get(pos)
+                .ok_or(WireError::Truncated { context: "name label length" })?;
+            match len_byte & 0xC0 {
+                0x00 => {
+                    let n = len_byte as usize;
+                    if n == 0 {
+                        let next = resume.unwrap_or(pos + 1);
+                        return Ok((DnsName { labels }, next));
+                    }
+                    if n > MAX_LABEL_LEN {
+                        return Err(WireError::LabelTooLong(n));
+                    }
+                    let end = pos + 1 + n;
+                    if end > buf.len() {
+                        return Err(WireError::Truncated { context: "name label" });
+                    }
+                    wire_len += n + 1;
+                    if wire_len > MAX_NAME_WIRE_LEN {
+                        return Err(WireError::NameTooLong(wire_len));
+                    }
+                    labels.push(buf[pos + 1..end].to_vec());
+                    pos = end;
+                }
+                0xC0 => {
+                    let second = *buf
+                        .get(pos + 1)
+                        .ok_or(WireError::Truncated { context: "compression pointer" })?;
+                    let target = (((len_byte & 0x3F) as usize) << 8) | second as usize;
+                    // Pointers must strictly point backwards; forward or
+                    // self-pointing targets cannot terminate.
+                    if target >= pos {
+                        return Err(WireError::BadCompressionPointer { at: pos });
+                    }
+                    hops += 1;
+                    if hops > MAX_POINTER_HOPS {
+                        return Err(WireError::BadCompressionPointer { at: pos });
+                    }
+                    if resume.is_none() {
+                        resume = Some(pos + 2);
+                    }
+                    pos = target;
+                }
+                other => return Err(WireError::UnsupportedLabelType(other)),
+            }
+        }
+    }
+}
+
+fn eq_label(a: &[u8], b: &[u8]) -> bool {
+    a.len() == b.len()
+        && a.iter()
+            .zip(b.iter())
+            .all(|(x, y)| x.eq_ignore_ascii_case(y))
+}
+
+impl PartialEq for DnsName {
+    fn eq(&self, other: &Self) -> bool {
+        self.labels.len() == other.labels.len()
+            && self
+                .labels
+                .iter()
+                .zip(other.labels.iter())
+                .all(|(a, b)| eq_label(a, b))
+    }
+}
+
+impl Hash for DnsName {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        for label in &self.labels {
+            state.write_usize(label.len());
+            for &b in label {
+                state.write_u8(b.to_ascii_lowercase());
+            }
+        }
+    }
+}
+
+impl PartialOrd for DnsName {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for DnsName {
+    /// Canonical DNS ordering (RFC 4034 §6.1): compare label sequences
+    /// right-to-left, case-insensitively.
+    fn cmp(&self, other: &Self) -> Ordering {
+        let a_rev = self.labels.iter().rev();
+        let b_rev = other.labels.iter().rev();
+        for (a, b) in a_rev.zip(b_rev) {
+            let la: Vec<u8> = a.iter().map(|c| c.to_ascii_lowercase()).collect();
+            let lb: Vec<u8> = b.iter().map(|c| c.to_ascii_lowercase()).collect();
+            match la.cmp(&lb) {
+                Ordering::Equal => continue,
+                ord => return ord,
+            }
+        }
+        self.labels.len().cmp(&other.labels.len())
+    }
+}
+
+impl fmt::Display for DnsName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.labels.is_empty() {
+            return write!(f, ".");
+        }
+        for label in &self.labels {
+            for &b in label {
+                if b == b'.' || b == b'\\' {
+                    write!(f, "\\{}", b as char)?;
+                } else if b.is_ascii_graphic() {
+                    write!(f, "{}", b as char)?;
+                } else {
+                    write!(f, "\\{:03}", b)?;
+                }
+            }
+            write!(f, ".")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::str::FromStr for DnsName {
+    type Err = ParseError;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        DnsName::parse(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_display() {
+        let n = DnsName::parse("a.example.com.").unwrap();
+        assert_eq!(n.label_count(), 3);
+        assert_eq!(n.to_string(), "a.example.com.");
+        assert_eq!(DnsName::root().to_string(), ".");
+    }
+
+    #[test]
+    fn case_insensitive_eq_and_hash() {
+        use std::collections::HashSet;
+        let a = DnsName::parse("ExAmPlE.CoM").unwrap();
+        let b = DnsName::parse("example.com").unwrap();
+        assert_eq!(a, b);
+        let mut set = HashSet::new();
+        set.insert(a);
+        assert!(set.contains(&b));
+    }
+
+    #[test]
+    fn parent_and_prepend() {
+        let apex = DnsName::parse("example.com").unwrap();
+        let www = apex.prepend("www").unwrap();
+        assert_eq!(www.to_string(), "www.example.com.");
+        assert_eq!(www.parent().unwrap(), apex);
+        assert_eq!(apex.parent().unwrap().parent().unwrap(), DnsName::root());
+        assert!(DnsName::root().parent().is_none());
+    }
+
+    #[test]
+    fn subdomain_relation() {
+        let com = DnsName::parse("com").unwrap();
+        let ex = DnsName::parse("example.com").unwrap();
+        let www = DnsName::parse("www.Example.COM").unwrap();
+        assert!(www.is_subdomain_of(&ex));
+        assert!(www.is_subdomain_of(&com));
+        assert!(www.is_subdomain_of(&DnsName::root()));
+        assert!(ex.is_subdomain_of(&ex));
+        assert!(!ex.is_subdomain_of(&www));
+        assert!(!DnsName::parse("badexample.com").unwrap().is_subdomain_of(&ex));
+    }
+
+    #[test]
+    fn wire_round_trip_plain() {
+        let n = DnsName::parse("mail.example.org").unwrap();
+        let mut w = crate::wire::WireWriter::new();
+        w.put_name_uncompressed(&n);
+        let buf = w.into_bytes();
+        let (decoded, next) = DnsName::decode_at(&buf, 0).unwrap();
+        assert_eq!(decoded, n);
+        assert_eq!(next, buf.len());
+    }
+
+    #[test]
+    fn decode_rejects_pointer_loop() {
+        // A pointer at offset 0 pointing to itself.
+        let buf = [0xC0, 0x00];
+        assert!(matches!(
+            DnsName::decode_at(&buf, 0),
+            Err(WireError::BadCompressionPointer { .. })
+        ));
+    }
+
+    #[test]
+    fn decode_rejects_forward_pointer() {
+        let buf = [0xC0, 0x05, 0, 0, 0, 0];
+        assert!(DnsName::decode_at(&buf, 0).is_err());
+    }
+
+    #[test]
+    fn decode_follows_backward_pointer() {
+        // "com" at 0, then "example" + pointer to 0.
+        let mut buf = vec![3, b'c', b'o', b'm', 0];
+        let ptr_at = buf.len();
+        buf.extend_from_slice(&[7]);
+        buf.extend_from_slice(b"example");
+        buf.extend_from_slice(&[0xC0, 0x00]);
+        let (n, next) = DnsName::decode_at(&buf, ptr_at).unwrap();
+        assert_eq!(n, DnsName::parse("example.com").unwrap());
+        assert_eq!(next, buf.len());
+    }
+
+    #[test]
+    fn rejects_oversized_label() {
+        let long = "a".repeat(64);
+        assert!(DnsName::parse(&long).is_err());
+        assert!(DnsName::parse(&"a".repeat(63)).is_ok());
+    }
+
+    #[test]
+    fn rejects_oversized_name() {
+        let label = "a".repeat(63);
+        let name = format!("{label}.{label}.{label}.{label}.{label}");
+        assert!(DnsName::parse(&name).is_err());
+    }
+
+    #[test]
+    fn escaped_dot_in_label() {
+        let n = DnsName::parse(r"foo\.bar.example").unwrap();
+        assert_eq!(n.label_count(), 2);
+        assert_eq!(n.labels()[0], b"foo.bar".to_vec());
+        assert_eq!(n.to_string(), r"foo\.bar.example.");
+    }
+
+    #[test]
+    fn canonical_order_rfc4034() {
+        // RFC 4034 §6.1 example ordering.
+        let mut names: Vec<DnsName> = [
+            "example", "a.example", "yljkjljk.a.example", "Z.a.example",
+            "zABC.a.EXAMPLE", "z.example",
+        ]
+        .iter()
+        .map(|s| DnsName::parse(s).unwrap())
+        .collect();
+        let expected: Vec<DnsName> = names.clone();
+        names.reverse();
+        names.sort();
+        assert_eq!(names, expected);
+    }
+
+    #[test]
+    fn key_is_lowercase_no_trailing_dot() {
+        assert_eq!(DnsName::parse("WWW.Example.Com.").unwrap().key(), "www.example.com");
+        assert_eq!(DnsName::root().key(), ".");
+    }
+
+    #[test]
+    fn rejects_empty_label() {
+        assert!(DnsName::parse("a..b").is_err());
+        assert!(DnsName::parse("").is_err());
+    }
+}

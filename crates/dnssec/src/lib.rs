@@ -1,0 +1,24 @@
+//! # dnssec
+//!
+//! Zone signing and chain-of-trust validation over [`simcrypto`]'s
+//! simulated keys. The record formats are the real RFC 4034 ones (from
+//! `dns-wire`); only the signature algorithm is simulated, registered
+//! under algorithm number 253 (`PRIVATEDNS`).
+//!
+//! The validation states mirror RFC 4035 and the paper's §4.5 analysis:
+//!
+//! * **Secure** — an unbroken DS→DNSKEY→RRSIG chain from the trust anchor.
+//! * **Insecure** — the zone is signed but its parent has no DS record
+//!   (the paper's dominant failure: third-party DNS operators whose
+//!   customers never upload DS records to the registrar, §4.5.1/App. G).
+//! * **Bogus** — a signature or digest exists but fails verification
+//!   (tampering, expired signature, wrong key).
+//! * **Unsigned** — no RRSIG at all.
+
+#![warn(missing_docs)]
+
+pub mod chain;
+pub mod signer;
+
+pub use chain::{ChainSource, ValidationState, Validator};
+pub use signer::{sign_rrset, rrset_signing_bytes, ZoneKeys, SIM_ALGORITHM, SIM_DIGEST_TYPE};

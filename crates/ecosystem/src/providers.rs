@@ -1,0 +1,191 @@
+//! DNS provider models: who runs name servers, what HTTPS-record policy
+//! they apply, and the infrastructure (name servers + zone sets) each
+//! provider operates on the simulated network.
+
+use authserver::{AuthoritativeServer, NsEndpoint, ZoneSet};
+use dns_wire::DnsName;
+use netsim::Network;
+use std::net::{IpAddr, Ipv4Addr};
+use std::sync::Arc;
+
+/// Identifies a provider in the catalog.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ProviderId(pub u16);
+
+/// The HTTPS-record policy a provider applies to hosted domains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HttpsPolicy {
+    /// Cloudflare: proxied domains get the default ServiceMode record
+    /// `1 . alpn=h2,h3 ipv4hint=… ipv6hint=…` (+ ech while enabled).
+    CloudflareDefault,
+    /// GoDaddy: AliasMode records redirecting to an alternative endpoint.
+    AliasToEndpoint,
+    /// Google: ServiceMode with (almost always) empty SvcParams.
+    ServiceModeEmpty,
+    /// Generic providers that publish whatever the domain owner sets.
+    OwnerManaged,
+    /// Providers with no HTTPS RR support at all.
+    Unsupported,
+}
+
+/// Static description of one provider.
+#[derive(Debug, Clone)]
+pub struct ProviderSpec {
+    /// Catalog id.
+    pub id: ProviderId,
+    /// Organization name as WHOIS would report it.
+    pub org: &'static str,
+    /// NS host-name suffix, e.g. `ns.cloudflare.com`.
+    pub ns_suffix: &'static str,
+    /// HTTPS record policy.
+    pub policy: HttpsPolicy,
+    /// Number of name-server endpoints to operate.
+    pub ns_count: usize,
+}
+
+/// A provider's live infrastructure on the network.
+pub struct ProviderInfra {
+    /// The spec this infrastructure implements.
+    pub spec: ProviderSpec,
+    /// NS endpoints (name + IP), bound on the network.
+    pub endpoints: Vec<NsEndpoint>,
+    /// The zone set all this provider's servers serve.
+    pub zones: ZoneSet,
+}
+
+/// The provider catalog: all providers in the simulated ecosystem.
+pub struct ProviderCatalog {
+    providers: Vec<ProviderInfra>,
+}
+
+/// Well-known catalog indices.
+pub mod well_known {
+    use super::ProviderId;
+    /// Cloudflare.
+    pub const CLOUDFLARE: ProviderId = ProviderId(0);
+    /// Cloudflare China Network (cf-ns.com / cf-ns.net).
+    pub const CF_CHINA: ProviderId = ProviderId(1);
+    /// GoDaddy (domaincontrol.com).
+    pub const GODADDY: ProviderId = ProviderId(2);
+    /// Google Cloud DNS.
+    pub const GOOGLE: ProviderId = ProviderId(3);
+    /// eName.
+    pub const ENAME: ProviderId = ProviderId(4);
+    /// NSONE.
+    pub const NSONE: ProviderId = ProviderId(5);
+    /// Domeneshop.
+    pub const DOMENESHOP: ProviderId = ProviderId(6);
+    /// Hover.
+    pub const HOVER: ProviderId = ProviderId(7);
+    /// Gentoo-style self hosting.
+    pub const SELFHOST: ProviderId = ProviderId(8);
+    /// JPBerlin (HTTP/1.1-only alpn oddity host).
+    pub const JPBERLIN: ProviderId = ProviderId(9);
+    /// A big legacy registrar with no HTTPS RR support.
+    pub const LEGACY: ProviderId = ProviderId(10);
+}
+
+/// The static provider table.
+pub fn provider_specs() -> Vec<ProviderSpec> {
+    use well_known::*;
+    use HttpsPolicy::*;
+    vec![
+        ProviderSpec { id: CLOUDFLARE, org: "Cloudflare, Inc.", ns_suffix: "ns.cloudflare.com", policy: CloudflareDefault, ns_count: 3 },
+        ProviderSpec { id: CF_CHINA, org: "Cloudflare China Network", ns_suffix: "cf-ns.com", policy: CloudflareDefault, ns_count: 2 },
+        ProviderSpec { id: GODADDY, org: "GoDaddy.com, LLC", ns_suffix: "domaincontrol.com", policy: AliasToEndpoint, ns_count: 2 },
+        ProviderSpec { id: GOOGLE, org: "Google LLC", ns_suffix: "googledomains.com", policy: ServiceModeEmpty, ns_count: 2 },
+        ProviderSpec { id: ENAME, org: "eName Technology", ns_suffix: "ename.net", policy: OwnerManaged, ns_count: 2 },
+        ProviderSpec { id: NSONE, org: "NSONE, Inc.", ns_suffix: "nsone.net", policy: OwnerManaged, ns_count: 2 },
+        ProviderSpec { id: DOMENESHOP, org: "Domeneshop AS", ns_suffix: "hyp.net", policy: OwnerManaged, ns_count: 2 },
+        ProviderSpec { id: HOVER, org: "Hover", ns_suffix: "hover.com", policy: OwnerManaged, ns_count: 2 },
+        ProviderSpec { id: SELFHOST, org: "Self-hosted", ns_suffix: "self.example.net", policy: OwnerManaged, ns_count: 1 },
+        ProviderSpec { id: JPBERLIN, org: "JPBerlin", ns_suffix: "jpberlin.de", policy: OwnerManaged, ns_count: 2 },
+        ProviderSpec { id: LEGACY, org: "Legacy Registrar DNS", ns_suffix: "legacydns.example", policy: Unsupported, ns_count: 2 },
+    ]
+}
+
+impl ProviderCatalog {
+    /// Build every provider's infrastructure: allocate NS IPs (one /24
+    /// per provider in 172.16.0.0/12), create the shared zone set, and
+    /// bind an authoritative server at every endpoint.
+    pub fn build(network: &Network) -> ProviderCatalog {
+        let mut providers = Vec::new();
+        for spec in provider_specs() {
+            let zones = ZoneSet::new();
+            let server = Arc::new(AuthoritativeServer::new(zones.clone()));
+            let mut endpoints = Vec::new();
+            for k in 0..spec.ns_count {
+                let ip = IpAddr::V4(Ipv4Addr::new(172, 16 + (spec.id.0 as u8), 0, 10 + k as u8));
+                let ns_name = DnsName::parse(&format!("ns{}.{}", k + 1, spec.ns_suffix))
+                    .expect("static suffixes are valid names");
+                network.bind_datagram(ip, 53, server.clone());
+                endpoints.push(NsEndpoint { name: ns_name, ip });
+            }
+            providers.push(ProviderInfra { spec, endpoints, zones });
+        }
+        ProviderCatalog { providers }
+    }
+
+    /// Look up a provider's infrastructure.
+    pub fn get(&self, id: ProviderId) -> &ProviderInfra {
+        &self.providers[id.0 as usize]
+    }
+
+    /// All providers.
+    pub fn all(&self) -> &[ProviderInfra] {
+        &self.providers
+    }
+
+    /// The NS IP block owner map for WHOIS: (first-octet pair, org).
+    pub fn whois_blocks(&self) -> Vec<(Ipv4Addr, &'static str)> {
+        self.providers
+            .iter()
+            .map(|p| (Ipv4Addr::new(172, 16 + (p.spec.id.0 as u8), 0, 0), p.spec.org))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::SimClock;
+
+    #[test]
+    fn catalog_builds_and_binds() {
+        let net = Network::new(SimClock::new());
+        let catalog = ProviderCatalog::build(&net);
+        assert_eq!(catalog.all().len(), provider_specs().len());
+        let cf = catalog.get(well_known::CLOUDFLARE);
+        assert_eq!(cf.endpoints.len(), 3);
+        assert_eq!(cf.spec.policy, HttpsPolicy::CloudflareDefault);
+        // Endpoints are actually bound (refused ≠ unreachable).
+        for ep in &cf.endpoints {
+            assert!(net.send_datagram(ep.ip, 53, b"garbage").is_err());
+            assert!(net.can_connect(ep.ip, 53).is_ok());
+        }
+    }
+
+    #[test]
+    fn provider_ips_are_disjoint() {
+        let net = Network::new(SimClock::new());
+        let catalog = ProviderCatalog::build(&net);
+        let mut seen = std::collections::HashSet::new();
+        for p in catalog.all() {
+            for ep in &p.endpoints {
+                assert!(seen.insert(ep.ip), "duplicate NS IP {}", ep.ip);
+            }
+        }
+    }
+
+    #[test]
+    fn well_known_ids_match_specs() {
+        let specs = provider_specs();
+        assert_eq!(specs[well_known::CLOUDFLARE.0 as usize].org, "Cloudflare, Inc.");
+        assert_eq!(specs[well_known::GODADDY.0 as usize].policy, HttpsPolicy::AliasToEndpoint);
+        assert_eq!(specs[well_known::GOOGLE.0 as usize].policy, HttpsPolicy::ServiceModeEmpty);
+        assert_eq!(specs[well_known::LEGACY.0 as usize].policy, HttpsPolicy::Unsupported);
+        for (i, spec) in specs.iter().enumerate() {
+            assert_eq!(spec.id.0 as usize, i);
+        }
+    }
+}

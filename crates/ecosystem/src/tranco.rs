@@ -1,0 +1,220 @@
+//! The Tranco-like top-list model: a ranked daily list over a domain
+//! universe with popularity-driven churn and the 2023-08-01 source
+//! change.
+//!
+//! Each domain has a base popularity weight (Zipf-flavoured by index)
+//! and a churn class. A day's score is `base_weight × lognormal(σ)` with
+//! σ small for stable domains and large for churners; the top
+//! `list_size` scores form the day's list. At the source change a
+//! configured fraction of base weights is re-sampled, changing the list
+//! composition exactly as the paper observed.
+
+use crate::config::EcosystemConfig;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+/// Per-domain popularity state.
+#[derive(Debug, Clone)]
+pub struct Popularity {
+    /// Base weight (higher = more popular).
+    pub base_weight: f64,
+    /// Daily noise sigma (churn class).
+    pub sigma: f64,
+}
+
+/// The list model.
+pub struct TrancoModel {
+    seed: u64,
+    list_size: usize,
+    source_change_day: u64,
+    reshuffle_fraction: f64,
+    pop: Vec<Popularity>,
+}
+
+/// One day's list: domain ids ordered by rank (index 0 = rank 1).
+#[derive(Debug, Clone)]
+pub struct DailyList {
+    /// Domain ids in rank order.
+    pub ranked: Vec<u32>,
+}
+
+impl DailyList {
+    /// The set of included domain ids.
+    pub fn id_set(&self) -> HashSet<u32> {
+        self.ranked.iter().copied().collect()
+    }
+
+    /// Rank (1-based) of a domain id, if listed.
+    pub fn rank_of(&self, id: u32) -> Option<usize> {
+        self.ranked.iter().position(|d| *d == id).map(|p| p + 1)
+    }
+}
+
+impl TrancoModel {
+    /// Build the model for a universe of `population` domains.
+    pub fn new(config: &EcosystemConfig) -> TrancoModel {
+        let mut rng = StdRng::seed_from_u64(config.seed ^ TRANCO_STREAM);
+        let mut pop = Vec::with_capacity(config.population);
+        for i in 0..config.population {
+            // Zipf-ish base weight by universe index, with jitter so the
+            // stable/churn classes interleave in rank space.
+            let zipf = 1.0 / ((i + 1) as f64).powf(0.9);
+            let jitter: f64 = rng.gen_range(0.8..1.25);
+            let stable = rng.gen_bool(config.stable_fraction);
+            pop.push(Popularity {
+                base_weight: zipf * jitter,
+                sigma: if stable { config.stable_sigma } else { config.churn_sigma },
+            });
+        }
+        TrancoModel {
+            seed: config.seed,
+            list_size: config.list_size.min(config.population),
+            source_change_day: config.landmarks.source_change,
+            reshuffle_fraction: config.source_change_reshuffle,
+            pop,
+        }
+    }
+
+    /// Deterministically compute the list for `day`.
+    pub fn list_for_day(&self, day: u64) -> DailyList {
+        let mut scores: Vec<(f64, u32)> = Vec::with_capacity(self.pop.len());
+        for (i, p) in self.pop.iter().enumerate() {
+            let mut rng = StdRng::seed_from_u64(
+                self.seed ^ day.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (i as u64) << 20,
+            );
+            let mut base = p.base_weight;
+            // Source change: a slice of the universe gets re-sampled
+            // weights from the change day onward.
+            if day >= self.source_change_day {
+                let mut reshuffle_rng =
+                    StdRng::seed_from_u64(self.seed ^ 0xC0FFEE ^ (i as u64));
+                if reshuffle_rng.gen_bool(self.reshuffle_fraction) {
+                    base = reshuffle_rng.gen_range(0.0..1.0) * reshuffle_rng.gen_range(0.0..0.02);
+                }
+            }
+            let noise: f64 = normal_sample(&mut rng) * p.sigma;
+            scores.push((base * noise.exp(), i as u32));
+        }
+        scores.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+        scores.truncate(self.list_size);
+        DailyList { ranked: scores.into_iter().map(|(_, id)| id).collect() }
+    }
+
+    /// Domains present every day of `[from, to]` (the paper's
+    /// "overlapping" set for a phase).
+    pub fn overlapping(&self, from: u64, to: u64) -> HashSet<u32> {
+        let mut set = self.list_for_day(from).id_set();
+        for day in (from + 1)..=to {
+            let today = self.list_for_day(day).id_set();
+            set.retain(|id| today.contains(id));
+            if set.is_empty() {
+                break;
+            }
+        }
+        set
+    }
+}
+
+/// Box–Muller standard normal from a uniform RNG.
+fn normal_sample(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Stream-separation constant so the tranco RNG stream never collides
+/// with other per-seed streams derived from the same user seed.
+const TRANCO_STREAM: u64 = 0x7_2a_c0;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> EcosystemConfig {
+        EcosystemConfig { population: 500, list_size: 300, ..EcosystemConfig::tiny() }
+    }
+
+    #[test]
+    fn list_is_deterministic_and_sized() {
+        let model = TrancoModel::new(&config());
+        let a = model.list_for_day(10);
+        let b = model.list_for_day(10);
+        assert_eq!(a.ranked, b.ranked);
+        assert_eq!(a.ranked.len(), 300);
+        // All ids unique.
+        assert_eq!(a.id_set().len(), 300);
+    }
+
+    #[test]
+    fn lists_churn_day_to_day() {
+        let model = TrancoModel::new(&config());
+        let d0 = model.list_for_day(0).id_set();
+        let d1 = model.list_for_day(1).id_set();
+        let overlap = d0.intersection(&d1).count();
+        assert!(overlap < 300, "lists should differ");
+        assert!(overlap > 150, "lists should overlap substantially, got {overlap}");
+    }
+
+    #[test]
+    fn overlapping_set_shrinks_with_window() {
+        let model = TrancoModel::new(&config());
+        let short = model.overlapping(0, 3);
+        let long = model.overlapping(0, 10);
+        assert!(long.len() <= short.len());
+        assert!(!long.is_empty(), "some stable core must persist");
+        for id in &long {
+            assert!(short.contains(id));
+        }
+    }
+
+    #[test]
+    fn source_change_changes_composition() {
+        let model = TrancoModel::new(&config());
+        let day_before = model.list_for_day(84).id_set();
+        let day_after = model.list_for_day(85).id_set();
+        let cross = day_before.intersection(&day_after).count();
+        let same_side = day_before
+            .intersection(&model.list_for_day(83).id_set())
+            .count();
+        assert!(
+            cross < same_side,
+            "source change should disrupt composition more than daily churn ({cross} vs {same_side})"
+        );
+    }
+
+    #[test]
+    fn stable_domains_rank_higher_on_average() {
+        let cfg = config();
+        let model = TrancoModel::new(&cfg);
+        let overlapping = model.overlapping(0, 8);
+        let list = model.list_for_day(4);
+        let (mut ov_sum, mut ov_n, mut non_sum, mut non_n) = (0usize, 0usize, 0usize, 0usize);
+        for (idx, id) in list.ranked.iter().enumerate() {
+            if overlapping.contains(id) {
+                ov_sum += idx;
+                ov_n += 1;
+            } else {
+                non_sum += idx;
+                non_n += 1;
+            }
+        }
+        if ov_n > 0 && non_n > 0 {
+            assert!(
+                (ov_sum / ov_n) < (non_sum / non_n),
+                "overlapping domains should rank better (Fig 8 shape)"
+            );
+        }
+    }
+
+    #[test]
+    fn rank_of_works() {
+        let model = TrancoModel::new(&config());
+        let list = model.list_for_day(0);
+        let first = list.ranked[0];
+        assert_eq!(list.rank_of(first), Some(1));
+        // Some universe id not in the list.
+        let missing = (0..500u32).find(|i| !list.id_set().contains(i)).unwrap();
+        assert_eq!(list.rank_of(missing), None);
+    }
+}

@@ -1,0 +1,23 @@
+//! # netsim
+//!
+//! A deterministic simulated internet for the `httpsrr` workspace:
+//! a manually advanced [`SimClock`] with a civil [`Calendar`] (so
+//! longitudinal results can be reported against the paper's real dates),
+//! and a [`Network`] connecting datagram services (DNS servers) and
+//! stream services (web servers) by IP and port, with per-IP blackholing
+//! for connectivity experiments and traffic accounting for pacing
+//! assertions.
+//!
+//! Design note: the network is synchronous — a packet is a method call —
+//! which makes every experiment in the workspace reproducible bit-for-bit
+//! from a seed. Concurrency in higher layers (the scanner) uses scoped
+//! threads over this shared handle; all interior state is behind
+//! `parking_lot` locks.
+
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod network;
+
+pub use clock::{Calendar, CivilDate, SimClock, Timestamp};
+pub use network::{DatagramService, NetError, Network, StreamService, TrafficStats};

@@ -1,0 +1,281 @@
+//! The resolver's TTL-driven record cache.
+//!
+//! Cache staleness is the mechanism behind two of the paper's findings:
+//! IP-hint/A mismatches persisting after synchronized zone updates
+//! (§4.3.5) and ECH key mismatches under hourly rotation (§4.4.2). The
+//! cache therefore keeps precise per-entry expiry against the simulated
+//! clock, plus negative entries with SOA-minimum TTLs.
+
+use dns_wire::record::RrsigRdata;
+use dns_wire::{DnsName, Rcode, Record, RecordType};
+use netsim::Timestamp;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+/// A positive or negative cached answer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CachedAnswer {
+    /// A cached RRset with its signatures.
+    Positive {
+        /// The records of the set.
+        records: Vec<Record>,
+        /// Covering RRSIGs (as fetched with the DO bit).
+        rrsigs: Vec<RrsigRdata>,
+    },
+    /// A cached negative answer (NODATA or NXDOMAIN).
+    Negative {
+        /// The rcode that produced the entry.
+        rcode: Rcode,
+    },
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    answer: CachedAnswer,
+    inserted: Timestamp,
+    expires: Timestamp,
+}
+
+/// Statistics for cache behaviour analysis and ablations.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that returned a live entry.
+    pub hits: u64,
+    /// Lookups that found nothing (or only expired entries).
+    pub misses: u64,
+    /// Entries that had expired at lookup time.
+    pub expirations: u64,
+    /// Entries inserted.
+    pub insertions: u64,
+}
+
+/// TTL cache keyed by `(owner name, record type)`.
+#[derive(Default)]
+pub struct RecordCache {
+    inner: Mutex<CacheInner>,
+    /// Optional TTL clamp (seconds); `Some(c)` caps every entry's
+    /// lifetime at `c`, the knob used by the Fig 12 ablation.
+    ttl_clamp: Option<u32>,
+}
+
+#[derive(Default)]
+struct CacheInner {
+    entries: HashMap<(String, u16), Entry>,
+    stats: CacheStats,
+}
+
+impl RecordCache {
+    /// An empty cache with no TTL clamp.
+    pub fn new() -> RecordCache {
+        RecordCache::default()
+    }
+
+    /// An empty cache clamping every TTL at `clamp` seconds.
+    pub fn with_ttl_clamp(clamp: u32) -> RecordCache {
+        RecordCache { inner: Mutex::new(CacheInner::default()), ttl_clamp: Some(clamp) }
+    }
+
+    fn effective_ttl(&self, ttl: u32) -> u32 {
+        match self.ttl_clamp {
+            Some(clamp) => ttl.min(clamp),
+            None => ttl,
+        }
+    }
+
+    /// Insert a positive RRset observed at `now`.
+    pub fn insert_positive(
+        &self,
+        name: &DnsName,
+        rtype: RecordType,
+        records: Vec<Record>,
+        rrsigs: Vec<RrsigRdata>,
+        now: Timestamp,
+    ) {
+        if records.is_empty() {
+            return;
+        }
+        let ttl = self.effective_ttl(records.iter().map(|r| r.ttl).min().unwrap_or(0));
+        let mut inner = self.inner.lock();
+        inner.stats.insertions += 1;
+        inner.entries.insert(
+            (name.key(), rtype.code()),
+            Entry {
+                answer: CachedAnswer::Positive { records, rrsigs },
+                inserted: now,
+                expires: now.plus(ttl as u64),
+            },
+        );
+    }
+
+    /// Insert a negative answer with the given TTL (typically the SOA
+    /// minimum).
+    pub fn insert_negative(
+        &self,
+        name: &DnsName,
+        rtype: RecordType,
+        rcode: Rcode,
+        ttl: u32,
+        now: Timestamp,
+    ) {
+        let ttl = self.effective_ttl(ttl);
+        let mut inner = self.inner.lock();
+        inner.stats.insertions += 1;
+        inner.entries.insert(
+            (name.key(), rtype.code()),
+            Entry {
+                answer: CachedAnswer::Negative { rcode },
+                inserted: now,
+                expires: now.plus(ttl as u64),
+            },
+        );
+    }
+
+    /// Fetch a live entry; expired entries are evicted.
+    pub fn get(&self, name: &DnsName, rtype: RecordType, now: Timestamp) -> Option<CachedAnswer> {
+        let key = (name.key(), rtype.code());
+        let mut inner = self.inner.lock();
+        match inner.entries.get(&key) {
+            Some(entry) if entry.expires > now => {
+                let answer = entry.answer.clone();
+                inner.stats.hits += 1;
+                Some(answer)
+            }
+            Some(_) => {
+                inner.entries.remove(&key);
+                inner.stats.expirations += 1;
+                inner.stats.misses += 1;
+                None
+            }
+            None => {
+                inner.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Age in seconds of the live entry at (name, type), if any.
+    pub fn age(&self, name: &DnsName, rtype: RecordType, now: Timestamp) -> Option<u64> {
+        let key = (name.key(), rtype.code());
+        let inner = self.inner.lock();
+        inner
+            .entries
+            .get(&key)
+            .filter(|e| e.expires > now)
+            .map(|e| now.since(e.inserted))
+    }
+
+    /// Drop every entry (the testbed's "clear local DNS cache" step).
+    pub fn flush(&self) {
+        self.inner.lock().entries.clear();
+    }
+
+    /// Current statistics snapshot.
+    pub fn stats(&self) -> CacheStats {
+        self.inner.lock().stats
+    }
+
+    /// Number of entries currently stored (live and expired-but-unswept).
+    pub fn len(&self) -> usize {
+        self.inner.lock().entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dns_wire::RData;
+    use std::net::Ipv4Addr;
+
+    fn name(s: &str) -> DnsName {
+        DnsName::parse(s).unwrap()
+    }
+
+    fn a_record(ttl: u32) -> Record {
+        Record::new(name("a.com"), ttl, RData::A(Ipv4Addr::new(1, 2, 3, 4)))
+    }
+
+    #[test]
+    fn hit_until_ttl_expiry() {
+        let cache = RecordCache::new();
+        cache.insert_positive(&name("a.com"), RecordType::A, vec![a_record(300)], vec![], Timestamp(0));
+        assert!(cache.get(&name("a.com"), RecordType::A, Timestamp(299)).is_some());
+        assert!(cache.get(&name("a.com"), RecordType::A, Timestamp(300)).is_none());
+        // After expiry the entry is evicted.
+        assert_eq!(cache.len(), 0);
+        let s = cache.stats();
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.expirations, 1);
+    }
+
+    #[test]
+    fn min_ttl_of_rrset_governs() {
+        let cache = RecordCache::new();
+        let records = vec![a_record(300), a_record(60)];
+        cache.insert_positive(&name("a.com"), RecordType::A, records, vec![], Timestamp(0));
+        assert!(cache.get(&name("a.com"), RecordType::A, Timestamp(59)).is_some());
+        assert!(cache.get(&name("a.com"), RecordType::A, Timestamp(61)).is_none());
+    }
+
+    #[test]
+    fn negative_caching() {
+        let cache = RecordCache::new();
+        cache.insert_negative(&name("gone.com"), RecordType::Https, Rcode::NxDomain, 300, Timestamp(0));
+        match cache.get(&name("gone.com"), RecordType::Https, Timestamp(100)) {
+            Some(CachedAnswer::Negative { rcode }) => assert_eq!(rcode, Rcode::NxDomain),
+            other => panic!("{other:?}"),
+        }
+        assert!(cache.get(&name("gone.com"), RecordType::Https, Timestamp(301)).is_none());
+    }
+
+    #[test]
+    fn ttl_clamp_caps_lifetime() {
+        let cache = RecordCache::with_ttl_clamp(30);
+        cache.insert_positive(&name("a.com"), RecordType::A, vec![a_record(300)], vec![], Timestamp(0));
+        assert!(cache.get(&name("a.com"), RecordType::A, Timestamp(29)).is_some());
+        assert!(cache.get(&name("a.com"), RecordType::A, Timestamp(31)).is_none());
+    }
+
+    #[test]
+    fn flush_clears() {
+        let cache = RecordCache::new();
+        cache.insert_positive(&name("a.com"), RecordType::A, vec![a_record(300)], vec![], Timestamp(0));
+        cache.flush();
+        assert!(cache.get(&name("a.com"), RecordType::A, Timestamp(1)).is_none());
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn age_tracks_insertion() {
+        let cache = RecordCache::new();
+        cache.insert_positive(&name("a.com"), RecordType::A, vec![a_record(300)], vec![], Timestamp(100));
+        assert_eq!(cache.age(&name("a.com"), RecordType::A, Timestamp(150)), Some(50));
+        assert_eq!(cache.age(&name("a.com"), RecordType::A, Timestamp(500)), None);
+    }
+
+    #[test]
+    fn types_are_separate_keys() {
+        let cache = RecordCache::new();
+        cache.insert_positive(&name("a.com"), RecordType::A, vec![a_record(300)], vec![], Timestamp(0));
+        assert!(cache.get(&name("a.com"), RecordType::Https, Timestamp(1)).is_none());
+        assert!(cache.get(&name("a.com"), RecordType::A, Timestamp(1)).is_some());
+    }
+
+    #[test]
+    fn case_insensitive_keying() {
+        let cache = RecordCache::new();
+        cache.insert_positive(&name("A.COM"), RecordType::A, vec![a_record(300)], vec![], Timestamp(0));
+        assert!(cache.get(&name("a.com"), RecordType::A, Timestamp(1)).is_some());
+    }
+
+    #[test]
+    fn empty_rrset_not_inserted() {
+        let cache = RecordCache::new();
+        cache.insert_positive(&name("a.com"), RecordType::A, vec![], vec![], Timestamp(0));
+        assert!(cache.is_empty());
+    }
+}

@@ -1,0 +1,18 @@
+//! # resolver
+//!
+//! A recursive caching DNS resolver over the simulated network:
+//! delegation-registry-driven authority lookup, pluggable name-server
+//! selection, cross-zone CNAME chasing, TTL-faithful positive/negative
+//! caching, DNSSEC chain validation with AD-bit semantics, and a
+//! [`netsim::DatagramService`] implementation so it can be bound to an IP
+//! and used as a "public resolver" by browsers and scanners.
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod resolver;
+pub mod selection;
+
+pub use cache::{CacheStats, CachedAnswer, RecordCache};
+pub use resolver::{Resolution, ResolveError, ResolverConfig, RecursiveResolver};
+pub use selection::{NsSelector, SelectionStrategy};

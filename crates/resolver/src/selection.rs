@@ -1,0 +1,157 @@
+//! Name-server selection: which of a zone's NS endpoints a resolver
+//! queries. Public resolvers use different strategies (fastest, rotated,
+//! random); the paper's §4.2.3 shows that with mixed-provider NS sets the
+//! strategy decides whether a client sees the HTTPS record at all, so the
+//! strategy is pluggable and an ablation axis.
+
+use authserver::NsEndpoint;
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// Strategy for picking an NS endpoint from a zone's delegation set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SelectionStrategy {
+    /// Always the first listed endpoint (deterministic, models a
+    /// resolver pinned to its measured-fastest server).
+    First,
+    /// Rotate through endpoints per zone (models per-query rotation).
+    RoundRobin,
+    /// Uniform random choice (seeded; models randomized selection).
+    Random,
+}
+
+/// Stateful selector owned by one resolver.
+pub struct NsSelector {
+    strategy: SelectionStrategy,
+    state: Mutex<SelectorState>,
+}
+
+struct SelectorState {
+    counters: HashMap<String, usize>,
+    rng: StdRng,
+}
+
+impl NsSelector {
+    /// Create a selector; `seed` drives the `Random` strategy.
+    pub fn new(strategy: SelectionStrategy, seed: u64) -> NsSelector {
+        NsSelector {
+            strategy,
+            state: Mutex::new(SelectorState { counters: HashMap::new(), rng: StdRng::seed_from_u64(seed) }),
+        }
+    }
+
+    /// The configured strategy.
+    pub fn strategy(&self) -> SelectionStrategy {
+        self.strategy
+    }
+
+    /// Pick one endpoint for the zone keyed by `zone_key`.
+    pub fn pick<'a>(&self, zone_key: &str, endpoints: &'a [NsEndpoint]) -> Option<&'a NsEndpoint> {
+        if endpoints.is_empty() {
+            return None;
+        }
+        let idx = match self.strategy {
+            SelectionStrategy::First => 0,
+            SelectionStrategy::RoundRobin => {
+                let mut st = self.state.lock();
+                let c = st.counters.entry(zone_key.to_string()).or_insert(0);
+                let idx = *c % endpoints.len();
+                *c += 1;
+                idx
+            }
+            SelectionStrategy::Random => {
+                let mut st = self.state.lock();
+                st.rng.gen_range(0..endpoints.len())
+            }
+        };
+        endpoints.get(idx)
+    }
+
+    /// Pick endpoints in fallback order: the primary pick first, then the
+    /// remaining endpoints (for retry after an unresponsive server).
+    pub fn pick_order<'a>(&self, zone_key: &str, endpoints: &'a [NsEndpoint]) -> Vec<&'a NsEndpoint> {
+        let Some(primary) = self.pick(zone_key, endpoints) else {
+            return Vec::new();
+        };
+        let mut order: Vec<&NsEndpoint> = vec![primary];
+        order.extend(endpoints.iter().filter(|e| *e != primary));
+        order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dns_wire::DnsName;
+
+    fn eps(n: usize) -> Vec<NsEndpoint> {
+        (0..n)
+            .map(|i| NsEndpoint {
+                name: DnsName::parse(&format!("ns{i}.prov.net")).unwrap(),
+                ip: format!("10.0.0.{i}").parse().unwrap(),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn first_is_stable() {
+        let sel = NsSelector::new(SelectionStrategy::First, 0);
+        let endpoints = eps(3);
+        for _ in 0..5 {
+            assert_eq!(sel.pick("z", &endpoints).unwrap(), &endpoints[0]);
+        }
+    }
+
+    #[test]
+    fn round_robin_cycles_per_zone() {
+        let sel = NsSelector::new(SelectionStrategy::RoundRobin, 0);
+        let endpoints = eps(3);
+        let picks: Vec<_> = (0..6).map(|_| sel.pick("z", &endpoints).unwrap().ip).collect();
+        assert_eq!(picks[0], picks[3]);
+        assert_eq!(picks[1], picks[4]);
+        assert_ne!(picks[0], picks[1]);
+        // Independent counter for another zone.
+        assert_eq!(sel.pick("other", &endpoints).unwrap(), &endpoints[0]);
+    }
+
+    #[test]
+    fn random_is_seeded_deterministic() {
+        let endpoints = eps(4);
+        let run = |seed| -> Vec<std::net::IpAddr> {
+            let sel = NsSelector::new(SelectionStrategy::Random, seed);
+            (0..10).map(|_| sel.pick("z", &endpoints).unwrap().ip).collect()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn random_covers_all_endpoints() {
+        let endpoints = eps(3);
+        let sel = NsSelector::new(SelectionStrategy::Random, 42);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..100 {
+            seen.insert(sel.pick("z", &endpoints).unwrap().ip);
+        }
+        assert_eq!(seen.len(), 3);
+    }
+
+    #[test]
+    fn empty_endpoint_list() {
+        let sel = NsSelector::new(SelectionStrategy::First, 0);
+        assert!(sel.pick("z", &[]).is_none());
+        assert!(sel.pick_order("z", &[]).is_empty());
+    }
+
+    #[test]
+    fn pick_order_contains_all_unique() {
+        let endpoints = eps(3);
+        let sel = NsSelector::new(SelectionStrategy::RoundRobin, 0);
+        let order = sel.pick_order("z", &endpoints);
+        assert_eq!(order.len(), 3);
+        let set: std::collections::HashSet<_> = order.iter().map(|e| e.ip).collect();
+        assert_eq!(set.len(), 3);
+    }
+}

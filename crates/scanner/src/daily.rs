@@ -1,0 +1,329 @@
+//! The daily scanning pipeline (§4.1): for every domain on today's list
+//! (apex and www), query HTTPS (with CNAME chasing and RRSIG/AD capture)
+//! through a recursive resolver, follow up with A and NS queries for
+//! HTTPS-positive domains, resolve name-server addresses, and attribute
+//! operators via WHOIS.
+
+use crate::observation::{flags, NsCategory, Observation};
+use crate::store::SnapshotStore;
+use dns_wire::{DnsName, RData, RecordType, SvcbRdata};
+use ecosystem::World;
+use resolver::{RecursiveResolver, ResolverConfig};
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+use std::sync::Arc;
+
+/// Campaign configuration: which days to scan and how.
+#[derive(Debug, Clone)]
+pub struct Campaign {
+    /// Days (since study start) to scan, ascending.
+    pub sample_days: Vec<u64>,
+    /// Scan www subdomains too.
+    pub scan_www: bool,
+    /// Worker threads for the per-domain fan-out.
+    pub threads: usize,
+}
+
+impl Campaign {
+    /// Scan every `stride`-th day of a study.
+    pub fn strided(study_days: u64, stride: u64) -> Campaign {
+        Campaign {
+            sample_days: (0..study_days).step_by(stride.max(1) as usize).collect(),
+            scan_www: true,
+            threads: 4,
+        }
+    }
+
+    /// Scan every day (the paper's cadence).
+    pub fn daily(study_days: u64) -> Campaign {
+        Campaign::strided(study_days, 1)
+    }
+
+    /// Run the campaign, advancing the world through its timeline.
+    pub fn run(&self, world: &mut World) -> SnapshotStore {
+        let mut store = SnapshotStore::new();
+        // Pre-intern known orgs so scanning threads need no interner.
+        let mut org_ids: HashMap<String, u16> = HashMap::new();
+        for infra in world.catalog.all() {
+            let id = store.orgs.intern(infra.spec.org);
+            org_ids.insert(infra.spec.org.to_string(), id);
+        }
+        let byoip = store.orgs.intern("BYOIP Customer Org");
+        org_ids.insert("BYOIP Customer Org".to_string(), byoip);
+
+        let scan_resolver = Arc::new(RecursiveResolver::new(
+            world.network.clone(),
+            world.registry.clone(),
+            ResolverConfig { validate: true, ..Default::default() },
+        ));
+
+        for &day in &self.sample_days {
+            world.step_to_day(day);
+            let obs = scan_one_day(world, &scan_resolver, &org_ids, self.scan_www, self.threads);
+            store.push_day(day as u32, obs);
+        }
+        store
+    }
+}
+
+/// Scan today's list. Returns observations sorted by (domain, www-flag).
+pub fn scan_one_day(
+    world: &World,
+    resolver: &Arc<RecursiveResolver>,
+    org_ids: &HashMap<String, u16>,
+    scan_www: bool,
+    threads: usize,
+) -> Vec<Observation> {
+    let list = world.today_list();
+    let ranks: HashMap<u32, u32> = list
+        .ranked
+        .iter()
+        .enumerate()
+        .map(|(i, id)| (*id, (i + 1) as u32))
+        .collect();
+    let ids: Vec<u32> = list.ranked.clone();
+    let day = world.current_day as u32;
+
+    let chunk = ids.len().div_ceil(threads.max(1));
+    let mut results: Vec<Observation> = Vec::with_capacity(ids.len() * 2);
+    crossbeam::scope(|scope| {
+        let mut handles = Vec::new();
+        for part in ids.chunks(chunk.max(1)) {
+            let resolver = Arc::clone(resolver);
+            let ranks = &ranks;
+            let org_ids = &org_ids;
+            handles.push(scope.spawn(move |_| {
+                let mut local = Vec::with_capacity(part.len() * 2);
+                for &id in part {
+                    let d = world.domain(id);
+                    let rank = ranks.get(&id).copied().unwrap_or(0);
+                    local.push(scan_name(world, &resolver, org_ids, &d.apex, id, day, rank, false));
+                    if scan_www {
+                        if let Ok(www) = d.apex.prepend("www") {
+                            local.push(scan_name(world, &resolver, org_ids, &www, id, day, rank, true));
+                        }
+                    }
+                }
+                local
+            }));
+        }
+        for h in handles {
+            results.extend(h.join().expect("scan worker panicked"));
+        }
+    })
+    .expect("crossbeam scope");
+    results.sort_by_key(|o| (o.domain_id, o.is_www()));
+    results
+}
+
+/// Scan one name (apex or www): HTTPS (+RRSIG/AD), then A/NS follow-ups.
+#[allow(clippy::too_many_arguments)]
+fn scan_name(
+    world: &World,
+    resolver: &RecursiveResolver,
+    org_ids: &HashMap<String, u16>,
+    name: &DnsName,
+    domain_id: u32,
+    day: u32,
+    rank: u32,
+    is_www: bool,
+) -> Observation {
+    let mut f: u32 = 0;
+    let mut min_priority = u16::MAX;
+    let mut ns_category = NsCategory::NoNs as u8;
+    let mut org = u16::MAX;
+    if is_www {
+        f |= flags::IS_WWW;
+    }
+
+    match resolver.resolve(name, RecordType::Https) {
+        Ok(res) => {
+            if !res.chain.is_empty() {
+                f |= flags::VIA_CNAME;
+            }
+            let rdatas: Vec<&SvcbRdata> = res
+                .records
+                .iter()
+                .filter_map(|r| match &r.rdata {
+                    RData::Https(rd) => Some(rd),
+                    _ => None,
+                })
+                .collect();
+            if !rdatas.is_empty() {
+                f |= flags::HTTPS_PRESENT;
+                f |= classify_rdatas(&rdatas);
+                min_priority = rdatas.iter().map(|rd| rd.priority).min().unwrap_or(u16::MAX);
+                if !res.rrsigs.is_empty() {
+                    f |= flags::RRSIG;
+                }
+                if res.ad() {
+                    f |= flags::AD;
+                }
+
+                // Follow-up A query; check hint consistency.
+                let owner = res.records[0].name.clone();
+                if let Ok(a_res) = resolver.resolve(&owner, RecordType::A) {
+                    let a_ips: Vec<Ipv4Addr> = a_res
+                        .records
+                        .iter()
+                        .filter_map(|r| match &r.rdata {
+                            RData::A(a) => Some(*a),
+                            _ => None,
+                        })
+                        .collect();
+                    let hints: Vec<Ipv4Addr> = rdatas
+                        .iter()
+                        .filter_map(|rd| rd.ipv4hint())
+                        .flatten()
+                        .copied()
+                        .collect();
+                    if !hints.is_empty()
+                        && !a_ips.is_empty()
+                        && hints.iter().all(|h| a_ips.contains(h))
+                    {
+                        f |= flags::HINT_MATCH;
+                    }
+                }
+
+            }
+        }
+        Err(_) => {
+            f |= flags::RESOLUTION_FAILED;
+        }
+    }
+
+    // NS follow-up for every apex observation (the paper's NS dataset
+    // tracks providers whether or not the HTTPS record is active today).
+    if !is_www && f & flags::RESOLUTION_FAILED == 0 {
+        let (cat, o) = categorize_ns(world, resolver, name, org_ids);
+        ns_category = cat as u8;
+        org = o;
+    }
+
+    Observation { day, domain_id, rank, flags: f, ns_category, org, min_priority }
+}
+
+/// Derive record-shape flags from the HTTPS RDATA set.
+fn classify_rdatas(rdatas: &[&SvcbRdata]) -> u32 {
+    let mut f = 0u32;
+    // The record a client would use: lowest ServiceMode priority, else alias.
+    let chosen: &SvcbRdata = rdatas
+        .iter()
+        .filter(|rd| !rd.is_alias())
+        .min_by_key(|rd| rd.priority)
+        .or_else(|| rdatas.first())
+        .expect("non-empty");
+
+    if chosen.is_alias() {
+        f |= flags::ALIAS_MODE;
+        if chosen.target.is_root() {
+            f |= flags::TARGET_SELF_DOT;
+        }
+    } else if chosen.params.is_empty() {
+        f |= flags::EMPTY_SVCPARAMS;
+    }
+    if chosen.lint().iter().any(|i| i.contains("IPv4 address literal")) {
+        f |= flags::IP_LITERAL_TARGET;
+    }
+    if chosen.ech().is_some() {
+        f |= flags::ECH;
+    }
+    if chosen.ipv4hint().is_some() {
+        f |= flags::IPV4HINT;
+    }
+    if chosen.ipv6hint().is_some() {
+        f |= flags::IPV6HINT;
+    }
+    match chosen.alpn() {
+        Some(ids) => {
+            for id in ids {
+                match id.as_str() {
+                    "http/1.1" => f |= flags::ALPN_H1,
+                    "h2" => f |= flags::ALPN_H2,
+                    "h3" => f |= flags::ALPN_H3,
+                    "h3-29" => f |= flags::ALPN_H3_29,
+                    "h3-27" => f |= flags::ALPN_H3_27,
+                    _ => {}
+                }
+            }
+        }
+        None => {
+            if !chosen.is_alias() && !chosen.params.is_empty() {
+                f |= flags::NO_ALPN;
+            }
+        }
+    }
+    if is_cf_default(chosen) && rdatas.len() == 1 {
+        f |= flags::CF_DEFAULT;
+    }
+    f
+}
+
+/// Whether a record matches Cloudflare's auto-generated default shape:
+/// ServiceMode priority 1, `.` target, alpn ⊇ {h2,h3}, both hint types.
+fn is_cf_default(rd: &SvcbRdata) -> bool {
+    if rd.priority != 1 || !rd.target.is_root() {
+        return false;
+    }
+    let Some(alpn) = rd.alpn() else { return false };
+    alpn.iter().any(|p| p == "h2")
+        && alpn.iter().any(|p| p == "h3")
+        && rd.ipv4hint().is_some()
+        && rd.ipv6hint().is_some()
+        && rd.port().is_none()
+}
+
+/// Resolve the NS set of an apex, then each NS host's address, then
+/// attribute operators via WHOIS (§4.2.2's pipeline).
+fn categorize_ns(
+    world: &World,
+    resolver: &RecursiveResolver,
+    apex: &DnsName,
+    org_ids: &HashMap<String, u16>,
+) -> (NsCategory, u16) {
+    let Ok(ns_res) = resolver.resolve(apex, RecordType::Ns) else {
+        return (NsCategory::NoNs, u16::MAX);
+    };
+    let ns_names: Vec<DnsName> = ns_res
+        .records
+        .iter()
+        .filter_map(|r| match &r.rdata {
+            RData::Ns(n) => Some(n.clone()),
+            _ => None,
+        })
+        .collect();
+    if ns_names.is_empty() {
+        return (NsCategory::NoNs, u16::MAX);
+    }
+    let mut orgs: Vec<String> = Vec::new();
+    for ns in &ns_names {
+        if let Ok(a_res) = resolver.resolve(ns, RecordType::A) {
+            for r in &a_res.records {
+                if let RData::A(a) = &r.rdata {
+                    if let Some(org) = world.whois.lookup(std::net::IpAddr::V4(*a)) {
+                        orgs.push(org.to_string());
+                    }
+                }
+            }
+        }
+    }
+    if orgs.is_empty() {
+        return (NsCategory::NoNs, u16::MAX);
+    }
+    let is_cf = |o: &String| o == "Cloudflare, Inc.";
+    let cf_count = orgs.iter().filter(|o| is_cf(o)).count();
+    let category = if cf_count == orgs.len() {
+        NsCategory::FullCloudflare
+    } else if cf_count > 0 {
+        NsCategory::PartialCloudflare
+    } else {
+        NsCategory::NoneCloudflare
+    };
+    let representative = orgs
+        .iter()
+        .find(|o| !is_cf(o))
+        .or_else(|| orgs.first())
+        .expect("non-empty");
+    let org_id = org_ids.get(representative.as_str()).copied().unwrap_or(u16::MAX);
+    (category, org_id)
+}

@@ -1,0 +1,25 @@
+//! # scanner
+//!
+//! The paper's measurement framework rebuilt over the simulated
+//! ecosystem: daily snapshot scans of HTTPS/A/NS (+RRSIG, +AD) for every
+//! listed apex and www name, name-server address resolution with WHOIS
+//! attribution, a longitudinal [`SnapshotStore`], the §4.4.2 hourly ECH
+//! rotation scan, and the §4.3.5 connectivity probe.
+//!
+//! Scans run with a bounded worker pool (crossbeam scoped threads) over
+//! the shared simulated network, mirroring the paper's controlled-pace
+//! parallel scanning.
+
+#![warn(missing_docs)]
+
+pub mod authority;
+pub mod daily;
+pub mod observation;
+pub mod special;
+pub mod store;
+
+pub use authority::{authority_consistency_scan, probe_domain, AuthorityDisagreement, EndpointAnswer};
+pub use daily::{scan_one_day, Campaign};
+pub use observation::{flags, NsCategory, Observation};
+pub use special::{connectivity_probe, hourly_ech_scan, ConnectivityReport, EchObservation};
+pub use store::{OrgInterner, SnapshotStore};

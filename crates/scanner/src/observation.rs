@@ -1,0 +1,184 @@
+//! Compact per-domain-per-day observations, the scanner's unit of
+//! storage. A full longitudinal campaign stores millions of these, so
+//! the record is a fixed-size struct with bit flags rather than parsed
+//! RDATA (the analyses only need the derived features).
+
+/// Bit flags describing one scanned (domain, day) pair.
+pub mod flags {
+    /// An HTTPS RRset was returned.
+    pub const HTTPS_PRESENT: u32 = 1;
+    /// This observation is for the `www` subdomain.
+    pub const IS_WWW: u32 = 1 << 1;
+    /// The chosen record is AliasMode.
+    pub const ALIAS_MODE: u32 = 1 << 2;
+    /// ServiceMode with an empty SvcParams list.
+    pub const EMPTY_SVCPARAMS: u32 = 1 << 3;
+    /// TargetName is `.` in AliasMode (broken alias).
+    pub const TARGET_SELF_DOT: u32 = 1 << 4;
+    /// An `ech` SvcParam is present.
+    pub const ECH: u32 = 1 << 5;
+    /// RRSIG records accompanied the HTTPS RRset.
+    pub const RRSIG: u32 = 1 << 6;
+    /// The resolver set the AD bit (validated chain).
+    pub const AD: u32 = 1 << 7;
+    /// `ipv4hint` present.
+    pub const IPV4HINT: u32 = 1 << 8;
+    /// `ipv6hint` present.
+    pub const IPV6HINT: u32 = 1 << 9;
+    /// The ipv4hint matches the A RRset.
+    pub const HINT_MATCH: u32 = 1 << 10;
+    /// alpn advertises `http/1.1`.
+    pub const ALPN_H1: u32 = 1 << 11;
+    /// alpn advertises `h2`.
+    pub const ALPN_H2: u32 = 1 << 12;
+    /// alpn advertises `h3`.
+    pub const ALPN_H3: u32 = 1 << 13;
+    /// alpn advertises draft `h3-29`.
+    pub const ALPN_H3_29: u32 = 1 << 14;
+    /// alpn advertises draft `h3-27`.
+    pub const ALPN_H3_27: u32 = 1 << 15;
+    /// No alpn parameter on a ServiceMode record.
+    pub const NO_ALPN: u32 = 1 << 16;
+    /// The record set matches Cloudflare's default configuration.
+    pub const CF_DEFAULT: u32 = 1 << 17;
+    /// The HTTPS answer was reached through a CNAME.
+    pub const VIA_CNAME: u32 = 1 << 18;
+    /// TargetName is an IP-address literal (misconfiguration).
+    pub const IP_LITERAL_TARGET: u32 = 1 << 19;
+    /// The domain returned NXDOMAIN / had no delegation.
+    pub const RESOLUTION_FAILED: u32 = 1 << 20;
+}
+
+/// Name-server provider category for the scanned apex (Table 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum NsCategory {
+    /// All NS endpoints attributed to Cloudflare.
+    FullCloudflare = 0,
+    /// A mix of Cloudflare and other operators.
+    PartialCloudflare = 1,
+    /// No Cloudflare NS at all.
+    NoneCloudflare = 2,
+    /// No NS records observable.
+    NoNs = 3,
+}
+
+impl NsCategory {
+    /// Decode from the stored byte.
+    pub fn from_u8(v: u8) -> NsCategory {
+        match v {
+            0 => NsCategory::FullCloudflare,
+            1 => NsCategory::PartialCloudflare,
+            2 => NsCategory::NoneCloudflare,
+            _ => NsCategory::NoNs,
+        }
+    }
+}
+
+/// One scanned (domain, day) data point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Observation {
+    /// Simulation day.
+    pub day: u32,
+    /// Universe domain id.
+    pub domain_id: u32,
+    /// Tranco rank that day (1-based; 0 = not on the list).
+    pub rank: u32,
+    /// Feature flags (see [`flags`]).
+    pub flags: u32,
+    /// NS provider category.
+    pub ns_category: u8,
+    /// Interned org id of the (first non-Cloudflare, else first) NS
+    /// operator; `u16::MAX` = unknown.
+    pub org: u16,
+    /// Minimum SvcPriority among returned records (u16::MAX = none).
+    pub min_priority: u16,
+}
+
+impl Observation {
+    /// Whether a flag (or combination) is fully set.
+    pub fn has(&self, mask: u32) -> bool {
+        self.flags & mask == mask
+    }
+
+    /// HTTPS RRset present?
+    pub fn https(&self) -> bool {
+        self.has(flags::HTTPS_PRESENT)
+    }
+
+    /// Is this a www-subdomain observation?
+    pub fn is_www(&self) -> bool {
+        self.has(flags::IS_WWW)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flag_bits_are_disjoint() {
+        let all = [
+            flags::HTTPS_PRESENT,
+            flags::IS_WWW,
+            flags::ALIAS_MODE,
+            flags::EMPTY_SVCPARAMS,
+            flags::TARGET_SELF_DOT,
+            flags::ECH,
+            flags::RRSIG,
+            flags::AD,
+            flags::IPV4HINT,
+            flags::IPV6HINT,
+            flags::HINT_MATCH,
+            flags::ALPN_H1,
+            flags::ALPN_H2,
+            flags::ALPN_H3,
+            flags::ALPN_H3_29,
+            flags::ALPN_H3_27,
+            flags::NO_ALPN,
+            flags::CF_DEFAULT,
+            flags::VIA_CNAME,
+            flags::IP_LITERAL_TARGET,
+            flags::RESOLUTION_FAILED,
+        ];
+        let mut acc = 0u32;
+        for f in all {
+            assert_eq!(acc & f, 0, "overlapping flag {f:#x}");
+            acc |= f;
+        }
+    }
+
+    #[test]
+    fn has_checks_full_mask() {
+        let obs = Observation {
+            day: 1,
+            domain_id: 2,
+            rank: 3,
+            flags: flags::HTTPS_PRESENT | flags::ECH,
+            ns_category: 0,
+            org: 0,
+            min_priority: 1,
+        };
+        assert!(obs.has(flags::HTTPS_PRESENT | flags::ECH));
+        assert!(!obs.has(flags::HTTPS_PRESENT | flags::AD));
+        assert!(obs.https());
+        assert!(!obs.is_www());
+    }
+
+    #[test]
+    fn ns_category_round_trip() {
+        for c in [
+            NsCategory::FullCloudflare,
+            NsCategory::PartialCloudflare,
+            NsCategory::NoneCloudflare,
+            NsCategory::NoNs,
+        ] {
+            assert_eq!(NsCategory::from_u8(c as u8), c);
+        }
+    }
+
+    #[test]
+    fn observation_is_small() {
+        assert!(std::mem::size_of::<Observation>() <= 24);
+    }
+}

@@ -1,0 +1,179 @@
+//! The longitudinal dataset: observations indexed by day, an org-name
+//! interner, and CSV export for external analysis.
+
+use crate::observation::Observation;
+use std::collections::BTreeMap;
+use std::ops::Range;
+
+/// Interner for organization names (WHOIS orgs).
+#[derive(Debug, Default, Clone)]
+pub struct OrgInterner {
+    names: Vec<String>,
+    index: BTreeMap<String, u16>,
+}
+
+impl OrgInterner {
+    /// Intern a name, returning its id.
+    pub fn intern(&mut self, name: &str) -> u16 {
+        if let Some(&id) = self.index.get(name) {
+            return id;
+        }
+        let id = self.names.len() as u16;
+        self.names.push(name.to_string());
+        self.index.insert(name.to_string(), id);
+        id
+    }
+
+    /// Resolve an id back to the name.
+    pub fn name(&self, id: u16) -> Option<&str> {
+        self.names.get(id as usize).map(|s| s.as_str())
+    }
+
+    /// Number of interned names.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether empty.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+/// The longitudinal store of daily observations.
+#[derive(Debug, Default)]
+pub struct SnapshotStore {
+    observations: Vec<Observation>,
+    day_ranges: BTreeMap<u32, Range<usize>>,
+    /// Org-name interner shared by all observations.
+    pub orgs: OrgInterner,
+}
+
+impl SnapshotStore {
+    /// Empty store.
+    pub fn new() -> SnapshotStore {
+        SnapshotStore::default()
+    }
+
+    /// Append a day's observations (days must be appended in order).
+    pub fn push_day(&mut self, day: u32, mut obs: Vec<Observation>) {
+        if let Some((&last, _)) = self.day_ranges.iter().next_back() {
+            assert!(day > last, "days must be appended in increasing order");
+        }
+        let start = self.observations.len();
+        self.observations.append(&mut obs);
+        self.day_ranges.insert(day, start..self.observations.len());
+    }
+
+    /// Observations of one day.
+    pub fn day(&self, day: u32) -> &[Observation] {
+        match self.day_ranges.get(&day) {
+            Some(range) => &self.observations[range.clone()],
+            None => &[],
+        }
+    }
+
+    /// All days with observations, ascending.
+    pub fn days(&self) -> Vec<u32> {
+        self.day_ranges.keys().copied().collect()
+    }
+
+    /// All observations.
+    pub fn all(&self) -> &[Observation] {
+        &self.observations
+    }
+
+    /// Total observation count.
+    pub fn len(&self) -> usize {
+        self.observations.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.observations.is_empty()
+    }
+
+    /// Export as CSV (one row per observation).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("day,domain_id,rank,is_www,https,flags,ns_category,org,min_priority\n");
+        for o in &self.observations {
+            out.push_str(&format!(
+                "{},{},{},{},{},{:#x},{},{},{}\n",
+                o.day,
+                o.domain_id,
+                o.rank,
+                u8::from(o.is_www()),
+                u8::from(o.https()),
+                o.flags,
+                o.ns_category,
+                self.orgs.name(o.org).unwrap_or(""),
+                o.min_priority,
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::observation::flags;
+
+    fn obs(day: u32, id: u32, f: u32) -> Observation {
+        Observation {
+            day,
+            domain_id: id,
+            rank: id + 1,
+            flags: f,
+            ns_category: 0,
+            org: 0,
+            min_priority: 1,
+        }
+    }
+
+    #[test]
+    fn push_and_query_days() {
+        let mut store = SnapshotStore::new();
+        store.push_day(0, vec![obs(0, 1, flags::HTTPS_PRESENT), obs(0, 2, 0)]);
+        store.push_day(7, vec![obs(7, 1, 0)]);
+        assert_eq!(store.day(0).len(), 2);
+        assert_eq!(store.day(7).len(), 1);
+        assert_eq!(store.day(3).len(), 0);
+        assert_eq!(store.days(), vec![0, 7]);
+        assert_eq!(store.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "increasing order")]
+    fn out_of_order_days_rejected() {
+        let mut store = SnapshotStore::new();
+        store.push_day(5, vec![]);
+        store.push_day(3, vec![]);
+    }
+
+    #[test]
+    fn interner_round_trip() {
+        let mut orgs = OrgInterner::default();
+        let a = orgs.intern("Cloudflare, Inc.");
+        let b = orgs.intern("GoDaddy.com, LLC");
+        assert_eq!(orgs.intern("Cloudflare, Inc."), a);
+        assert_ne!(a, b);
+        assert_eq!(orgs.name(a), Some("Cloudflare, Inc."));
+        assert_eq!(orgs.name(999), None);
+        assert_eq!(orgs.len(), 2);
+    }
+
+    #[test]
+    fn csv_export_contains_rows() {
+        let mut store = SnapshotStore::new();
+        let org = store.orgs.intern("Cloudflare, Inc.");
+        store.push_day(
+            0,
+            vec![Observation { org, ..obs(0, 9, flags::HTTPS_PRESENT | flags::ECH) }],
+        );
+        let csv = store.to_csv();
+        assert!(csv.starts_with("day,domain_id"));
+        assert!(csv.contains("Cloudflare, Inc."));
+        assert_eq!(csv.lines().count(), 2);
+    }
+}

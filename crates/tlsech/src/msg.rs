@@ -1,0 +1,360 @@
+//! Structural TLS handshake messages exchanged over the simulated
+//! network, with a compact hand-rolled codec (length-prefixed fields).
+//!
+//! Only the fields the paper's client-side experiments observe are
+//! modelled: SNI, ALPN, the ECH extension, certificate names, negotiated
+//! protocol, and alert causes.
+
+use dns_wire::DnsName;
+
+/// The ECH extension inside a ClientHello: a sealed inner hello.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EchExtension {
+    /// Config id of the key used for sealing.
+    pub config_id: u8,
+    /// The sealed (encrypted) inner ClientHello bytes.
+    pub sealed_inner: Vec<u8>,
+}
+
+/// The inner (private) ClientHello carried inside ECH.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InnerHello {
+    /// The real destination (private) server name.
+    pub sni: String,
+    /// ALPN protocols offered.
+    pub alpn: Vec<String>,
+}
+
+impl InnerHello {
+    /// Serialize for sealing.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        put_str(&mut out, &self.sni);
+        put_str_list(&mut out, &self.alpn);
+        out
+    }
+
+    /// Deserialize after opening.
+    pub fn decode(buf: &[u8]) -> Option<InnerHello> {
+        let mut pos = 0;
+        let sni = get_str(buf, &mut pos)?;
+        let alpn = get_str_list(buf, &mut pos)?;
+        if pos != buf.len() {
+            return None;
+        }
+        Some(InnerHello { sni, alpn })
+    }
+}
+
+/// The (outer) ClientHello a client sends to a server.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClientHello {
+    /// Server name indication (outer; the public name when ECH is used).
+    pub sni: String,
+    /// ALPN protocols offered.
+    pub alpn: Vec<String>,
+    /// Optional ECH extension.
+    pub ech: Option<EchExtension>,
+}
+
+impl ClientHello {
+    /// A plain hello without ECH.
+    pub fn plain(sni: &str, alpn: Vec<String>) -> ClientHello {
+        ClientHello { sni: sni.to_string(), alpn, ech: None }
+    }
+
+    /// Serialize to wire bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = vec![b'C', b'H', 1]; // magic + version
+        put_str(&mut out, &self.sni);
+        put_str_list(&mut out, &self.alpn);
+        match &self.ech {
+            None => out.push(0),
+            Some(e) => {
+                out.push(1);
+                out.push(e.config_id);
+                put_bytes(&mut out, &e.sealed_inner);
+            }
+        }
+        out
+    }
+
+    /// Deserialize from wire bytes.
+    pub fn decode(buf: &[u8]) -> Option<ClientHello> {
+        if buf.len() < 3 || buf[0] != b'C' || buf[1] != b'H' || buf[2] != 1 {
+            return None;
+        }
+        let mut pos = 3;
+        let sni = get_str(buf, &mut pos)?;
+        let alpn = get_str_list(buf, &mut pos)?;
+        let has_ech = *buf.get(pos)?;
+        pos += 1;
+        let ech = match has_ech {
+            0 => None,
+            1 => {
+                let config_id = *buf.get(pos)?;
+                pos += 1;
+                let sealed_inner = get_bytes(buf, &mut pos)?;
+                Some(EchExtension { config_id, sealed_inner })
+            }
+            _ => return None,
+        };
+        if pos != buf.len() {
+            return None;
+        }
+        Some(ClientHello { sni, alpn, ech })
+    }
+}
+
+/// TLS alert causes the experiments distinguish.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlertCause {
+    /// No certificate covering the requested name.
+    CertificateInvalid,
+    /// No mutually supported ALPN protocol.
+    NoApplicationProtocol,
+    /// ECH payload present but undecryptable and retry disabled.
+    EchDecryptFailed,
+    /// Generic handshake failure.
+    HandshakeFailure,
+}
+
+impl AlertCause {
+    fn code(self) -> u8 {
+        match self {
+            AlertCause::CertificateInvalid => 1,
+            AlertCause::NoApplicationProtocol => 2,
+            AlertCause::EchDecryptFailed => 3,
+            AlertCause::HandshakeFailure => 4,
+        }
+    }
+
+    fn from_code(code: u8) -> Option<AlertCause> {
+        Some(match code {
+            1 => AlertCause::CertificateInvalid,
+            2 => AlertCause::NoApplicationProtocol,
+            3 => AlertCause::EchDecryptFailed,
+            4 => AlertCause::HandshakeFailure,
+            _ => return None,
+        })
+    }
+}
+
+/// The server's reply to a ClientHello.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServerResponse {
+    /// Handshake completed.
+    Accepted {
+        /// Name on the certificate the server presented.
+        cert_name: DnsName,
+        /// Negotiated ALPN protocol (if the client offered any).
+        alpn: Option<String>,
+        /// Whether the connection was served via decrypted ECH.
+        used_ech: bool,
+        /// Which (inner) server name was ultimately served.
+        served_sni: String,
+    },
+    /// ECH decryption failed; server offers retry configs
+    /// (draft-ietf-tls-esni retry mechanism).
+    EchRetry {
+        /// Certificate name of the client-facing server.
+        cert_name: DnsName,
+        /// Fresh ECHConfigList bytes for the retry.
+        retry_configs: Vec<u8>,
+    },
+    /// Fatal alert.
+    Alert(AlertCause),
+}
+
+impl ServerResponse {
+    /// Serialize to wire bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = vec![b'S', b'R', 1];
+        match self {
+            ServerResponse::Accepted { cert_name, alpn, used_ech, served_sni } => {
+                out.push(0);
+                put_str(&mut out, &cert_name.key());
+                match alpn {
+                    None => out.push(0),
+                    Some(p) => {
+                        out.push(1);
+                        put_str(&mut out, p);
+                    }
+                }
+                out.push(u8::from(*used_ech));
+                put_str(&mut out, served_sni);
+            }
+            ServerResponse::EchRetry { cert_name, retry_configs } => {
+                out.push(1);
+                put_str(&mut out, &cert_name.key());
+                put_bytes(&mut out, retry_configs);
+            }
+            ServerResponse::Alert(cause) => {
+                out.push(2);
+                out.push(cause.code());
+            }
+        }
+        out
+    }
+
+    /// Deserialize from wire bytes.
+    pub fn decode(buf: &[u8]) -> Option<ServerResponse> {
+        if buf.len() < 4 || buf[0] != b'S' || buf[1] != b'R' || buf[2] != 1 {
+            return None;
+        }
+        let mut pos = 4;
+        match buf[3] {
+            0 => {
+                let cert = get_str(buf, &mut pos)?;
+                let has_alpn = *buf.get(pos)?;
+                pos += 1;
+                let alpn = if has_alpn == 1 { Some(get_str(buf, &mut pos)?) } else { None };
+                let used_ech = *buf.get(pos)? == 1;
+                pos += 1;
+                let served_sni = get_str(buf, &mut pos)?;
+                if pos != buf.len() {
+                    return None;
+                }
+                Some(ServerResponse::Accepted {
+                    cert_name: DnsName::parse(&cert).ok()?,
+                    alpn,
+                    used_ech,
+                    served_sni,
+                })
+            }
+            1 => {
+                let cert = get_str(buf, &mut pos)?;
+                let retry_configs = get_bytes(buf, &mut pos)?;
+                if pos != buf.len() {
+                    return None;
+                }
+                Some(ServerResponse::EchRetry {
+                    cert_name: DnsName::parse(&cert).ok()?,
+                    retry_configs,
+                })
+            }
+            2 => {
+                let cause = AlertCause::from_code(*buf.get(pos)?)?;
+                if pos + 1 != buf.len() {
+                    return None;
+                }
+                Some(ServerResponse::Alert(cause))
+            }
+            _ => None,
+        }
+    }
+}
+
+fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
+    out.extend_from_slice(&(b.len() as u16).to_be_bytes());
+    out.extend_from_slice(b);
+}
+
+fn get_bytes(buf: &[u8], pos: &mut usize) -> Option<Vec<u8>> {
+    let len = u16::from_be_bytes([*buf.get(*pos)?, *buf.get(*pos + 1)?]) as usize;
+    *pos += 2;
+    let end = *pos + len;
+    let slice = buf.get(*pos..end)?;
+    *pos = end;
+    Some(slice.to_vec())
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_bytes(out, s.as_bytes());
+}
+
+fn get_str(buf: &[u8], pos: &mut usize) -> Option<String> {
+    String::from_utf8(get_bytes(buf, pos)?).ok()
+}
+
+fn put_str_list(out: &mut Vec<u8>, list: &[String]) {
+    out.push(list.len() as u8);
+    for s in list {
+        put_str(out, s);
+    }
+}
+
+fn get_str_list(buf: &[u8], pos: &mut usize) -> Option<Vec<String>> {
+    let n = *buf.get(*pos)? as usize;
+    *pos += 1;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(get_str(buf, pos)?);
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hello_with_ech() -> ClientHello {
+        ClientHello {
+            sni: "cloudflare-ech.com".into(),
+            alpn: vec!["h2".into(), "h3".into()],
+            ech: Some(EchExtension { config_id: 3, sealed_inner: vec![1, 2, 3, 4] }),
+        }
+    }
+
+    #[test]
+    fn client_hello_round_trip() {
+        for hello in [ClientHello::plain("a.com", vec!["h2".into()]), hello_with_ech(), ClientHello::plain("x", vec![])] {
+            let bytes = hello.encode();
+            assert_eq!(ClientHello::decode(&bytes).unwrap(), hello);
+        }
+    }
+
+    #[test]
+    fn inner_hello_round_trip() {
+        let inner = InnerHello { sni: "private.a.com".into(), alpn: vec!["h2".into()] };
+        assert_eq!(InnerHello::decode(&inner.encode()).unwrap(), inner);
+    }
+
+    #[test]
+    fn server_response_round_trip() {
+        let responses = [
+            ServerResponse::Accepted {
+                cert_name: DnsName::parse("a.com").unwrap(),
+                alpn: Some("h2".into()),
+                used_ech: true,
+                served_sni: "a.com".into(),
+            },
+            ServerResponse::Accepted {
+                cert_name: DnsName::parse("b.com").unwrap(),
+                alpn: None,
+                used_ech: false,
+                served_sni: "b.com".into(),
+            },
+            ServerResponse::EchRetry {
+                cert_name: DnsName::parse("cloudflare-ech.com").unwrap(),
+                retry_configs: vec![9, 9, 9],
+            },
+            ServerResponse::Alert(AlertCause::CertificateInvalid),
+            ServerResponse::Alert(AlertCause::NoApplicationProtocol),
+            ServerResponse::Alert(AlertCause::EchDecryptFailed),
+        ];
+        for resp in responses {
+            let bytes = resp.encode();
+            assert_eq!(ServerResponse::decode(&bytes).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let bytes = hello_with_ech().encode();
+        for cut in 0..bytes.len() {
+            assert!(ClientHello::decode(&bytes[..cut]).is_none(), "cut {cut}");
+        }
+        let resp = ServerResponse::Alert(AlertCause::HandshakeFailure).encode();
+        for cut in 0..resp.len() {
+            assert!(ServerResponse::decode(&resp[..cut]).is_none(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = ClientHello::plain("a.com", vec![]).encode();
+        bytes.push(0);
+        assert!(ClientHello::decode(&bytes).is_none());
+    }
+}

@@ -1,0 +1,24 @@
+//! The paper's client-side study: run the controlled testbed (Figure 6)
+//! against the four browser models and print the Table 6 / Table 7
+//! support matrices, plus the spec-compliant reference client.
+//!
+//! Run with: `cargo run --example browser_matrix`
+
+use httpsrr::browser::{run_ech_split, table6_row, table7_row, BrowserProfile, Testbed};
+use httpsrr::client_side_report;
+
+fn main() {
+    println!("{}", client_side_report());
+
+    // The ablation headline: a spec-compliant client passes Split Mode.
+    let spec = BrowserProfile::spec_compliant();
+    let t6 = table6_row(&spec);
+    let t7 = table7_row(&spec);
+    println!("Reference spec-compliant client:");
+    println!(
+        "  alias={} target={} port={} hints={} shared={} split={}",
+        t6.alias_target, t6.service_target, t6.port, t6.ip_hints, t7.shared_mode, t7.split_mode
+    );
+    let (split, reason) = run_ech_split(&Testbed::new(), &BrowserProfile::chrome());
+    println!("Chrome split-mode outcome: {split} (failure: {reason:?})");
+}

@@ -1,0 +1,29 @@
+//! The §4.5 / Table 9 DNSSEC audit: fetch and validate the full chain
+//! (root → TLD → zone) for every listed domain, splitting by HTTPS-RR
+//! publication and name-server operator, and reproduce the paper's
+//! headline: signed HTTPS-publishing domains are far more often
+//! *insecure* (missing DS) than signed non-publishing domains.
+//!
+//! Run with: `cargo run --release --example dnssec_audit`
+
+use httpsrr::analysis::tab9_chain_audit;
+use httpsrr::ecosystem::{EcosystemConfig, World};
+
+fn main() {
+    let config = EcosystemConfig {
+        population: 3_000,
+        list_size: 2_400,
+        ..EcosystemConfig::default()
+    };
+    eprintln!("building world ({} domains) and validating chains …", config.population);
+    let mut world = World::build(config);
+    // The paper ran this audit on 2024-01-02 (day 239).
+    world.step_to_day(239);
+    let audit = tab9_chain_audit(&world);
+    println!("{audit}");
+    println!(
+        "insecure share: with HTTPS {:.1}% vs without {:.1}%  (paper: 49.4% vs 23.7%)",
+        audit.insecure_pct_with_https(),
+        audit.insecure_pct_without_https()
+    );
+}

@@ -1,0 +1,136 @@
+//! Integration coverage of the client-side testbed through the facade:
+//! matrix rendering plus failure-injection scenarios not covered by the
+//! per-experiment matrix tests.
+
+use httpsrr::browser::{
+    BrowserProfile, FailureReason, NavEvent, Outcome, Support, Testbed, UrlScheme,
+};
+use httpsrr::client_side_report;
+use httpsrr::dns_wire::{SvcParam, SvcbRdata};
+
+#[test]
+fn client_report_renders_both_tables() {
+    let report = client_side_report();
+    assert!(report.contains("Table 6"));
+    assert!(report.contains("Table 7"));
+    assert!(report.contains("Chrome 120"));
+    assert!(report.contains("Safari 17.2"));
+    assert!(report.contains("(no ECH support)"), "Safari row notes missing ECH");
+}
+
+#[test]
+fn dead_resolver_fails_navigation_gracefully() {
+    let tb = Testbed::new();
+    tb.set_domain_records(vec!["203.0.113.10".parse().unwrap()], Some(tb.basic_service_record()));
+    tb.web_server(
+        httpsrr::browser::testbed::addr::WEB_PRIMARY,
+        443,
+        vec![tb.domain.clone()],
+        vec!["h2"],
+    );
+    // Blackhole the resolver.
+    tb.network.set_unreachable("8.8.8.8".parse().unwrap());
+    let nav = tb.browser(BrowserProfile::chrome()).navigate(&tb.domain.key(), UrlScheme::Https);
+    assert!(matches!(nav.outcome, Outcome::Failed(FailureReason::NoAddress)));
+}
+
+#[test]
+fn unreachable_web_server_hard_fails_chrome_but_not_safari() {
+    // Hints point at a dead address; A points at a live one.
+    let tb = Testbed::new();
+    tb.set_domain_records(
+        vec!["203.0.113.10".parse().unwrap()],
+        Some(SvcbRdata::service_self(vec![
+            SvcParam::Alpn(vec![b"h2".to_vec()]),
+            SvcParam::Ipv4Hint(vec!["203.0.113.30".parse().unwrap()]),
+        ])),
+    );
+    tb.web_server(
+        httpsrr::browser::testbed::addr::WEB_PRIMARY,
+        443,
+        vec![tb.domain.clone()],
+        vec!["h2"],
+    );
+    tb.network.set_unreachable("203.0.113.30".parse().unwrap());
+
+    // Safari prefers the (dead) hint, then fails over to A: success.
+    tb.flush_dns();
+    let nav = tb.browser(BrowserProfile::safari()).navigate(&tb.domain.key(), UrlScheme::Https);
+    assert!(matches!(nav.outcome, Outcome::HttpsOk { .. }), "{:?}", nav.events);
+    assert!(nav.events.iter().any(|e| matches!(e, NavEvent::Fallback(_))));
+
+    // Chrome prefers A: succeeds directly without ever touching the hint.
+    tb.flush_dns();
+    let nav = tb.browser(BrowserProfile::chrome()).navigate(&tb.domain.key(), UrlScheme::Https);
+    assert!(matches!(nav.outcome, Outcome::HttpsOk { .. }));
+    assert!(nav.tls_ips().iter().all(|ip| ip.to_string() == "203.0.113.10"));
+}
+
+#[test]
+fn alias_chain_resolves_for_safari_only() {
+    // AliasMode pointing at a name that itself needs resolution.
+    let tb = Testbed::new();
+    let pool = httpsrr::dns_wire::DnsName::parse("pool.test-domain.com").unwrap();
+    tb.set_domain_records(vec![], Some(SvcbRdata::alias(pool.clone())));
+    tb.set_a(&pool, &["203.0.113.20".parse().unwrap()]);
+    tb.web_server(
+        httpsrr::browser::testbed::addr::WEB_ALT,
+        443,
+        vec![tb.domain.clone()],
+        vec!["h2"],
+    );
+    tb.flush_dns();
+    let safari = tb.browser(BrowserProfile::safari()).navigate(&tb.domain.key(), UrlScheme::Https);
+    assert!(matches!(safari.outcome, Outcome::HttpsOk { .. }));
+    // Safari issued a follow-up A query for the alias target.
+    assert!(safari.events.iter().any(|e| matches!(
+        e,
+        NavEvent::DnsQuery { name, qtype: httpsrr::dns_wire::RecordType::A, .. } if name == "pool.test-domain.com"
+    )));
+
+    tb.flush_dns();
+    let chrome = tb.browser(BrowserProfile::chrome()).navigate(&tb.domain.key(), UrlScheme::Https);
+    assert!(matches!(chrome.outcome, Outcome::Failed(FailureReason::NoAddress)));
+}
+
+#[test]
+fn chromium_ignores_record_without_alpn() {
+    // An HTTPS record with hints but no alpn: Chromium disregards it.
+    let tb = Testbed::new();
+    tb.set_domain_records(
+        vec!["203.0.113.10".parse().unwrap()],
+        Some(SvcbRdata::service_self(vec![SvcParam::Ipv4Hint(vec![
+            "203.0.113.30".parse().unwrap(),
+        ])])),
+    );
+    tb.web_server(
+        httpsrr::browser::testbed::addr::WEB_PRIMARY,
+        443,
+        vec![tb.domain.clone()],
+        vec!["h2", "http/1.1"],
+    );
+    tb.web_server(
+        httpsrr::browser::testbed::addr::WEB_HINT,
+        443,
+        vec![tb.domain.clone()],
+        vec!["h2", "http/1.1"],
+    );
+    tb.http_server(httpsrr::browser::testbed::addr::WEB_PRIMARY);
+
+    // Chrome: record ignored → bare URL stays on HTTP.
+    tb.flush_dns();
+    let nav = tb.browser(BrowserProfile::chrome()).navigate(&tb.domain.key(), UrlScheme::Bare);
+    assert!(matches!(nav.outcome, Outcome::HttpOk { .. }), "{:?}", nav.outcome);
+
+    // Firefox: record honoured → upgraded to HTTPS via the hint address.
+    tb.flush_dns();
+    let nav = tb.browser(BrowserProfile::firefox()).navigate(&tb.domain.key(), UrlScheme::Bare);
+    assert!(matches!(nav.outcome, Outcome::HttpsOk { .. }), "{:?}", nav.outcome);
+}
+
+#[test]
+fn support_display_strings() {
+    assert_eq!(Support::Full.to_string(), "full");
+    assert_eq!(Support::Partial.to_string(), "half");
+    assert_eq!(Support::None.to_string(), "none");
+}

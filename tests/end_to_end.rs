@@ -1,0 +1,179 @@
+//! Cross-crate end-to-end paths: browser → resolver → authoritative
+//! server → TLS/ECH handshake, over the full simulated stack.
+
+use httpsrr::authserver::{AuthoritativeServer, DelegationRegistry, NsEndpoint, Zone, ZoneSet};
+use httpsrr::browser::{Browser, BrowserProfile, Outcome, UrlScheme};
+use httpsrr::dns_wire::{DnsName, RData, Record, SvcParam, SvcbRdata};
+use httpsrr::netsim::{Network, SimClock};
+use httpsrr::resolver::{RecursiveResolver, ResolverConfig};
+use httpsrr::tlsech::{EchKeyManager, EchServerState, WebServer, WebServerConfig};
+use std::net::IpAddr;
+use std::sync::Arc;
+
+fn name(s: &str) -> DnsName {
+    DnsName::parse(s).unwrap()
+}
+
+fn ip(s: &str) -> IpAddr {
+    s.parse().unwrap()
+}
+
+struct Stack {
+    network: Network,
+    zones: ZoneSet,
+    web: Arc<WebServer>,
+}
+
+/// Build a full stack for `shop.example` with an HTTPS record, a web
+/// server (ECH-capable cover name), and a public resolver at 9.9.9.9.
+fn full_stack(with_ech: bool) -> Stack {
+    let network = Network::new(SimClock::new());
+    let registry = DelegationRegistry::new();
+    let apex = name("shop.example");
+    let cover = name("cover.shop.example");
+
+    let web = Arc::new(WebServer::new(
+        network.clone(),
+        WebServerConfig {
+            cert_names: vec![apex.clone(), cover.clone()],
+            alpn: vec!["h2".into(), "http/1.1".into()],
+        },
+    ));
+    let ech_param = if with_ech {
+        web.enable_ech(EchServerState {
+            manager: EchKeyManager::new(cover.clone(), "e2e", 1),
+            retry_enabled: true,
+        });
+        Some(SvcParam::Ech(web.current_ech_configs().unwrap()))
+    } else {
+        None
+    };
+    network.bind_stream(ip("198.51.100.7"), 443, web.clone());
+
+    let mut params = vec![SvcParam::Alpn(vec![b"h2".to_vec()])];
+    params.extend(ech_param);
+    let mut zone = Zone::new(apex.clone());
+    zone.add(Record::new(apex.clone(), 60, RData::A("198.51.100.7".parse().unwrap())));
+    zone.add(Record::new(cover.clone(), 60, RData::A("198.51.100.7".parse().unwrap())));
+    zone.add(Record::new(apex.clone(), 60, RData::Https(SvcbRdata::service_self(params))));
+    let zones = ZoneSet::new();
+    zones.insert(zone);
+    network.bind_datagram(ip("10.1.1.1"), 53, Arc::new(AuthoritativeServer::new(zones.clone())));
+    registry.delegate(
+        &apex,
+        vec![NsEndpoint { name: name("ns1.shop.example"), ip: ip("10.1.1.1") }],
+    );
+
+    let resolver = Arc::new(RecursiveResolver::new(
+        network.clone(),
+        registry,
+        ResolverConfig { validate: false, ..Default::default() },
+    ));
+    network.bind_datagram(ip("9.9.9.9"), 53, resolver);
+    Stack { network, zones, web }
+}
+
+#[test]
+fn browser_full_path_plain() {
+    let stack = full_stack(false);
+    let browser = Browser::new(BrowserProfile::firefox(), stack.network.clone(), ip("9.9.9.9"));
+    let nav = browser.navigate("shop.example", UrlScheme::Bare);
+    assert!(nav.queried_https_rr());
+    match nav.outcome {
+        Outcome::HttpsOk { alpn, used_ech, port, .. } => {
+            assert_eq!(alpn.as_deref(), Some("h2"));
+            assert!(!used_ech);
+            assert_eq!(port, 443);
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn browser_full_path_with_ech() {
+    let stack = full_stack(true);
+    for profile in [BrowserProfile::chrome(), BrowserProfile::firefox()] {
+        let browser = Browser::new(profile, stack.network.clone(), ip("9.9.9.9"));
+        let nav = browser.navigate("shop.example", UrlScheme::Https);
+        match &nav.outcome {
+            Outcome::HttpsOk { used_ech, .. } => {
+                assert!(used_ech, "{}: {:?}", browser.profile().name, nav.events)
+            }
+            other => panic!("{}: {other:?}", browser.profile().name),
+        }
+        // The outer SNI on the wire must be the cover name, not the real one.
+        let outer_snis: Vec<String> = nav
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                httpsrr::browser::NavEvent::TlsAttempt { sni, ech: true, .. } => Some(sni.clone()),
+                _ => None,
+            })
+            .collect();
+        assert!(!outer_snis.is_empty());
+        assert!(outer_snis.iter().all(|s| s == "cover.shop.example"));
+    }
+}
+
+#[test]
+fn safari_skips_ech_but_connects() {
+    let stack = full_stack(true);
+    let browser = Browser::new(BrowserProfile::safari(), stack.network.clone(), ip("9.9.9.9"));
+    let nav = browser.navigate("shop.example", UrlScheme::Https);
+    assert!(!nav.attempted_ech());
+    assert!(matches!(nav.outcome, Outcome::HttpsOk { used_ech: false, .. }));
+}
+
+#[test]
+fn zone_update_visible_after_ttl() {
+    let stack = full_stack(false);
+    let browser = Browser::new(BrowserProfile::chrome(), stack.network.clone(), ip("9.9.9.9"));
+    let apex = name("shop.example");
+
+    let nav = browser.navigate("shop.example", UrlScheme::Https);
+    assert!(matches!(nav.outcome, Outcome::HttpsOk { .. }));
+
+    // The zone drops its HTTPS record; the resolver cache still has it.
+    stack.zones.with_zone(&apex, |z| {
+        z.set(apex.clone(), httpsrr::dns_wire::RecordType::Https, vec![]);
+    });
+    let nav = browser.navigate("shop.example", UrlScheme::Bare);
+    assert!(
+        matches!(nav.outcome, Outcome::HttpsOk { .. }),
+        "cached record still upgrades: {:?}",
+        nav.outcome
+    );
+
+    // After the 60 s TTL the negative truth propagates: the bare-URL
+    // navigation downgrades to plain HTTP... but there is no HTTP server,
+    // so Chrome reports a connect failure on port 80.
+    stack.network.clock().advance(61);
+    let nav = browser.navigate("shop.example", UrlScheme::Bare);
+    assert!(
+        !matches!(nav.outcome, Outcome::HttpsOk { .. }),
+        "expired record must stop the upgrade: {:?}",
+        nav.outcome
+    );
+}
+
+#[test]
+fn ech_key_rotation_recovers_via_retry_end_to_end() {
+    let stack = full_stack(true);
+    let browser = Browser::new(BrowserProfile::chrome(), stack.network.clone(), ip("9.9.9.9"));
+
+    // Prime the resolver cache with the current ECH config.
+    let nav = browser.navigate("shop.example", UrlScheme::Https);
+    assert!(matches!(nav.outcome, Outcome::HttpsOk { used_ech: true, .. }));
+
+    // Rotate the server key twice (grace depth 1 → cached config dead),
+    // while DNS caches still serve the old config.
+    stack.web.rotate_ech_key("e2e");
+    stack.web.rotate_ech_key("e2e");
+    let nav = browser.navigate("shop.example", UrlScheme::Https);
+    assert!(
+        nav.events.iter().any(|e| matches!(e, httpsrr::browser::NavEvent::EchRetry)),
+        "expected the retry path: {:?}",
+        nav.events
+    );
+    assert!(matches!(nav.outcome, Outcome::HttpsOk { used_ech: true, .. }));
+}
