@@ -84,7 +84,11 @@ pub struct ChainAudit {
 }
 
 impl ChainAudit {
-    fn row(f: &mut std::fmt::Formatter<'_>, label: &str, t: (usize, usize, usize)) -> std::fmt::Result {
+    fn row(
+        f: &mut std::fmt::Formatter<'_>,
+        label: &str,
+        t: (usize, usize, usize),
+    ) -> std::fmt::Result {
         let (signed, secure, insecure) = t;
         let pct = |n: usize| if signed == 0 { 0.0 } else { 100.0 * n as f64 / signed as f64 };
         writeln!(

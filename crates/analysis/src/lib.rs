@@ -21,13 +21,13 @@ pub use adoption::{fig2_adoption, fig8_rank_distribution, AdoptionSeries, RankBu
 pub use dnssec_a::{fig5_dnssec_trend, tab9_chain_audit, ChainAudit, DnssecSeries};
 pub use ech::{fig13_ech_share, fig4_rotation, EchShareSeries, RotationStats};
 pub use params::{
-    fig11_iphints, fig12_mismatch_durations, sec433_anomalies, sec435_connectivity,
-    tab4_cf_config, tab5_other_providers, tab8_alpn, AlpnShares, AnomalyCounts, CfConfigSplit,
-    ConnectivitySummary, IpHintSeries, MismatchDurations, ProviderShapes,
+    fig11_iphints, fig12_mismatch_durations, sec433_anomalies, sec435_connectivity, tab4_cf_config,
+    tab5_other_providers, tab8_alpn, AlpnShares, AnomalyCounts, CfConfigSplit, ConnectivitySummary,
+    IpHintSeries, MismatchDurations, ProviderShapes,
 };
 pub use providers::{
-    fig3_noncf_provider_count, fig10_noncf_domains, sec423_intermittent, tab2_ns_category,
-    tab3_top_noncf, IntermittentBreakdown, NsCategoryShares, NoncfSeries, TopProviders,
+    fig10_noncf_domains, fig3_noncf_provider_count, sec423_intermittent, tab2_ns_category,
+    tab3_top_noncf, IntermittentBreakdown, NoncfSeries, NsCategoryShares, TopProviders,
 };
 
 use scanner::SnapshotStore;
@@ -38,19 +38,11 @@ use std::collections::HashSet;
 pub fn overlapping_ids(store: &SnapshotStore, days: &[u32]) -> HashSet<u32> {
     let mut iter = days.iter();
     let Some(first) = iter.next() else { return HashSet::new() };
-    let mut set: HashSet<u32> = store
-        .day(*first)
-        .iter()
-        .filter(|o| !o.is_www())
-        .map(|o| o.domain_id)
-        .collect();
+    let mut set: HashSet<u32> =
+        store.day(*first).iter().filter(|o| !o.is_www()).map(|o| o.domain_id).collect();
     for day in iter {
-        let today: HashSet<u32> = store
-            .day(*day)
-            .iter()
-            .filter(|o| !o.is_www())
-            .map(|o| o.domain_id)
-            .collect();
+        let today: HashSet<u32> =
+            store.day(*day).iter().filter(|o| !o.is_www()).map(|o| o.domain_id).collect();
         set.retain(|id| today.contains(id));
     }
     set

@@ -46,11 +46,8 @@ pub fn tab4_cf_config(store: &SnapshotStore) -> CfConfigSplit {
             daily.push(100.0 * default as f64 / total as f64);
         }
     }
-    let default_pct = if daily.is_empty() {
-        0.0
-    } else {
-        daily.iter().sum::<f64>() / daily.len() as f64
-    };
+    let default_pct =
+        if daily.is_empty() { 0.0 } else { daily.iter().sum::<f64>() / daily.len() as f64 };
     CfConfigSplit { default_pct, customized_pct: 100.0 - default_pct }
 }
 
@@ -172,7 +169,11 @@ impl std::fmt::Display for AlpnShares {
         for (proto, apex, www) in &self.rows {
             writeln!(f, "  {proto:<10} {apex:6.2}% {www:6.2}%")?;
         }
-        writeln!(f, "  h3-29 before sunset: {:.2}%  after: {:.2}%", self.h3_29_before, self.h3_29_after)
+        writeln!(
+            f,
+            "  h3-29 before sunset: {:.2}%  after: {:.2}%",
+            self.h3_29_before, self.h3_29_after
+        )
     }
 }
 
@@ -275,7 +276,11 @@ pub fn fig11_iphints(store: &SnapshotStore) -> IpHintSeries {
                 }
             }
             let v = if matching {
-                if with_hint == 0 { 100.0 } else { 100.0 * matched as f64 / with_hint as f64 }
+                if with_hint == 0 {
+                    100.0
+                } else {
+                    100.0 * matched as f64 / with_hint as f64
+                }
             } else if https_total == 0 {
                 0.0
             } else {
@@ -336,10 +341,7 @@ pub fn fig12_mismatch_durations(store: &SnapshotStore) -> MismatchDurations {
         if o.is_www() || !o.https() || !o.has(flags::IPV4HINT) {
             continue;
         }
-        tracks
-            .entry(o.domain_id)
-            .or_default()
-            .push((o.day, !o.has(flags::HINT_MATCH)));
+        tracks.entry(o.domain_id).or_default().push((o.day, !o.has(flags::HINT_MATCH)));
     }
     let mut histogram: BTreeMap<u32, usize> = BTreeMap::new();
     let mut always = 0usize;

@@ -28,7 +28,11 @@ impl std::fmt::Display for NsCategoryShares {
         writeln!(f, "Table 2: NS category shares among HTTPS apexes")?;
         writeln!(f, "  Full Cloudflare NS   : {:6.2}% (std {:.2})", self.full_mean, self.full_std)?;
         writeln!(f, "  None Cloudflare NS   : {:6.2}% (std {:.2})", self.none_mean, self.none_std)?;
-        writeln!(f, "  Partial Cloudflare NS: {:6.2}% (std {:.2})", self.partial_mean, self.partial_std)
+        writeln!(
+            f,
+            "  Partial Cloudflare NS: {:6.2}% (std {:.2})",
+            self.partial_mean, self.partial_std
+        )
     }
 }
 
@@ -149,8 +153,14 @@ pub fn fig3_noncf_provider_count(store: &SnapshotStore) -> NoncfSeries {
         domain_points.push((day, domains as f64));
     }
     NoncfSeries {
-        provider_count: Series { label: "fig3 distinct non-CF providers".into(), points: provider_points },
-        domain_count: Series { label: "fig10 domains with HTTPS on non-CF NS".into(), points: domain_points },
+        provider_count: Series {
+            label: "fig3 distinct non-CF providers".into(),
+            points: provider_points,
+        },
+        domain_count: Series {
+            label: "fig10 domains with HTTPS on non-CF NS".into(),
+            points: domain_points,
+        },
     }
 }
 

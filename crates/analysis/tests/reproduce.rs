@@ -37,8 +37,10 @@ fn full_pipeline_shapes() {
     let tab3 = tab3_top_noncf(&store);
     assert!(!tab3.providers.is_empty(), "non-CF providers must appear");
     let fig3 = fig3_noncf_provider_count(&store);
-    assert!(fig3.provider_count.last().unwrap() >= fig3.provider_count.first().unwrap(),
-        "non-CF provider count should trend up");
+    assert!(
+        fig3.provider_count.last().unwrap() >= fig3.provider_count.first().unwrap(),
+        "non-CF provider count should trend up"
+    );
 
     // ---- §4.2.3: intermittent domains, mostly same-NS Cloudflare ----
     let inter = sec423_intermittent(&store);
@@ -130,11 +132,7 @@ fn sec435_connectivity_probe_shape() {
 fn tab9_chain_audit_shape() {
     // A larger sample than tiny() so the secure/insecure split is
     // statistically stable.
-    let cfg = EcosystemConfig {
-        population: 1_500,
-        list_size: 1_200,
-        ..EcosystemConfig::tiny()
-    };
+    let cfg = EcosystemConfig { population: 1_500, list_size: 1_200, ..EcosystemConfig::tiny() };
     let mut world = World::build(cfg);
     world.step_to_day(1);
     let audit = tab9_chain_audit(&world);
@@ -143,10 +141,7 @@ fn tab9_chain_audit_shape() {
     assert!(audit.with_https.0 > 0, "{audit:?}");
     // The paper's key claim: HTTPS-publishing (Cloudflare-heavy) domains
     // have a much higher insecure ratio than non-publishing domains.
-    assert!(
-        audit.insecure_pct_with_https() > audit.insecure_pct_without_https(),
-        "{audit}"
-    );
+    assert!(audit.insecure_pct_with_https() > audit.insecure_pct_without_https(), "{audit}");
 }
 
 #[test]

@@ -95,7 +95,13 @@ fn tab8_alpn_shares_and_sunset() {
     store.push_day(
         0,
         vec![
-            obs(0, 1, H | flags::ALPN_H2 | flags::ALPN_H3 | flags::ALPN_H3_29, NsCategory::FullCloudflare, 0),
+            obs(
+                0,
+                1,
+                H | flags::ALPN_H2 | flags::ALPN_H3 | flags::ALPN_H3_29,
+                NsCategory::FullCloudflare,
+                0,
+            ),
             obs(0, 2, H | flags::ALPN_H2, NsCategory::FullCloudflare, 0),
         ],
     );
@@ -123,10 +129,15 @@ fn fig12_run_lengths() {
     let matched = hint | flags::HINT_MATCH;
     // d1: match, miss, miss, match → one 2-day episode.
     // d2: miss on all days (>1 obs) → always mismatched.
-    for (day, d1, d2) in [(0u32, matched, hint), (1, hint, hint), (2, hint, hint), (3, matched, hint)] {
+    for (day, d1, d2) in
+        [(0u32, matched, hint), (1, hint, hint), (2, hint, hint), (3, matched, hint)]
+    {
         store.push_day(
             day,
-            vec![obs(day, 1, d1, NsCategory::FullCloudflare, 0), obs(day, 2, d2, NsCategory::FullCloudflare, 0)],
+            vec![
+                obs(day, 1, d1, NsCategory::FullCloudflare, 0),
+                obs(day, 2, d2, NsCategory::FullCloudflare, 0),
+            ],
         );
     }
     let f = fig12_mismatch_durations(&store);
@@ -171,8 +182,21 @@ fn fig5_validated_requires_both_flags() {
 fn fig2_overlapping_phase_split() {
     let mut store = SnapshotStore::new();
     // Phase 1 (days 0,1): domains 1,2 overlap; 3 churns out.
-    store.push_day(0, vec![obs(0, 1, H, NsCategory::FullCloudflare, 0), obs(0, 2, 0, NsCategory::FullCloudflare, 0), obs(0, 3, H, NsCategory::FullCloudflare, 0)]);
-    store.push_day(1, vec![obs(1, 1, H, NsCategory::FullCloudflare, 0), obs(1, 2, 0, NsCategory::FullCloudflare, 0)]);
+    store.push_day(
+        0,
+        vec![
+            obs(0, 1, H, NsCategory::FullCloudflare, 0),
+            obs(0, 2, 0, NsCategory::FullCloudflare, 0),
+            obs(0, 3, H, NsCategory::FullCloudflare, 0),
+        ],
+    );
+    store.push_day(
+        1,
+        vec![
+            obs(1, 1, H, NsCategory::FullCloudflare, 0),
+            obs(1, 2, 0, NsCategory::FullCloudflare, 0),
+        ],
+    );
     // Phase 2 (day 10): only domain 2, now with HTTPS.
     store.push_day(10, vec![obs(10, 2, H, NsCategory::FullCloudflare, 0)]);
     let a = fig2_adoption(&store, 5);

@@ -194,7 +194,9 @@ mod tests {
         z.add(Record::new(
             name("a.com"),
             300,
-            RData::Https(SvcbRdata::service_self(vec![dns_wire::SvcParam::Alpn(vec![b"h2".to_vec()])])),
+            RData::Https(SvcbRdata::service_self(vec![dns_wire::SvcParam::Alpn(vec![
+                b"h2".to_vec()
+            ])])),
         ));
         z.add(Record::new(name("www.a.com"), 300, RData::Cname(name("a.com"))));
         zones.insert(z);

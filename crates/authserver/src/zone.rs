@@ -60,12 +60,8 @@ impl Zone {
                 minimum: 300,
             }),
         );
-        let mut zone = Zone {
-            apex,
-            rrsets: BTreeMap::new(),
-            keys: None,
-            sig_window: (0, u32::MAX - 1),
-        };
+        let mut zone =
+            Zone { apex, rrsets: BTreeMap::new(), keys: None, sig_window: (0, u32::MAX - 1) };
         zone.add(soa);
         zone
     }
@@ -99,10 +95,7 @@ impl Zone {
             record.name,
             self.apex
         );
-        self.rrsets
-            .entry((record.name.clone(), record.rtype.code()))
-            .or_default()
-            .push(record);
+        self.rrsets.entry((record.name.clone(), record.rtype.code())).or_default().push(record);
     }
 
     /// Replace the whole RRset at (name, type).
@@ -205,10 +198,7 @@ impl Zone {
             ancestor = anc.parent();
         }
         // Does the name exist at all (any type, or as an empty non-terminal)?
-        let exists = self
-            .rrsets
-            .keys()
-            .any(|(n, _)| n == name || n.is_subdomain_of(name));
+        let exists = self.rrsets.keys().any(|(n, _)| n == name || n.is_subdomain_of(name));
         if exists {
             LookupResult::NoData
         } else {
@@ -279,7 +269,9 @@ mod tests {
         z.add(Record::new(
             name("a.com"),
             300,
-            RData::Https(SvcbRdata::service_self(vec![dns_wire::SvcParam::Alpn(vec![b"h2".to_vec()])])),
+            RData::Https(SvcbRdata::service_self(vec![dns_wire::SvcParam::Alpn(vec![
+                b"h2".to_vec()
+            ])])),
         ));
         z.add(Record::new(name("www.a.com"), 300, RData::Cname(name("a.com"))));
         z.add(Record::new(name("mail.a.com"), 300, RData::A(Ipv4Addr::new(5, 6, 7, 8))));

@@ -86,7 +86,10 @@ fn visibility_under(strategy: SelectionStrategy, seed: u64) -> f64 {
 /// Grace-window ablation: does a client holding a one-rotation-stale
 /// config still connect, with and without server-side grace keys?
 fn stale_key_outcome(grace_depth: usize) -> bool {
-    use httpsrr::tlsech::{ClientHello, EchConfigList, EchExtension, InnerHello, ServerResponse, WebServer, WebServerConfig};
+    use httpsrr::tlsech::{
+        ClientHello, EchConfigList, EchExtension, InnerHello, ServerResponse, WebServer,
+        WebServerConfig,
+    };
     let net = Network::new(SimClock::new());
     let server = WebServer::new(
         net,
@@ -139,7 +142,10 @@ fn regenerate() {
         ("round-robin", SelectionStrategy::RoundRobin),
         ("random", SelectionStrategy::Random),
     ] {
-        println!("  {label:<14} sees HTTPS in {:>4.0}% of fresh resolutions", 100.0 * visibility_under(strategy, 42));
+        println!(
+            "  {label:<14} sees HTTPS in {:>4.0}% of fresh resolutions",
+            100.0 * visibility_under(strategy, 42)
+        );
     }
 
     println!("=== ablation 3: ECH rotation grace window (retry disabled) ===");
@@ -155,7 +161,11 @@ fn regenerate() {
         println!(
             "  {:<14} {}",
             p.name,
-            if hint_only_success(&p) { "connects (uses hints or fails over)" } else { "hard failure" }
+            if hint_only_success(&p) {
+                "connects (uses hints or fails over)"
+            } else {
+                "hard failure"
+            }
         );
     }
 }
@@ -177,9 +187,8 @@ fn benches(c: &mut Criterion) {
     c.bench_function("cache_staleness_clamped_vs_not", |b| {
         b.iter(|| {
             let mut stale_windows = (0u64, 0u64);
-            for (i, cache) in [RecordCache::new(), RecordCache::with_ttl_clamp(60)]
-                .into_iter()
-                .enumerate()
+            for (i, cache) in
+                [RecordCache::new(), RecordCache::with_ttl_clamp(60)].into_iter().enumerate()
             {
                 let apex = name("ttl.example");
                 let rec = Record::new(apex.clone(), 300, RData::A("1.2.3.4".parse().expect("v4")));

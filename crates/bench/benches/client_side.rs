@@ -19,12 +19,8 @@ fn regenerate() {
 
 fn benches(c: &mut Criterion) {
     regenerate();
-    c.bench_function("table6_row_chrome", |b| {
-        b.iter(|| table6_row(&BrowserProfile::chrome()))
-    });
-    c.bench_function("table7_row_firefox", |b| {
-        b.iter(|| table7_row(&BrowserProfile::firefox()))
-    });
+    c.bench_function("table6_row_chrome", |b| b.iter(|| table6_row(&BrowserProfile::chrome())));
+    c.bench_function("table7_row_firefox", |b| b.iter(|| table7_row(&BrowserProfile::firefox())));
 
     // One full navigation (DNS + HTTPS-RR interpretation + TLS) on a
     // prepared testbed.

@@ -1,0 +1,101 @@
+//! QueryEngine batch-throughput benchmarks: how resolution scales with
+//! cache shard count and worker thread count, on cold and warm caches.
+//!
+//! Prints a shard×thread throughput matrix at startup (the regeneration
+//! convention of this harness), then benchmarks representative
+//! configurations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use httpsrr::dns_wire::RecordType;
+use httpsrr::ecosystem::{EcosystemConfig, World};
+use httpsrr::resolver::{Query, QueryEngine, ResolverConfig, SelectionStrategy};
+use std::time::Instant;
+
+fn bench_world() -> World {
+    World::build(EcosystemConfig { population: 1_200, list_size: 900, ..EcosystemConfig::tiny() })
+}
+
+/// The scanner's wave-1 shape: HTTPS + A + NS per apex, HTTPS for www.
+fn scan_queries(world: &World) -> Vec<Query> {
+    let mut queries = Vec::new();
+    for &id in &world.today_list().ranked {
+        let apex = world.domain(id).apex.clone();
+        queries.push(Query::new(apex.clone(), RecordType::Https));
+        queries.push(Query::new(apex.clone(), RecordType::A));
+        queries.push(Query::new(apex.clone(), RecordType::Ns));
+        if let Ok(www) = apex.prepend("www") {
+            queries.push(Query::new(www, RecordType::Https));
+        }
+    }
+    queries
+}
+
+fn engine(world: &World, shards: usize) -> QueryEngine {
+    QueryEngine::new(
+        world.network.clone(),
+        world.registry.clone(),
+        ResolverConfig {
+            validate: true,
+            strategy: SelectionStrategy::RoundRobin,
+            cache_shards: shards,
+            ..Default::default()
+        },
+    )
+}
+
+/// Regeneration output: a shard×thread matrix of warm-cache batch
+/// throughput (the cache-bound regime where sharding is the bottleneck).
+fn regenerate(world: &World, queries: &[Query]) {
+    println!("=== engine_batch_throughput (warm cache, {} queries/batch) ===", queries.len());
+    println!("{:>8} {:>9} {:>14} {:>12}", "shards", "threads", "batch time", "kqueries/s");
+    for &shards in &[1usize, 4, 16, 64] {
+        for &threads in &[1usize, 2, 4, 8] {
+            let eng = engine(world, shards);
+            let _ = eng.resolve_batch(queries, threads); // warm the cache
+            let reps = 3;
+            let start = Instant::now();
+            for _ in 0..reps {
+                let _ = eng.resolve_batch(queries, threads);
+            }
+            let per_batch = start.elapsed() / reps;
+            let kqps = queries.len() as f64 / per_batch.as_secs_f64() / 1e3;
+            println!(
+                "{shards:>8} {threads:>9} {:>11.2} ms {kqps:>12.1}",
+                per_batch.as_secs_f64() * 1e3
+            );
+        }
+    }
+}
+
+fn benches(c: &mut Criterion) {
+    let world = bench_world();
+    let queries = scan_queries(&world);
+    regenerate(&world, &queries);
+
+    // Cold cache: every iteration starts from an empty cache and walks
+    // the full authority path (network-bound regime).
+    for (shards, threads) in [(1, 1), (1, 8), (16, 8)] {
+        c.bench_function(&format!("batch_cold_shards{shards}_threads{threads}"), |b| {
+            b.iter(|| {
+                let eng = engine(&world, shards);
+                eng.resolve_batch(&queries, threads)
+            })
+        });
+    }
+
+    // Warm cache: pure cache-read regime; shard count is the lever.
+    for (shards, threads) in [(1, 1), (1, 8), (16, 1), (16, 8), (64, 8)] {
+        let eng = engine(&world, shards);
+        let _ = eng.resolve_batch(&queries, threads);
+        c.bench_function(&format!("batch_warm_shards{shards}_threads{threads}"), |b| {
+            b.iter(|| eng.resolve_batch(&queries, threads))
+        });
+    }
+}
+
+criterion_group! {
+    name = engine_batch;
+    config = Criterion::default().sample_size(10);
+    targets = benches
+}
+criterion_main!(engine_batch);

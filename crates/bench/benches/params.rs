@@ -51,9 +51,7 @@ fn benches(c: &mut Criterion) {
     c.bench_function("fig12_mismatch_durations", |b| {
         b.iter(|| analysis::fig12_mismatch_durations(&study.store))
     });
-    c.bench_function("sec435_connectivity_probe", |b| {
-        b.iter(|| connectivity_probe(&study.world))
-    });
+    c.bench_function("sec435_connectivity_probe", |b| b.iter(|| connectivity_probe(&study.world)));
 }
 
 criterion_group! {

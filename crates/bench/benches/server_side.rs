@@ -35,7 +35,8 @@ fn regenerate() {
     );
     println!("=== sec423_intermittent ===\n{}", analysis::sec423_intermittent(&study.store));
     let days = study.store.days();
-    let phase1: Vec<u32> = days.iter().copied().filter(|d| (*d as u64) < lm.source_change).collect();
+    let phase1: Vec<u32> =
+        days.iter().copied().filter(|d| (*d as u64) < lm.source_change).collect();
     println!(
         "=== fig8_rank_overlap ===\n{}",
         analysis::fig8_rank_distribution(&study.store, &phase1, None)

@@ -31,10 +31,7 @@ fn benches(c: &mut Criterion) {
         response.answers.push(cf_default_record());
     }
     let response_bytes = response.encode();
-    println!(
-        "HTTPS response with 3 records + EDNS: {} bytes on the wire",
-        response_bytes.len()
-    );
+    println!("HTTPS response with 3 records + EDNS: {} bytes on the wire", response_bytes.len());
     c.bench_function("message_encode_https_response", |b| b.iter(|| black_box(&response).encode()));
     c.bench_function("message_decode_https_response", |b| {
         b.iter(|| Message::decode(black_box(&response_bytes)).expect("valid"))

@@ -16,8 +16,8 @@ pub mod testbed;
 pub use navigate::{Browser, FailureReason, NavEvent, Navigation, Outcome, UrlScheme};
 pub use profile::{BrowserProfile, IpFallback, MalformedEchBehavior};
 pub use testbed::{
-    run_alias_mode, run_alpn, run_ech_malformed, run_ech_mismatch, run_ech_shared,
-    run_ech_split, run_ech_unilateral, run_ip_hint_failover, run_ip_hint_preference,
-    run_port_failover, run_port_usage, run_service_target, run_utilization, table6_row,
-    table7_row, Support, Table6Row, Table7Row, Testbed, UtilizationResult,
+    run_alias_mode, run_alpn, run_ech_malformed, run_ech_mismatch, run_ech_shared, run_ech_split,
+    run_ech_unilateral, run_ip_hint_failover, run_ip_hint_preference, run_port_failover,
+    run_port_usage, run_service_target, run_utilization, table6_row, table7_row, Support,
+    Table6Row, Table7Row, Testbed, UtilizationResult,
 };

@@ -1,13 +1,14 @@
-//! The navigation engine: drives one URL load through DNS (HTTPS + A
-//! queries via the configured resolver), HTTPS-RR interpretation, TLS
-//! (optionally with ECH), and the profile's failover behaviours,
-//! producing a typed event trace that the testbed asserts on.
+//! The navigation engine: drives one URL load through DNS (HTTPS, A and
+//! AAAA queries via the shared [`QueryEngine`]), HTTPS-RR
+//! interpretation, TLS (optionally with ECH), and the profile's failover
+//! behaviours, producing a typed event trace that the testbed asserts
+//! on.
 
 use crate::profile::{BrowserProfile, IpFallback, MalformedEchBehavior};
-use dns_wire::{DnsName, Message, RData, Record, RecordType, SvcbRdata};
+use dns_wire::{DnsName, RData, Record, RecordType, SvcbRdata};
 use netsim::Network;
+use resolver::QueryEngine;
 use std::net::IpAddr;
-use std::sync::atomic::{AtomicU16, Ordering};
 use tlsech::{AlertCause, ClientHello, EchConfigList, EchExtension, InnerHello, ServerResponse};
 
 /// URL form entered by the user (the three §5.1 variants).
@@ -112,9 +113,7 @@ pub struct Navigation {
 impl Navigation {
     /// Whether an HTTPS-type DNS query was issued.
     pub fn queried_https_rr(&self) -> bool {
-        self.events
-            .iter()
-            .any(|e| matches!(e, NavEvent::DnsQuery { qtype: RecordType::Https, .. }))
+        self.events.iter().any(|e| matches!(e, NavEvent::DnsQuery { qtype: RecordType::Https, .. }))
     }
 
     /// Whether any TLS attempt carried ECH.
@@ -145,23 +144,32 @@ impl Navigation {
     }
 }
 
-/// A browser instance bound to a network and a recursive resolver IP.
+/// A browser instance resolving through a [`QueryEngine`] and connecting
+/// over the engine's simulated network.
 pub struct Browser {
     profile: BrowserProfile,
-    network: Network,
+    engine: QueryEngine,
+    /// The advertised address of the configured recursive resolver. DNS
+    /// semantics come from the engine, but the stub-to-recursive hop is
+    /// still subject to this address's reachability (so tests can
+    /// blackhole the resolver).
     resolver_ip: IpAddr,
-    next_id: AtomicU16,
 }
 
 impl Browser {
-    /// Create a browser using the resolver at `resolver_ip:53`.
-    pub fn new(profile: BrowserProfile, network: Network, resolver_ip: IpAddr) -> Browser {
-        Browser { profile, network, resolver_ip, next_id: AtomicU16::new(1) }
+    /// Create a browser resolving through `engine`, whose recursive
+    /// resolver is advertised at `resolver_ip:53`.
+    pub fn new(profile: BrowserProfile, engine: QueryEngine, resolver_ip: IpAddr) -> Browser {
+        Browser { profile, engine, resolver_ip }
     }
 
     /// The profile in use.
     pub fn profile(&self) -> &BrowserProfile {
         &self.profile
+    }
+
+    fn network(&self) -> &Network {
+        self.engine.network()
     }
 
     /// Load `host` with the given URL form.
@@ -176,14 +184,14 @@ impl Browser {
             return Outcome::Failed(FailureReason::DnsFailure);
         };
 
-        // 1. DNS: browsers race HTTPS and A queries for every URL form.
+        // 1. DNS: browsers race HTTPS, A and AAAA queries for every URL
+        // form (v4 preferred among the candidates, v6 appended).
         let https_answers = if self.profile.queries_https_rr {
             self.dns_query(&host_name, RecordType::Https, events)
         } else {
             Vec::new()
         };
-        let host_a = self.dns_query(&host_name, RecordType::A, events);
-        let host_ips = a_ips(&host_a);
+        let host_ips = self.resolve_addrs(&host_name, events);
 
         let mut https_record = select_https_record(&https_answers);
         if let Some(rd) = https_record {
@@ -205,7 +213,7 @@ impl Browser {
                 return Outcome::Failed(FailureReason::NoAddress);
             };
             events.push(NavEvent::HttpAttempt { ip, port: 80 });
-            return match self.network.stream_exchange(ip, 80, b"GET / HTTP/1.1\r\n\r\n") {
+            return match self.network().stream_exchange(ip, 80, b"GET / HTTP/1.1\r\n\r\n") {
                 Ok(_) => Outcome::HttpOk { ip },
                 Err(_) => Outcome::Failed(FailureReason::ConnectFailed),
             };
@@ -236,8 +244,7 @@ impl Browser {
         events: &mut Vec<NavEvent>,
     ) -> Outcome {
         let target_ips = if self.profile.follows_alias_target && !record.target.is_root() {
-            let answers = self.dns_query(&record.target, RecordType::A, events);
-            a_ips(&answers)
+            self.resolve_addrs(&record.target, events)
         } else {
             // Chrome/Edge/Firefox: keep trying the owner name's addresses.
             host_ips.to_vec()
@@ -271,8 +278,7 @@ impl Browser {
         let endpoint_ips: Vec<IpAddr> = if endpoint_name.key() == host.to_ascii_lowercase() {
             host_ips.to_vec()
         } else {
-            let answers = self.dns_query(&endpoint_name, RecordType::A, events);
-            a_ips(&answers)
+            self.resolve_addrs(&endpoint_name, events)
         };
         let hint_ips: Vec<IpAddr> = record
             .ipv4hint()
@@ -292,11 +298,7 @@ impl Browser {
 
         // Port.
         let advertised_port = record.port();
-        let port = if self.profile.uses_port_param {
-            advertised_port.unwrap_or(443)
-        } else {
-            443
-        };
+        let port = if self.profile.uses_port_param { advertised_port.unwrap_or(443) } else { 443 };
 
         // ALPN offer: the record's protocols intersected with support.
         let alpn: Vec<String> = match record.alpn() {
@@ -333,8 +335,7 @@ impl Browser {
             {
                 // Correct split-mode behaviour: resolve the public name and
                 // connect to the client-facing server.
-                let answers = self.dns_query(&list.preferred().public_name, RecordType::A, events);
-                let ips = a_ips(&answers);
+                let ips = self.resolve_addrs(&list.preferred().public_name, events);
                 match ips.first().copied() {
                     Some(ip) => (ip, ips[1..].to_vec()),
                     None => return Outcome::Failed(FailureReason::NoAddress),
@@ -426,7 +427,7 @@ impl Browser {
             alpn: alpn.clone(),
         });
 
-        let resp_bytes = match self.network.stream_exchange(ip, port, &hello.encode()) {
+        let resp_bytes = match self.network().stream_exchange(ip, port, &hello.encode()) {
             Ok(b) => b,
             Err(_) => {
                 // IP failover per profile.
@@ -513,19 +514,44 @@ impl Browser {
         }
     }
 
-    /// Issue one DNS query to the configured resolver, returning the
-    /// answer records (empty on failure).
-    fn dns_query(&self, name: &DnsName, qtype: RecordType, events: &mut Vec<NavEvent>) -> Vec<Record> {
+    /// Issue one DNS query through the engine, returning the answer
+    /// records — the traversed CNAME chain followed by the final RRset —
+    /// or empty on failure. The stub-to-recursive hop approximates the
+    /// removed on-wire path: the query fails (empty answers) when the
+    /// resolver's advertised address is blackholed or nothing listens
+    /// at `resolver_ip:53`; unlike the wire path, the hop itself is not
+    /// counted in [`netsim::TrafficStats`].
+    fn dns_query(
+        &self,
+        name: &DnsName,
+        qtype: RecordType,
+        events: &mut Vec<NavEvent>,
+    ) -> Vec<Record> {
         events.push(NavEvent::DnsQuery { name: name.key(), qtype });
-        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        let query = Message::query(id, name.clone(), qtype);
-        match self.network.send_datagram(self.resolver_ip, 53, &query.encode()) {
-            Ok(bytes) => match Message::decode(&bytes) {
-                Ok(resp) => resp.answers,
-                Err(_) => Vec::new(),
-            },
+        if self.network().can_connect(self.resolver_ip, 53).is_err() {
+            return Vec::new();
+        }
+        match self.engine.resolve(name, qtype) {
+            Ok(res) => {
+                let mut records = res.chain;
+                records.extend(res.records);
+                records
+            }
             Err(_) => Vec::new(),
         }
+    }
+
+    /// Resolve the address candidates for `name`: A records first (every
+    /// simulated web endpoint is v4), then AAAA records.
+    fn resolve_addrs(&self, name: &DnsName, events: &mut Vec<NavEvent>) -> Vec<IpAddr> {
+        let mut ips = a_ips(&self.dns_query(name, RecordType::A, events));
+        ips.extend(self.dns_query(name, RecordType::Aaaa, events).iter().filter_map(|r| {
+            match &r.rdata {
+                RData::Aaaa(a) => Some(IpAddr::V6(*a)),
+                _ => None,
+            }
+        }));
+        ips
     }
 }
 

@@ -8,7 +8,7 @@ use crate::profile::BrowserProfile;
 use authserver::{AuthoritativeServer, DelegationRegistry, NsEndpoint, Zone, ZoneSet};
 use dns_wire::{DnsName, RData, Record, RecordType, SvcParam, SvcbRdata};
 use netsim::{Network, SimClock};
-use resolver::{RecursiveResolver, ResolverConfig};
+use resolver::{QueryEngine, RecursiveResolver, ResolverConfig};
 use std::net::IpAddr;
 use std::sync::Arc;
 use tlsech::{EchKeyManager, EchServerState, HttpServer, WebServer, WebServerConfig};
@@ -101,9 +101,10 @@ impl Testbed {
         Testbed { network, registry, zones, resolver, domain }
     }
 
-    /// A browser wired to the testbed resolver.
+    /// A browser wired to the testbed resolver through the query engine.
     pub fn browser(&self, profile: BrowserProfile) -> Browser {
-        Browser::new(profile, self.network.clone(), ip(addr::RESOLVER))
+        let engine = QueryEngine::from_resolver(Arc::clone(&self.resolver));
+        Browser::new(profile, engine, ip(addr::RESOLVER))
     }
 
     /// Reset DNS state between experiment rounds (the paper clears local
@@ -146,13 +147,16 @@ impl Testbed {
     }
 
     /// Bind a fresh web server at `ip:port`.
-    pub fn web_server(&self, at: &str, port: u16, cert_names: Vec<DnsName>, alpn: Vec<&str>) -> Arc<WebServer> {
+    pub fn web_server(
+        &self,
+        at: &str,
+        port: u16,
+        cert_names: Vec<DnsName>,
+        alpn: Vec<&str>,
+    ) -> Arc<WebServer> {
         let server = Arc::new(WebServer::new(
             self.network.clone(),
-            WebServerConfig {
-                cert_names,
-                alpn: alpn.into_iter().map(String::from).collect(),
-            },
+            WebServerConfig { cert_names, alpn: alpn.into_iter().map(String::from).collect() },
         ));
         self.network.bind_stream(ip(at), port, server.clone());
         server
@@ -160,11 +164,7 @@ impl Testbed {
 
     /// Bind a plain HTTP (port 80) endpoint at `at`.
     pub fn http_server(&self, at: &str) {
-        self.network.bind_stream(
-            ip(at),
-            80,
-            Arc::new(HttpServer { host: self.domain.key() }),
-        );
+        self.network.bind_stream(ip(at), 80, Arc::new(HttpServer { host: self.domain.key() }));
     }
 
     /// Default ServiceMode record `1 . alpn=h2`.
@@ -324,10 +324,8 @@ pub fn run_port_failover(tb: &Testbed, profile: &BrowserProfile) -> (Support, bo
     tb.flush_dns();
 
     let nav = tb.browser(profile.clone()).navigate(&tb.domain.key(), UrlScheme::Https);
-    let fell_back = nav
-        .events
-        .iter()
-        .any(|e| matches!(e, NavEvent::Fallback(msg) if msg.contains("port")));
+    let fell_back =
+        nav.events.iter().any(|e| matches!(e, NavEvent::Fallback(msg) if msg.contains("port")));
     match nav.outcome {
         Outcome::HttpsOk { .. } => (Support::Full, fell_back),
         _ => (Support::None, fell_back),

@@ -28,19 +28,15 @@ fn bare_url_without_record_stays_http() {
     for p in BrowserProfile::all_measured() {
         tb.flush_dns();
         let nav = tb.browser(p.clone()).navigate(&tb.domain.key(), UrlScheme::Bare);
-        assert!(
-            matches!(nav.outcome, Outcome::HttpOk { .. }),
-            "{}: {:?}",
-            p.name,
-            nav.outcome
-        );
+        assert!(matches!(nav.outcome, Outcome::HttpOk { .. }), "{}: {:?}", p.name, nav.outcome);
     }
 }
 
 #[test]
 fn nonexistent_domain_fails_with_no_address() {
     let tb = Testbed::new();
-    let nav = tb.browser(BrowserProfile::firefox()).navigate("no-such.test-domain.com", UrlScheme::Https);
+    let nav =
+        tb.browser(BrowserProfile::firefox()).navigate("no-such.test-domain.com", UrlScheme::Https);
     assert!(matches!(nav.outcome, Outcome::Failed(_)));
 }
 
@@ -48,12 +44,7 @@ fn nonexistent_domain_fails_with_no_address() {
 fn event_trace_contains_both_dns_queries() {
     let tb = Testbed::new();
     tb.set_domain_records(vec!["203.0.113.10".parse().unwrap()], Some(tb.basic_service_record()));
-    tb.web_server(
-        browser::testbed::addr::WEB_PRIMARY,
-        443,
-        vec![tb.domain.clone()],
-        vec!["h2"],
-    );
+    tb.web_server(browser::testbed::addr::WEB_PRIMARY, 443, vec![tb.domain.clone()], vec!["h2"]);
     let nav = tb.browser(BrowserProfile::edge()).navigate(&tb.domain.key(), UrlScheme::Https);
     let qtypes: Vec<RecordType> = nav
         .events
@@ -75,12 +66,7 @@ fn alpn_offer_is_filtered_by_record() {
         vec!["203.0.113.10".parse().unwrap()],
         Some(SvcbRdata::service_self(vec![SvcParam::Alpn(vec![b"h3".to_vec()])])),
     );
-    tb.web_server(
-        browser::testbed::addr::WEB_PRIMARY,
-        443,
-        vec![tb.domain.clone()],
-        vec!["h3"],
-    );
+    tb.web_server(browser::testbed::addr::WEB_PRIMARY, 443, vec![tb.domain.clone()], vec!["h3"]);
     let nav = tb.browser(BrowserProfile::chrome()).navigate(&tb.domain.key(), UrlScheme::Https);
     let offers: Vec<Vec<String>> = nav
         .events
@@ -117,26 +103,19 @@ fn multiple_service_records_pick_lowest_priority() {
                 Record::new(
                     tb.domain.clone(),
                     60,
-                    RData::Https(SvcbRdata::service_self(vec![SvcParam::Alpn(vec![b"h2".to_vec()])])),
+                    RData::Https(SvcbRdata::service_self(vec![SvcParam::Alpn(vec![
+                        b"h2".to_vec()
+                    ])])),
                 ),
             ],
         );
         z.set(
             tb.domain.clone(),
             RecordType::A,
-            vec![Record::new(
-                tb.domain.clone(),
-                60,
-                RData::A("203.0.113.10".parse().unwrap()),
-            )],
+            vec![Record::new(tb.domain.clone(), 60, RData::A("203.0.113.10".parse().unwrap()))],
         );
     });
-    tb.web_server(
-        browser::testbed::addr::WEB_PRIMARY,
-        443,
-        vec![tb.domain.clone()],
-        vec!["h2"],
-    );
+    tb.web_server(browser::testbed::addr::WEB_PRIMARY, 443, vec![tb.domain.clone()], vec!["h2"]);
     tb.flush_dns();
     // Safari honours port params; picking priority 2 would send it to
     // 9999 and fail. Success proves priority-1 selection.
@@ -148,12 +127,7 @@ fn multiple_service_records_pick_lowest_priority() {
 fn http_scheme_upgrade_skips_http_entirely() {
     let tb = Testbed::new();
     tb.set_domain_records(vec!["203.0.113.10".parse().unwrap()], Some(tb.basic_service_record()));
-    tb.web_server(
-        browser::testbed::addr::WEB_PRIMARY,
-        443,
-        vec![tb.domain.clone()],
-        vec!["h2"],
-    );
+    tb.web_server(browser::testbed::addr::WEB_PRIMARY, 443, vec![tb.domain.clone()], vec!["h2"]);
     // No HTTP server bound: if the browser tried port 80 first it would
     // fail. Chrome upgrades directly from the HTTPS record.
     let nav = tb.browser(BrowserProfile::chrome()).navigate(&tb.domain.key(), UrlScheme::Http);

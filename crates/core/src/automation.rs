@@ -181,7 +181,10 @@ mod tests {
     use authserver::Zone;
     use dns_wire::SvcbRdata;
     use netsim::{Network, SimClock};
-    use tlsech::{ClientHello, EchConfigList, EchExtension, EchKeyManager, EchServerState, InnerHello, ServerResponse, WebServerConfig};
+    use tlsech::{
+        ClientHello, EchConfigList, EchExtension, EchKeyManager, EchServerState, InnerHello,
+        ServerResponse, WebServerConfig,
+    };
 
     fn name(s: &str) -> DnsName {
         DnsName::parse(s).unwrap()

@@ -54,17 +54,18 @@ pub enum WireError {
 impl fmt::Display for WireError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            WireError::Truncated { context } => write!(f, "truncated input while decoding {context}"),
+            WireError::Truncated { context } => {
+                write!(f, "truncated input while decoding {context}")
+            }
             WireError::LabelTooLong(n) => write!(f, "label of {n} octets exceeds 63-octet limit"),
             WireError::NameTooLong(n) => write!(f, "name of {n} octets exceeds 255-octet limit"),
             WireError::BadCompressionPointer { at } => {
                 write!(f, "invalid compression pointer at offset {at}")
             }
             WireError::UnsupportedLabelType(b) => write!(f, "unsupported label type {b:#04x}"),
-            WireError::RdataLengthMismatch { declared, consumed } => write!(
-                f,
-                "RDLENGTH {declared} disagrees with {consumed} bytes consumed"
-            ),
+            WireError::RdataLengthMismatch { declared, consumed } => {
+                write!(f, "RDLENGTH {declared} disagrees with {consumed} bytes consumed")
+            }
             WireError::InvalidSvcParam { key, reason } => {
                 write!(f, "invalid SvcParam key{key}: {reason}")
             }

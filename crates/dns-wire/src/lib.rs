@@ -100,7 +100,15 @@ mod proptests {
                 1..3,
             )
             .prop_map(RData::Txt),
-            (arb_name(), arb_name(), any::<u32>(), any::<u32>(), any::<u32>(), any::<u32>(), any::<u32>())
+            (
+                arb_name(),
+                arb_name(),
+                any::<u32>(),
+                any::<u32>(),
+                any::<u32>(),
+                any::<u32>(),
+                any::<u32>()
+            )
                 .prop_map(|(mname, rname, serial, refresh, retry, expire, minimum)| {
                     RData::Soa(SoaRdata { mname, rname, serial, refresh, retry, expire, minimum })
                 }),

@@ -421,7 +421,11 @@ mod tests {
         let mut resp = q.response();
         resp.answers.push(Record::new(name("a.com"), 300, RData::A(Ipv4Addr::new(1, 2, 3, 4))));
         resp.authorities.push(Record::new(name("a.com"), 300, RData::Ns(name("ns1.a.com"))));
-        resp.additionals.push(Record::new(name("ns1.a.com"), 300, RData::A(Ipv4Addr::new(5, 6, 7, 8))));
+        resp.additionals.push(Record::new(
+            name("ns1.a.com"),
+            300,
+            RData::A(Ipv4Addr::new(5, 6, 7, 8)),
+        ));
         resp.flags.ad = true;
         let back = Message::decode(&resp.encode()).unwrap();
         assert_eq!(back, resp);
@@ -434,7 +438,14 @@ mod tests {
 
     #[test]
     fn rcode_round_trip() {
-        for rc in [Rcode::NoError, Rcode::FormErr, Rcode::ServFail, Rcode::NxDomain, Rcode::NotImp, Rcode::Refused] {
+        for rc in [
+            Rcode::NoError,
+            Rcode::FormErr,
+            Rcode::ServFail,
+            Rcode::NxDomain,
+            Rcode::NotImp,
+            Rcode::Refused,
+        ] {
             let q = Message::query(9, name("x.com"), RecordType::A);
             let mut resp = q.response();
             resp.rcode = rc;
@@ -445,7 +456,8 @@ mod tests {
     #[test]
     fn edns_round_trip() {
         let mut q = Message::query(2, name("a.com"), RecordType::Https);
-        q.edns = Some(Edns { udp_payload_size: 4096, version: 0, dnssec_ok: true, extended_rcode: 0 });
+        q.edns =
+            Some(Edns { udp_payload_size: 4096, version: 0, dnssec_ok: true, extended_rcode: 0 });
         let back = Message::decode(&q.encode()).unwrap();
         assert_eq!(back.edns.unwrap().udp_payload_size, 4096);
         assert!(back.edns.unwrap().dnssec_ok);

@@ -60,9 +60,7 @@ impl DnsName {
         while let Some(b) = chars.next() {
             match b {
                 b'\\' => {
-                    let esc = chars
-                        .next()
-                        .ok_or_else(|| ParseError::BadName(s.to_string()))?;
+                    let esc = chars.next().ok_or_else(|| ParseError::BadName(s.to_string()))?;
                     current.push(esc);
                 }
                 b'.' => {
@@ -138,10 +136,7 @@ impl DnsName {
             return false;
         }
         let offset = self.labels.len() - other.labels.len();
-        self.labels[offset..]
-            .iter()
-            .zip(other.labels.iter())
-            .all(|(a, b)| eq_label(a, b))
+        self.labels[offset..].iter().zip(other.labels.iter()).all(|(a, b)| eq_label(a, b))
     }
 
     /// The canonical (lowercased) uncompressed wire form; used as a
@@ -184,9 +179,8 @@ impl DnsName {
         let mut wire_len = 1usize; // root octet
 
         loop {
-            let len_byte = *buf
-                .get(pos)
-                .ok_or(WireError::Truncated { context: "name label length" })?;
+            let len_byte =
+                *buf.get(pos).ok_or(WireError::Truncated { context: "name label length" })?;
             match len_byte & 0xC0 {
                 0x00 => {
                     let n = len_byte as usize;
@@ -234,20 +228,13 @@ impl DnsName {
 }
 
 fn eq_label(a: &[u8], b: &[u8]) -> bool {
-    a.len() == b.len()
-        && a.iter()
-            .zip(b.iter())
-            .all(|(x, y)| x.eq_ignore_ascii_case(y))
+    a.len() == b.len() && a.iter().zip(b.iter()).all(|(x, y)| x.eq_ignore_ascii_case(y))
 }
 
 impl PartialEq for DnsName {
     fn eq(&self, other: &Self) -> bool {
         self.labels.len() == other.labels.len()
-            && self
-                .labels
-                .iter()
-                .zip(other.labels.iter())
-                .all(|(a, b)| eq_label(a, b))
+            && self.labels.iter().zip(other.labels.iter()).all(|(a, b)| eq_label(a, b))
     }
 }
 
@@ -426,8 +413,12 @@ mod tests {
     fn canonical_order_rfc4034() {
         // RFC 4034 §6.1 example ordering.
         let mut names: Vec<DnsName> = [
-            "example", "a.example", "yljkjljk.a.example", "Z.a.example",
-            "zABC.a.EXAMPLE", "z.example",
+            "example",
+            "a.example",
+            "yljkjljk.a.example",
+            "Z.a.example",
+            "zABC.a.EXAMPLE",
+            "z.example",
         ]
         .iter()
         .map(|s| DnsName::parse(s).unwrap())

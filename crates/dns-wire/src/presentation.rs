@@ -7,7 +7,9 @@
 
 use crate::error::ParseError;
 use crate::name::DnsName;
-use crate::record::{DnsClass, DsRdata, DnskeyRdata, RData, Record, RecordType, RrsigRdata, SoaRdata, SrvRdata};
+use crate::record::{
+    DnsClass, DnskeyRdata, DsRdata, RData, Record, RecordType, RrsigRdata, SoaRdata, SrvRdata,
+};
 use crate::svcb::{debase64ish, SvcbRdata};
 
 /// Parse a single record line such as
@@ -35,7 +37,9 @@ pub fn parse_record_line(
     for _ in 0..2 {
         match tokens.get(idx) {
             Some(t) if t.chars().all(|c| c.is_ascii_digit()) => {
-                ttl = t.parse().map_err(|_| ParseError::BadField { field: "TTL", token: t.to_string() })?;
+                ttl = t
+                    .parse()
+                    .map_err(|_| ParseError::BadField { field: "TTL", token: t.to_string() })?;
                 idx += 1;
             }
             Some(t) if t.eq_ignore_ascii_case("IN") => {
@@ -136,11 +140,17 @@ fn parse_rdata(rtype: RecordType, tokens: &[&str], origin: &DnsName) -> Result<R
     match rtype {
         RecordType::A => {
             let t = get(0, "address")?;
-            Ok(RData::A(t.parse().map_err(|_| ParseError::BadField { field: "A address", token: t.into() })?))
+            Ok(RData::A(
+                t.parse()
+                    .map_err(|_| ParseError::BadField { field: "A address", token: t.into() })?,
+            ))
         }
         RecordType::Aaaa => {
             let t = get(0, "address")?;
-            Ok(RData::Aaaa(t.parse().map_err(|_| ParseError::BadField { field: "AAAA address", token: t.into() })?))
+            Ok(RData::Aaaa(
+                t.parse()
+                    .map_err(|_| ParseError::BadField { field: "AAAA address", token: t.into() })?,
+            ))
         }
         RecordType::Cname => Ok(RData::Cname(parse_name_token(get(0, "target")?, origin)?)),
         RecordType::Dname => Ok(RData::Dname(parse_name_token(get(0, "target")?, origin)?)),
@@ -154,10 +164,7 @@ fn parse_rdata(rtype: RecordType, tokens: &[&str], origin: &DnsName) -> Result<R
             if tokens.is_empty() {
                 return Err(ParseError::MissingField("TXT data"));
             }
-            let strings = tokens
-                .iter()
-                .map(|t| t.trim_matches('"').as_bytes().to_vec())
-                .collect();
+            let strings = tokens.iter().map(|t| t.trim_matches('"').as_bytes().to_vec()).collect();
             Ok(RData::Txt(strings))
         }
         RecordType::Soa => Ok(RData::Soa(SoaRdata {
@@ -187,15 +194,19 @@ fn parse_rdata(rtype: RecordType, tokens: &[&str], origin: &DnsName) -> Result<R
             inception: num(get(5, "inception")?, "RRSIG inception")?,
             key_tag: num(get(6, "key tag")?, "RRSIG key tag")? as u16,
             signer: parse_name_token(get(7, "signer")?, origin)?,
-            signature: debase64ish(get(8, "signature")?)
-                .ok_or_else(|| ParseError::BadField { field: "RRSIG signature", token: tokens[8].to_string() })?,
+            signature: debase64ish(get(8, "signature")?).ok_or_else(|| ParseError::BadField {
+                field: "RRSIG signature",
+                token: tokens[8].to_string(),
+            })?,
         })),
         RecordType::Dnskey => Ok(RData::Dnskey(DnskeyRdata {
             flags: num(get(0, "flags")?, "DNSKEY flags")? as u16,
             protocol: num(get(1, "protocol")?, "DNSKEY protocol")? as u8,
             algorithm: num(get(2, "algorithm")?, "DNSKEY algorithm")? as u8,
-            public_key: debase64ish(get(3, "public key")?)
-                .ok_or_else(|| ParseError::BadField { field: "DNSKEY key", token: tokens[3].to_string() })?,
+            public_key: debase64ish(get(3, "public key")?).ok_or_else(|| ParseError::BadField {
+                field: "DNSKEY key",
+                token: tokens[3].to_string(),
+            })?,
         })),
         RecordType::Ds => {
             let hex = get(3, "digest")?;
@@ -217,7 +228,10 @@ fn parse_rdata(rtype: RecordType, tokens: &[&str], origin: &DnsName) -> Result<R
         RecordType::Opt | RecordType::Unknown(_) => {
             // RFC 3597 generic syntax: \# length hexdata
             if get(0, "\\#")? != "\\#" {
-                return Err(ParseError::BadField { field: "generic rdata", token: tokens[0].to_string() });
+                return Err(ParseError::BadField {
+                    field: "generic rdata",
+                    token: tokens[0].to_string(),
+                });
             }
             let len: usize = num(get(1, "length")?, "generic length")? as usize;
             let hex: String = tokens[2..].concat();
@@ -246,9 +260,7 @@ mod tests {
     #[test]
     fn parse_paper_figure1_examples() {
         // The two example records from the paper's Figure 1.
-        let r1 = parse_record_line("a.com. 300 IN HTTPS 0 b.com.", &origin(), 60)
-            .unwrap()
-            .unwrap();
+        let r1 = parse_record_line("a.com. 300 IN HTTPS 0 b.com.", &origin(), 60).unwrap().unwrap();
         match &r1.rdata {
             RData::Https(rd) => {
                 assert!(rd.is_alias());
@@ -256,9 +268,10 @@ mod tests {
             }
             other => panic!("wrong rdata: {other:?}"),
         }
-        let r2 = parse_record_line("c.com. 300 IN HTTPS 1 . alpn=h3 ipv4hint=1.2.3.4", &origin(), 60)
-            .unwrap()
-            .unwrap();
+        let r2 =
+            parse_record_line("c.com. 300 IN HTTPS 1 . alpn=h3 ipv4hint=1.2.3.4", &origin(), 60)
+                .unwrap()
+                .unwrap();
         match &r2.rdata {
             RData::Https(rd) => {
                 assert_eq!(rd.priority, 1);
@@ -279,9 +292,8 @@ mod tests {
 
     #[test]
     fn ttl_defaults_and_comments() {
-        let r = parse_record_line("a.com. IN A 1.2.3.4 ; proxied", &origin(), 1234)
-            .unwrap()
-            .unwrap();
+        let r =
+            parse_record_line("a.com. IN A 1.2.3.4 ; proxied", &origin(), 1234).unwrap().unwrap();
         assert_eq!(r.ttl, 1234);
         assert!(parse_record_line("; whole line comment", &origin(), 60).unwrap().is_none());
         assert!(parse_record_line("   ", &origin(), 60).unwrap().is_none());
@@ -307,9 +319,8 @@ www IN CNAME a.com.
 
     #[test]
     fn unknown_type_generic_syntax() {
-        let r = parse_record_line("a.com. 60 IN TYPE999 \\# 3 010203", &origin(), 60)
-            .unwrap()
-            .unwrap();
+        let r =
+            parse_record_line("a.com. 60 IN TYPE999 \\# 3 010203", &origin(), 60).unwrap().unwrap();
         assert_eq!(r.rtype, RecordType::Unknown(999));
         assert_eq!(r.rdata, RData::Unknown(vec![1, 2, 3]));
         let line = r.to_presentation();
@@ -331,7 +342,9 @@ www IN CNAME a.com.
         // The §5.3 "malformed ECH configuration" copy-paste-typo case:
         // invalid base64 must be rejected at zone-load time by a correct
         // implementation (the testbed bypasses this to serve malformed ECH).
-        assert!(parse_record_line("a.com. 60 IN HTTPS 1 . ech=!!notbase64!!", &origin(), 60).is_err());
+        assert!(
+            parse_record_line("a.com. 60 IN HTTPS 1 . ech=!!notbase64!!", &origin(), 60).is_err()
+        );
     }
 
     #[test]

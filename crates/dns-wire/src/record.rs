@@ -631,7 +631,11 @@ impl RData {
                 d.digest.iter().map(|b| format!("{b:02X}")).collect::<String>()
             ),
             RData::Opt(bytes) | RData::Unknown(bytes) => {
-                format!("\\# {} {}", bytes.len(), bytes.iter().map(|b| format!("{b:02x}")).collect::<String>())
+                format!(
+                    "\\# {} {}",
+                    bytes.len(),
+                    bytes.iter().map(|b| format!("{b:02x}")).collect::<String>()
+                )
             }
         }
     }
@@ -821,7 +825,12 @@ mod tests {
             Record::new(
                 name("a.com"),
                 300,
-                RData::Ds(DsRdata { key_tag: tag, algorithm: 253, digest_type: 1, digest: vec![3; 16] }),
+                RData::Ds(DsRdata {
+                    key_tag: tag,
+                    algorithm: 253,
+                    digest_type: 1,
+                    digest: vec![3; 16],
+                }),
             ),
         ] {
             assert_eq!(rt(&rec), rec);
@@ -830,7 +839,8 @@ mod tests {
 
     #[test]
     fn key_tag_is_stable() {
-        let key = DnskeyRdata { flags: 256, protocol: 3, algorithm: 253, public_key: vec![1, 2, 3, 4] };
+        let key =
+            DnskeyRdata { flags: 256, protocol: 3, algorithm: 253, public_key: vec![1, 2, 3, 4] };
         assert_eq!(key.key_tag(), key.key_tag());
         let other = DnskeyRdata { public_key: vec![1, 2, 3, 5], ..key.clone() };
         assert_ne!(key.key_tag(), other.key_tag());
@@ -847,7 +857,12 @@ mod tests {
             Record::new(
                 name("_sip._tcp.a.com"),
                 300,
-                RData::Srv(SrvRdata { priority: 1, weight: 5, port: 5060, target: name("sip.a.com") }),
+                RData::Srv(SrvRdata {
+                    priority: 1,
+                    weight: 5,
+                    port: 5060,
+                    target: name("sip.a.com"),
+                }),
             ),
             Record::new(name("4.3.2.1.in-addr.arpa"), 300, RData::Ptr(name("a.com"))),
             Record::new(name("old.a.com"), 300, RData::Dname(name("new.a.com"))),
@@ -858,7 +873,12 @@ mod tests {
 
     #[test]
     fn unknown_type_round_trips_opaquely() {
-        let rec = Record::with_type(name("a.com"), RecordType::Unknown(999), 300, RData::Unknown(vec![1, 2, 3]));
+        let rec = Record::with_type(
+            name("a.com"),
+            RecordType::Unknown(999),
+            300,
+            RData::Unknown(vec![1, 2, 3]),
+        );
         let back = rt(&rec);
         assert_eq!(back.rtype, RecordType::Unknown(999));
         assert_eq!(back.rdata, RData::Unknown(vec![1, 2, 3]));
@@ -894,10 +914,22 @@ mod tests {
     #[test]
     fn mnemonics_round_trip() {
         for t in [
-            RecordType::A, RecordType::Ns, RecordType::Cname, RecordType::Soa,
-            RecordType::Ptr, RecordType::Mx, RecordType::Txt, RecordType::Aaaa,
-            RecordType::Srv, RecordType::Dname, RecordType::Opt, RecordType::Ds,
-            RecordType::Rrsig, RecordType::Dnskey, RecordType::Svcb, RecordType::Https,
+            RecordType::A,
+            RecordType::Ns,
+            RecordType::Cname,
+            RecordType::Soa,
+            RecordType::Ptr,
+            RecordType::Mx,
+            RecordType::Txt,
+            RecordType::Aaaa,
+            RecordType::Srv,
+            RecordType::Dname,
+            RecordType::Opt,
+            RecordType::Ds,
+            RecordType::Rrsig,
+            RecordType::Dnskey,
+            RecordType::Svcb,
+            RecordType::Https,
             RecordType::Unknown(1234),
         ] {
             assert_eq!(RecordType::from_mnemonic(&t.mnemonic()), Some(t));

@@ -122,16 +122,20 @@ impl SvcParam {
         match k {
             key::MANDATORY => {
                 if value.is_empty() || !value.len().is_multiple_of(2) {
-                    return Err(WireError::InvalidSvcParam { key: k, reason: "mandatory list length must be a positive multiple of 2" });
+                    return Err(WireError::InvalidSvcParam {
+                        key: k,
+                        reason: "mandatory list length must be a positive multiple of 2",
+                    });
                 }
-                let keys: Vec<u16> = value
-                    .chunks_exact(2)
-                    .map(|c| u16::from_be_bytes([c[0], c[1]]))
-                    .collect();
+                let keys: Vec<u16> =
+                    value.chunks_exact(2).map(|c| u16::from_be_bytes([c[0], c[1]])).collect();
                 // Keys must be strictly increasing and must not include
                 // `mandatory` itself (RFC 9460 §8).
                 if keys.windows(2).any(|w| w[0] >= w[1]) || keys.contains(&key::MANDATORY) {
-                    return Err(WireError::InvalidSvcParam { key: k, reason: "mandatory list must be strictly increasing and exclude key 0" });
+                    return Err(WireError::InvalidSvcParam {
+                        key: k,
+                        reason: "mandatory list must be strictly increasing and exclude key 0",
+                    });
                 }
                 Ok(SvcParam::Mandatory(keys))
             }
@@ -146,42 +150,57 @@ impl SvcParam {
                     ids.push(r.read_bytes(n, "alpn-id")?.to_vec());
                 }
                 if ids.is_empty() {
-                    return Err(WireError::InvalidSvcParam { key: k, reason: "alpn list must be non-empty" });
+                    return Err(WireError::InvalidSvcParam {
+                        key: k,
+                        reason: "alpn list must be non-empty",
+                    });
                 }
                 Ok(SvcParam::Alpn(ids))
             }
             key::NO_DEFAULT_ALPN => {
                 if !value.is_empty() {
-                    return Err(WireError::InvalidSvcParam { key: k, reason: "no-default-alpn takes no value" });
+                    return Err(WireError::InvalidSvcParam {
+                        key: k,
+                        reason: "no-default-alpn takes no value",
+                    });
                 }
                 Ok(SvcParam::NoDefaultAlpn)
             }
             key::PORT => {
                 if value.len() != 2 {
-                    return Err(WireError::InvalidSvcParam { key: k, reason: "port must be exactly 2 octets" });
+                    return Err(WireError::InvalidSvcParam {
+                        key: k,
+                        reason: "port must be exactly 2 octets",
+                    });
                 }
                 Ok(SvcParam::Port(u16::from_be_bytes([value[0], value[1]])))
             }
             key::IPV4HINT => {
                 if value.is_empty() || !value.len().is_multiple_of(4) {
-                    return Err(WireError::InvalidSvcParam { key: k, reason: "ipv4hint length must be a positive multiple of 4" });
+                    return Err(WireError::InvalidSvcParam {
+                        key: k,
+                        reason: "ipv4hint length must be a positive multiple of 4",
+                    });
                 }
                 Ok(SvcParam::Ipv4Hint(
-                    value
-                        .chunks_exact(4)
-                        .map(|c| Ipv4Addr::new(c[0], c[1], c[2], c[3]))
-                        .collect(),
+                    value.chunks_exact(4).map(|c| Ipv4Addr::new(c[0], c[1], c[2], c[3])).collect(),
                 ))
             }
             key::ECH => {
                 if value.is_empty() {
-                    return Err(WireError::InvalidSvcParam { key: k, reason: "ech value must be non-empty" });
+                    return Err(WireError::InvalidSvcParam {
+                        key: k,
+                        reason: "ech value must be non-empty",
+                    });
                 }
                 Ok(SvcParam::Ech(value.to_vec()))
             }
             key::IPV6HINT => {
                 if value.is_empty() || !value.len().is_multiple_of(16) {
-                    return Err(WireError::InvalidSvcParam { key: k, reason: "ipv6hint length must be a positive multiple of 16" });
+                    return Err(WireError::InvalidSvcParam {
+                        key: k,
+                        reason: "ipv6hint length must be a positive multiple of 16",
+                    });
                 }
                 Ok(SvcParam::Ipv6Hint(
                     value
@@ -194,7 +213,9 @@ impl SvcParam {
                         .collect(),
                 ))
             }
-            key::INVALID => Err(WireError::InvalidSvcParam { key: k, reason: "key 65535 is reserved invalid" }),
+            key::INVALID => {
+                Err(WireError::InvalidSvcParam { key: k, reason: "key 65535 is reserved invalid" })
+            }
             other => Ok(SvcParam::Unknown { key: other, value: value.to_vec() }),
         }
     }
@@ -467,7 +488,9 @@ impl SvcbRdata {
                 issues.push("AliasMode record carries SvcParams".to_string());
             }
             if self.target.is_root() {
-                issues.push("AliasMode TargetName of \".\" does not provide a true alias".to_string());
+                issues.push(
+                    "AliasMode TargetName of \".\" does not provide a true alias".to_string(),
+                );
             }
         } else {
             if let Some(SvcParam::Mandatory(keys)) = self.param(key::MANDATORY) {
@@ -504,9 +527,10 @@ impl SvcbRdata {
     pub fn parse_presentation(tokens: &[&str]) -> Result<Self, ParseError> {
         let mut it = tokens.iter();
         let prio_tok = it.next().ok_or(ParseError::MissingField("SvcPriority"))?;
-        let priority: u16 = prio_tok
-            .parse()
-            .map_err(|_| ParseError::BadField { field: "SvcPriority", token: prio_tok.to_string() })?;
+        let priority: u16 = prio_tok.parse().map_err(|_| ParseError::BadField {
+            field: "SvcPriority",
+            token: prio_tok.to_string(),
+        })?;
         let target_tok = it.next().ok_or(ParseError::MissingField("TargetName"))?;
         let target = DnsName::parse(target_tok)?;
         let mut params = Vec::new();

@@ -58,10 +58,7 @@ impl<'a> WireReader<'a> {
 
     /// Read a single octet.
     pub fn read_u8(&mut self) -> Result<u8, WireError> {
-        let b = *self
-            .buf
-            .get(self.pos)
-            .ok_or(WireError::Truncated { context: "u8" })?;
+        let b = *self.buf.get(self.pos).ok_or(WireError::Truncated { context: "u8" })?;
         self.pos += 1;
         Ok(b)
     }
@@ -114,7 +111,11 @@ pub struct WireWriter {
 impl WireWriter {
     /// New empty writer with compression enabled.
     pub fn new() -> Self {
-        WireWriter { buf: Vec::with_capacity(512), compress: HashMap::new(), compression_enabled: true }
+        WireWriter {
+            buf: Vec::with_capacity(512),
+            compress: HashMap::new(),
+            compression_enabled: true,
+        }
     }
 
     /// Bytes written so far.

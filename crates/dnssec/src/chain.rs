@@ -76,10 +76,8 @@ impl Validator {
         if rrset.is_empty() {
             return ValidationState::Unsigned;
         }
-        let covering: Vec<&RrsigRdata> = rrsigs
-            .iter()
-            .filter(|s| s.type_covered == rrset[0].rtype)
-            .collect();
+        let covering: Vec<&RrsigRdata> =
+            rrsigs.iter().filter(|s| s.type_covered == rrset[0].rtype).collect();
         if covering.is_empty() {
             return ValidationState::Unsigned;
         }
@@ -251,7 +249,9 @@ mod tests {
         vec![Record::new(
             name("a.com"),
             300,
-            RData::Https(SvcbRdata::service_self(vec![dns_wire::SvcParam::Alpn(vec![b"h2".to_vec()])])),
+            RData::Https(SvcbRdata::service_self(vec![dns_wire::SvcParam::Alpn(vec![
+                b"h2".to_vec()
+            ])])),
         )]
     }
 

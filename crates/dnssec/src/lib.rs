@@ -21,4 +21,4 @@ pub mod chain;
 pub mod signer;
 
 pub use chain::{ChainSource, ValidationState, Validator};
-pub use signer::{sign_rrset, rrset_signing_bytes, ZoneKeys, SIM_ALGORITHM, SIM_DIGEST_TYPE};
+pub use signer::{rrset_signing_bytes, sign_rrset, ZoneKeys, SIM_ALGORITHM, SIM_DIGEST_TYPE};

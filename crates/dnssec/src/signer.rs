@@ -108,10 +108,8 @@ pub fn rrset_signing_bytes(sig_template: &RrsigRdata, rrset: &[Record]) -> Vec<u
         .collect();
     rdatas.sort();
     for (i, rdata) in rdatas.iter().enumerate() {
-        let owner = rrset
-            .get(i.min(rrset.len() - 1))
-            .map(|r| r.name.canonical_wire())
-            .unwrap_or_default();
+        let owner =
+            rrset.get(i.min(rrset.len() - 1)).map(|r| r.name.canonical_wire()).unwrap_or_default();
         // Owner is identical across the set; use the canonical form.
         w.put_bytes(&owner);
         w.put_u16(sig_template.type_covered.code());
@@ -161,12 +159,7 @@ pub fn sign_rrset(
 
 /// Verify an RRSIG over an RRset with a DNSKEY. Checks algorithm, key
 /// tag, signer, validity window, and the signature itself.
-pub fn verify_rrsig(
-    sig: &RrsigRdata,
-    rrset: &[Record],
-    dnskey: &DnskeyRdata,
-    now: u32,
-) -> bool {
+pub fn verify_rrsig(sig: &RrsigRdata, rrset: &[Record], dnskey: &DnskeyRdata, now: u32) -> bool {
     if rrset.is_empty()
         || sig.algorithm != SIM_ALGORITHM
         || dnskey.algorithm != SIM_ALGORITHM
@@ -192,7 +185,10 @@ pub fn verify_rrsig(
 
 /// Check a DS record against a child DNSKEY (digest match).
 pub fn ds_matches_dnskey(ds: &DsRdata, owner: &DnsName, dnskey: &DnskeyRdata) -> bool {
-    if ds.algorithm != SIM_ALGORITHM || ds.digest_type != SIM_DIGEST_TYPE || ds.key_tag != dnskey.key_tag() {
+    if ds.algorithm != SIM_ALGORITHM
+        || ds.digest_type != SIM_DIGEST_TYPE
+        || ds.key_tag != dnskey.key_tag()
+    {
         return false;
     }
     let mut w = WireWriter::new();

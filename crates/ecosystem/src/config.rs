@@ -24,7 +24,13 @@ pub struct Landmarks {
 impl Default for Landmarks {
     fn default() -> Self {
         // Day numbers computed from the paper calendar (see netsim tests).
-        Landmarks { h3_29_sunset: 23, hint_fix: 42, source_change: 85, ech_disable: 150, study_end: 328 }
+        Landmarks {
+            h3_29_sunset: 23,
+            hint_fix: 42,
+            source_change: 85,
+            ech_disable: 150,
+            study_end: 328,
+        }
     }
 }
 

@@ -122,7 +122,16 @@ impl DomainState {
     /// A deterministic IPv6 companion of an IPv4 address (for ipv6hint).
     pub fn v6_of(v4: Ipv4Addr) -> Ipv6Addr {
         let o = v4.octets();
-        Ipv6Addr::new(0x2606, 0x4700, 0, 0, 0, 0, u16::from_be_bytes([o[0], o[1]]), u16::from_be_bytes([o[2], o[3]]))
+        Ipv6Addr::new(
+            0x2606,
+            0x4700,
+            0,
+            0,
+            0,
+            0,
+            u16::from_be_bytes([o[0], o[1]]),
+            u16::from_be_bytes([o[2], o[3]]),
+        )
     }
 
     /// Whether the hint currently disagrees with the A record.
@@ -147,7 +156,11 @@ pub struct SynthesisContext {
 }
 
 /// Synthesize the HTTPS RDATA set for (domain, shape) at `ctx.day`.
-pub fn synthesize_https(d: &DomainState, shape: HttpsShape, ctx: &SynthesisContext) -> Vec<SvcbRdata> {
+pub fn synthesize_https(
+    d: &DomainState,
+    shape: HttpsShape,
+    ctx: &SynthesisContext,
+) -> Vec<SvcbRdata> {
     let hints = |rd: &mut Vec<SvcParam>| {
         rd.push(SvcParam::Ipv4Hint(vec![d.hint_ip]));
         rd.push(SvcParam::Ipv6Hint(vec![DomainState::v6_of(d.hint_ip)]));
@@ -185,15 +198,15 @@ pub fn synthesize_https(d: &DomainState, shape: HttpsShape, ctx: &SynthesisConte
             vec![SvcbRdata::service_self(params)]
         }
         HttpsShape::AliasToEndpoint => {
-            vec![SvcbRdata::alias(
-                DnsName::parse("park.secureserver.example.net").expect("static"),
-            )]
+            vec![SvcbRdata::alias(DnsName::parse("park.secureserver.example.net").expect("static"))]
         }
         HttpsShape::AliasToWww => {
             let www = d.apex.prepend("www").unwrap_or_else(|_| d.apex.clone());
             vec![SvcbRdata::alias(www)]
         }
-        HttpsShape::AliasSelfDot => vec![SvcbRdata { priority: 0, target: DnsName::root(), params: vec![] }],
+        HttpsShape::AliasSelfDot => {
+            vec![SvcbRdata { priority: 0, target: DnsName::root(), params: vec![] }]
+        }
         HttpsShape::EmptyService => vec![SvcbRdata::service_self(vec![])],
         HttpsShape::OwnerH2 => vec![SvcbRdata::service_self(vec![alpn(&["h2"])])],
         HttpsShape::OwnerH3H2Hints => {
@@ -202,7 +215,9 @@ pub fn synthesize_https(d: &DomainState, shape: HttpsShape, ctx: &SynthesisConte
             vec![SvcbRdata::service_self(params)]
         }
         HttpsShape::OwnerHttp11 => vec![SvcbRdata::service_self(vec![alpn(&["http/1.1"])])],
-        HttpsShape::OwnerDraftAlpn => vec![SvcbRdata::service_self(vec![alpn(&["h3-27", "h3-29"])])],
+        HttpsShape::OwnerDraftAlpn => {
+            vec![SvcbRdata::service_self(vec![alpn(&["h3-27", "h3-29"])])]
+        }
         HttpsShape::IpLiteralTarget => vec![SvcbRdata {
             priority: 1,
             target: DnsName::parse("1.2.3.4").expect("static"),

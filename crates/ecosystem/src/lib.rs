@@ -23,7 +23,10 @@ pub mod world;
 
 pub use config::{EcosystemConfig, Landmarks};
 pub use domain::{synthesize_https, DomainState, HttpsIntent, HttpsShape, SynthesisContext};
-pub use providers::{provider_specs, well_known, HttpsPolicy, ProviderCatalog, ProviderId, ProviderInfra, ProviderSpec};
+pub use providers::{
+    provider_specs, well_known, HttpsPolicy, ProviderCatalog, ProviderId, ProviderInfra,
+    ProviderSpec,
+};
 pub use tranco::{DailyList, TrancoModel};
 pub use whois::{Allocation, WhoisDb};
 pub use world::{CfEch, World};

@@ -90,17 +90,83 @@ pub fn provider_specs() -> Vec<ProviderSpec> {
     use well_known::*;
     use HttpsPolicy::*;
     vec![
-        ProviderSpec { id: CLOUDFLARE, org: "Cloudflare, Inc.", ns_suffix: "ns.cloudflare.com", policy: CloudflareDefault, ns_count: 3 },
-        ProviderSpec { id: CF_CHINA, org: "Cloudflare China Network", ns_suffix: "cf-ns.com", policy: CloudflareDefault, ns_count: 2 },
-        ProviderSpec { id: GODADDY, org: "GoDaddy.com, LLC", ns_suffix: "domaincontrol.com", policy: AliasToEndpoint, ns_count: 2 },
-        ProviderSpec { id: GOOGLE, org: "Google LLC", ns_suffix: "googledomains.com", policy: ServiceModeEmpty, ns_count: 2 },
-        ProviderSpec { id: ENAME, org: "eName Technology", ns_suffix: "ename.net", policy: OwnerManaged, ns_count: 2 },
-        ProviderSpec { id: NSONE, org: "NSONE, Inc.", ns_suffix: "nsone.net", policy: OwnerManaged, ns_count: 2 },
-        ProviderSpec { id: DOMENESHOP, org: "Domeneshop AS", ns_suffix: "hyp.net", policy: OwnerManaged, ns_count: 2 },
-        ProviderSpec { id: HOVER, org: "Hover", ns_suffix: "hover.com", policy: OwnerManaged, ns_count: 2 },
-        ProviderSpec { id: SELFHOST, org: "Self-hosted", ns_suffix: "self.example.net", policy: OwnerManaged, ns_count: 1 },
-        ProviderSpec { id: JPBERLIN, org: "JPBerlin", ns_suffix: "jpberlin.de", policy: OwnerManaged, ns_count: 2 },
-        ProviderSpec { id: LEGACY, org: "Legacy Registrar DNS", ns_suffix: "legacydns.example", policy: Unsupported, ns_count: 2 },
+        ProviderSpec {
+            id: CLOUDFLARE,
+            org: "Cloudflare, Inc.",
+            ns_suffix: "ns.cloudflare.com",
+            policy: CloudflareDefault,
+            ns_count: 3,
+        },
+        ProviderSpec {
+            id: CF_CHINA,
+            org: "Cloudflare China Network",
+            ns_suffix: "cf-ns.com",
+            policy: CloudflareDefault,
+            ns_count: 2,
+        },
+        ProviderSpec {
+            id: GODADDY,
+            org: "GoDaddy.com, LLC",
+            ns_suffix: "domaincontrol.com",
+            policy: AliasToEndpoint,
+            ns_count: 2,
+        },
+        ProviderSpec {
+            id: GOOGLE,
+            org: "Google LLC",
+            ns_suffix: "googledomains.com",
+            policy: ServiceModeEmpty,
+            ns_count: 2,
+        },
+        ProviderSpec {
+            id: ENAME,
+            org: "eName Technology",
+            ns_suffix: "ename.net",
+            policy: OwnerManaged,
+            ns_count: 2,
+        },
+        ProviderSpec {
+            id: NSONE,
+            org: "NSONE, Inc.",
+            ns_suffix: "nsone.net",
+            policy: OwnerManaged,
+            ns_count: 2,
+        },
+        ProviderSpec {
+            id: DOMENESHOP,
+            org: "Domeneshop AS",
+            ns_suffix: "hyp.net",
+            policy: OwnerManaged,
+            ns_count: 2,
+        },
+        ProviderSpec {
+            id: HOVER,
+            org: "Hover",
+            ns_suffix: "hover.com",
+            policy: OwnerManaged,
+            ns_count: 2,
+        },
+        ProviderSpec {
+            id: SELFHOST,
+            org: "Self-hosted",
+            ns_suffix: "self.example.net",
+            policy: OwnerManaged,
+            ns_count: 1,
+        },
+        ProviderSpec {
+            id: JPBERLIN,
+            org: "JPBerlin",
+            ns_suffix: "jpberlin.de",
+            policy: OwnerManaged,
+            ns_count: 2,
+        },
+        ProviderSpec {
+            id: LEGACY,
+            org: "Legacy Registrar DNS",
+            ns_suffix: "legacydns.example",
+            policy: Unsupported,
+            ns_count: 2,
+        },
     ]
 }
 

@@ -87,13 +87,16 @@ impl TrancoModel {
             // Source change: a slice of the universe gets re-sampled
             // weights from the change day onward.
             if day >= self.source_change_day {
-                let mut reshuffle_rng =
-                    StdRng::seed_from_u64(self.seed ^ 0xC0FFEE ^ (i as u64));
+                let mut reshuffle_rng = StdRng::seed_from_u64(self.seed ^ 0xC0FFEE ^ (i as u64));
                 if reshuffle_rng.gen_bool(self.reshuffle_fraction) {
                     base = reshuffle_rng.gen_range(0.0..1.0) * reshuffle_rng.gen_range(0.0..0.02);
                 }
             }
-            let noise: f64 = normal_sample(&mut rng) * p.sigma;
+            // Mean-corrected lognormal noise (E[exp] = 1): without the
+            // −σ²/2 drift term, high-σ churners' heavy upper tail
+            // systematically out-scores stable domains on the days they
+            // spike into the list, inverting the Fig 8 rank shape.
+            let noise: f64 = normal_sample(&mut rng) * p.sigma - p.sigma * p.sigma / 2.0;
             scores.push((base * noise.exp(), i as u32));
         }
         scores.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
@@ -174,9 +177,7 @@ mod tests {
         let day_before = model.list_for_day(84).id_set();
         let day_after = model.list_for_day(85).id_set();
         let cross = day_before.intersection(&day_after).count();
-        let same_side = day_before
-            .intersection(&model.list_for_day(83).id_set())
-            .count();
+        let same_side = day_before.intersection(&model.list_for_day(83).id_set()).count();
         assert!(
             cross < same_side,
             "source change should disrupt composition more than daily churn ({cross} vs {same_side})"

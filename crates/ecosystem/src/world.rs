@@ -144,7 +144,11 @@ impl World {
         for (net_addr, org) in catalog.whois_blocks() {
             whois.allocate(net_addr, 24, org);
         }
-        whois.allocate(Ipv4Addr::new(172, 16 + well_known::NSONE.0 as u8, 0, 128), 26, "BYOIP Customer Org");
+        whois.allocate(
+            Ipv4Addr::new(172, 16 + well_known::NSONE.0 as u8, 0, 128),
+            26,
+            "BYOIP Customer Org",
+        );
 
         let mut world = World {
             config,
@@ -387,7 +391,12 @@ impl World {
             } else {
                 None
             };
-            let migrate = if is_cf && proxied0 && toggle_period.is_none() && migrations_left > 0 && rng.gen_bool(0.2) {
+            let migrate = if is_cf
+                && proxied0
+                && toggle_period.is_none()
+                && migrations_left > 0
+                && rng.gen_bool(0.2)
+            {
                 migrations_left -= 1;
                 Some((rng.gen_range(days / 4..days * 3 / 4), well_known::LEGACY))
             } else {
@@ -415,10 +424,7 @@ impl World {
 
             // ECH rides Cloudflare's auto-activation for free (default
             // config) zones; customized/paid zones rarely carry it.
-            let is_default_shape = matches!(
-                intent,
-                HttpsIntent::CfProxied(HttpsShape::CfDefault)
-            );
+            let is_default_shape = matches!(intent, HttpsIntent::CfProxied(HttpsShape::CfDefault));
             let ech_enabled = is_default_shape && rng.gen_bool(cfg.ech_rate_apex);
             let hint_ip = if permanent_mismatch { self.alloc_ip() } else { ip };
 
@@ -495,7 +501,8 @@ impl World {
         let build_zone = |with_https: bool| -> Zone {
             let mut zone = Zone::new(d.apex.clone());
             // NS records reflect the full (possibly mixed) NS set.
-            let mut ns_names: Vec<DnsName> = primary.endpoints.iter().map(|e| e.name.clone()).collect();
+            let mut ns_names: Vec<DnsName> =
+                primary.endpoints.iter().map(|e| e.name.clone()).collect();
             if let Some(sec) = d.secondary_provider {
                 ns_names.extend(self.catalog.get(sec).endpoints.iter().map(|e| e.name.clone()));
             }
@@ -503,12 +510,20 @@ impl World {
                 zone.add(Record::new(d.apex.clone(), 3600, RData::Ns(ns.clone())));
             }
             zone.add(Record::new(d.apex.clone(), cfg.cf_https_ttl, RData::A(d.a_ip)));
-            zone.add(Record::new(d.apex.clone(), cfg.cf_https_ttl, RData::Aaaa(DomainState::v6_of(d.a_ip))));
+            zone.add(Record::new(
+                d.apex.clone(),
+                cfg.cf_https_ttl,
+                RData::Aaaa(DomainState::v6_of(d.a_ip)),
+            ));
             zone.add(Record::new(www.clone(), cfg.cf_https_ttl, RData::A(d.a_ip)));
             if with_https && publishes {
                 if let Some(shape) = d.shape() {
                     for rd in synthesize_https(&d, shape, &ctx) {
-                        zone.add(Record::new(d.apex.clone(), cfg.cf_https_ttl, RData::Https(rd.clone())));
+                        zone.add(Record::new(
+                            d.apex.clone(),
+                            cfg.cf_https_ttl,
+                            RData::Https(rd.clone()),
+                        ));
                         if d.www_https {
                             zone.add(Record::new(www.clone(), cfg.cf_https_ttl, RData::Https(rd)));
                         }
@@ -562,11 +577,7 @@ impl World {
         if d.permanent_mismatch {
             self.network.bind_stream(IpAddr::V4(d.hint_ip), 443, server.clone());
         }
-        self.network.bind_stream(
-            IpAddr::V4(d.ip),
-            80,
-            Arc::new(HttpServer { host: d.apex.key() }),
-        );
+        self.network.bind_stream(IpAddr::V4(d.ip), 80, Arc::new(HttpServer { host: d.apex.key() }));
         self.web_servers.insert(d.id, server);
     }
 
@@ -632,7 +643,8 @@ impl World {
                     let old = d.ip;
                     // Allocate outside the borrow below.
                     d.old_ip_live = if rng.gen_bool(0.8) { Some(old) } else { None };
-                    let lag = 1 + rng.gen_range(0..(2.0 * self.config.hint_lag_mean_days) as u64 + 1);
+                    let lag =
+                        1 + rng.gen_range(0..(2.0 * self.config.hint_lag_mean_days) as u64 + 1);
                     // Direction: 65% the A record lags (reachable only via
                     // hints), 35% the hint lags.
                     let a_lags = rng.gen_bool(0.65);
@@ -657,9 +669,10 @@ impl World {
 
                 // Landmark days force re-synthesis of Cloudflare records.
                 if (day == lm.h3_29_sunset || day == lm.ech_disable)
-                    && matches!(d.intent, HttpsIntent::CfProxied(_)) {
-                        changed = true;
-                    }
+                    && matches!(d.intent, HttpsIntent::CfProxied(_))
+                {
+                    changed = true;
+                }
                 // ECH rotation changes record bytes for ECH domains.
                 if rotated && d.ech_enabled && day < lm.ech_disable {
                     changed = true;
@@ -790,14 +803,18 @@ mod tests {
         let lm = w.config.landmarks;
         w.step_to_day(lm.ech_disable - 1);
         let has_ech_before = w.domains.iter().any(|d| {
-            d.ech_enabled && w.publishes_today(d) && matches!(d.intent, HttpsIntent::CfProxied(HttpsShape::CfDefault))
+            d.ech_enabled
+                && w.publishes_today(d)
+                && matches!(d.intent, HttpsIntent::CfProxied(HttpsShape::CfDefault))
         });
         assert!(has_ech_before);
         // Check an actual zone's record bytes.
         let probe = w
             .domains
             .iter()
-            .find(|d| d.ech_enabled && w.publishes_today(d) && d.shape() == Some(HttpsShape::CfDefault))
+            .find(|d| {
+                d.ech_enabled && w.publishes_today(d) && d.shape() == Some(HttpsShape::CfDefault)
+            })
             .expect("an ECH domain exists")
             .clone();
         let infra = w.catalog.get(probe.provider);
@@ -856,12 +873,7 @@ mod tests {
     #[test]
     fn toggling_domain_loses_and_regains_record() {
         let mut w = tiny_world();
-        let Some(probe) = w
-            .domains
-            .iter()
-            .find(|d| d.toggle_period.is_some())
-            .map(|d| d.id)
-        else {
+        let Some(probe) = w.domains.iter().find(|d| d.toggle_period.is_some()).map(|d| d.id) else {
             panic!("tiny config guarantees toggling domains");
         };
         let period = w.domain(probe).toggle_period.unwrap();
@@ -884,12 +896,8 @@ mod tests {
     #[test]
     fn permanent_mismatch_domains_exist_and_never_sync() {
         let mut w = tiny_world();
-        let ids: Vec<u32> = w
-            .domains
-            .iter()
-            .filter(|d| d.permanent_mismatch)
-            .map(|d| d.id)
-            .collect();
+        let ids: Vec<u32> =
+            w.domains.iter().filter(|d| d.permanent_mismatch).map(|d| d.id).collect();
         assert!(!ids.is_empty());
         w.step_to_day(50);
         for id in ids {

@@ -207,7 +207,15 @@ mod tests {
 
     #[test]
     fn civil_round_trip() {
-        for (y, m, d) in [(1970, 1, 1), (2000, 2, 29), (2023, 5, 8), (2023, 8, 1), (2023, 10, 5), (2024, 2, 29), (2024, 3, 31)] {
+        for (y, m, d) in [
+            (1970, 1, 1),
+            (2000, 2, 29),
+            (2023, 5, 8),
+            (2023, 8, 1),
+            (2023, 10, 5),
+            (2024, 2, 29),
+            (2024, 3, 31),
+        ] {
             let date = CivilDate::new(y, m, d);
             assert_eq!(CivilDate::from_days(date.days_from_civil()), date);
         }

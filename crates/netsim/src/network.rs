@@ -12,6 +12,7 @@ use parking_lot::RwLock;
 use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::net::IpAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Errors surfaced by simulated network operations.
@@ -60,7 +61,38 @@ struct NetworkState {
     datagram: HashMap<(IpAddr, u16), Arc<dyn DatagramService>>,
     stream: HashMap<(IpAddr, u16), Arc<dyn StreamService>>,
     unreachable: HashSet<IpAddr>,
-    stats: TrafficStats,
+}
+
+/// Lock-free traffic counters: sends are the hottest path in a batched
+/// scan, and counting through the topology `RwLock` would serialize
+/// every parallel worker on a write lock just to bump a statistic.
+#[derive(Default)]
+struct TrafficCounters {
+    datagrams_sent: AtomicU64,
+    datagrams_answered: AtomicU64,
+    streams_opened: AtomicU64,
+    streams_completed: AtomicU64,
+    connect_failures: AtomicU64,
+}
+
+impl TrafficCounters {
+    fn snapshot(&self) -> TrafficStats {
+        TrafficStats {
+            datagrams_sent: self.datagrams_sent.load(Ordering::Relaxed),
+            datagrams_answered: self.datagrams_answered.load(Ordering::Relaxed),
+            streams_opened: self.streams_opened.load(Ordering::Relaxed),
+            streams_completed: self.streams_completed.load(Ordering::Relaxed),
+            connect_failures: self.connect_failures.load(Ordering::Relaxed),
+        }
+    }
+
+    fn reset(&self) {
+        self.datagrams_sent.store(0, Ordering::Relaxed);
+        self.datagrams_answered.store(0, Ordering::Relaxed);
+        self.streams_opened.store(0, Ordering::Relaxed);
+        self.streams_completed.store(0, Ordering::Relaxed);
+        self.connect_failures.store(0, Ordering::Relaxed);
+    }
 }
 
 /// Counters of simulated traffic, for benches and pacing assertions
@@ -84,13 +116,18 @@ pub struct TrafficStats {
 #[derive(Clone)]
 pub struct Network {
     state: Arc<RwLock<NetworkState>>,
+    stats: Arc<TrafficCounters>,
     clock: SimClock,
 }
 
 impl Network {
     /// Create an empty network driven by `clock`.
     pub fn new(clock: SimClock) -> Self {
-        Network { state: Arc::new(RwLock::new(NetworkState::default())), clock }
+        Network {
+            state: Arc::new(RwLock::new(NetworkState::default())),
+            stats: Arc::new(TrafficCounters::default()),
+            clock,
+        }
     }
 
     /// The clock driving this network.
@@ -135,49 +172,60 @@ impl Network {
         self.state.read().unreachable.contains(&ip)
     }
 
-    /// Send one datagram and wait for the response.
-    pub fn send_datagram(&self, dst: IpAddr, port: u16, payload: &[u8]) -> Result<Vec<u8>, NetError> {
+    /// Send one datagram and wait for the response. Only takes a read
+    /// lock on the topology, so parallel senders do not serialize.
+    pub fn send_datagram(
+        &self,
+        dst: IpAddr,
+        port: u16,
+        payload: &[u8],
+    ) -> Result<Vec<u8>, NetError> {
+        self.stats.datagrams_sent.fetch_add(1, Ordering::Relaxed);
         let svc = {
-            let mut st = self.state.write();
-            st.stats.datagrams_sent += 1;
+            let st = self.state.read();
             if st.unreachable.contains(&dst) {
-                st.stats.connect_failures += 1;
+                self.stats.connect_failures.fetch_add(1, Ordering::Relaxed);
                 return Err(NetError::Unreachable(dst));
             }
             match st.datagram.get(&(dst, port)) {
                 Some(svc) => Arc::clone(svc),
                 None => {
-                    st.stats.connect_failures += 1;
+                    self.stats.connect_failures.fetch_add(1, Ordering::Relaxed);
                     return Err(NetError::ConnectionRefused(dst, port));
                 }
             }
         };
         let now = self.clock.now();
         let resp = svc.handle(payload, now)?;
-        self.state.write().stats.datagrams_answered += 1;
+        self.stats.datagrams_answered.fetch_add(1, Ordering::Relaxed);
         Ok(resp)
     }
 
     /// Open a stream to `dst:port` and perform one message exchange.
-    pub fn stream_exchange(&self, dst: IpAddr, port: u16, message: &[u8]) -> Result<Vec<u8>, NetError> {
+    pub fn stream_exchange(
+        &self,
+        dst: IpAddr,
+        port: u16,
+        message: &[u8],
+    ) -> Result<Vec<u8>, NetError> {
+        self.stats.streams_opened.fetch_add(1, Ordering::Relaxed);
         let svc = {
-            let mut st = self.state.write();
-            st.stats.streams_opened += 1;
+            let st = self.state.read();
             if st.unreachable.contains(&dst) {
-                st.stats.connect_failures += 1;
+                self.stats.connect_failures.fetch_add(1, Ordering::Relaxed);
                 return Err(NetError::Unreachable(dst));
             }
             match st.stream.get(&(dst, port)) {
                 Some(svc) => Arc::clone(svc),
                 None => {
-                    st.stats.connect_failures += 1;
+                    self.stats.connect_failures.fetch_add(1, Ordering::Relaxed);
                     return Err(NetError::ConnectionRefused(dst, port));
                 }
             }
         };
         let now = self.clock.now();
         let resp = svc.exchange(message, now)?;
-        self.state.write().stats.streams_completed += 1;
+        self.stats.streams_completed.fetch_add(1, Ordering::Relaxed);
         Ok(resp)
     }
 
@@ -196,12 +244,12 @@ impl Network {
 
     /// Snapshot of traffic counters.
     pub fn stats(&self) -> TrafficStats {
-        self.state.read().stats
+        self.stats.snapshot()
     }
 
     /// Reset traffic counters (between bench iterations).
     pub fn reset_stats(&self) {
-        self.state.write().stats = TrafficStats::default();
+        self.stats.reset();
     }
 }
 
@@ -212,7 +260,7 @@ impl fmt::Debug for Network {
             .field("datagram_bindings", &st.datagram.len())
             .field("stream_bindings", &st.stream.len())
             .field("unreachable", &st.unreachable.len())
-            .field("stats", &st.stats)
+            .field("stats", &self.stats.snapshot())
             .finish()
     }
 }

@@ -1,16 +1,35 @@
-//! The resolver's TTL-driven record cache.
+//! The resolver's TTL-driven record cache, sharded for concurrency.
 //!
 //! Cache staleness is the mechanism behind two of the paper's findings:
 //! IP-hint/A mismatches persisting after synchronized zone updates
 //! (§4.3.5) and ECH key mismatches under hourly rotation (§4.4.2). The
 //! cache therefore keeps precise per-entry expiry against the simulated
 //! clock, plus negative entries with SOA-minimum TTLs.
+//!
+//! ## Sharding
+//!
+//! The cache is split into N independent shards, each guarded by its own
+//! [`parking_lot::Mutex`]. A lookup or insert hashes the **owner name**
+//! (case-folded, via FNV-1a) and touches exactly one shard, so batch
+//! workloads ([`crate::engine::QueryEngine::resolve_batch`]) scale with
+//! available threads instead of serializing on a single lock. All entries
+//! for one owner name land in one shard regardless of record type, which
+//! keeps a CNAME-chase for a name on a single lock path.
+//!
+//! Sharding is invisible in the API: statistics aggregate across shards,
+//! and behaviour (hits, misses, expirations, eviction) is identical for
+//! any shard count — a property pinned by this module's tests.
 
 use dns_wire::record::RrsigRdata;
 use dns_wire::{DnsName, Rcode, Record, RecordType};
 use netsim::Timestamp;
 use parking_lot::Mutex;
 use std::collections::HashMap;
+
+/// Default shard count: enough to keep a typical worker fan-out (the
+/// scanner uses 4–8 threads) contention-free without wasting memory on
+/// tiny caches.
+pub const DEFAULT_SHARDS: usize = 16;
 
 /// A positive or negative cached answer.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -49,30 +68,78 @@ pub struct CacheStats {
     pub insertions: u64,
 }
 
-/// TTL cache keyed by `(owner name, record type)`.
+impl CacheStats {
+    fn merge(&mut self, other: CacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.expirations += other.expirations;
+        self.insertions += other.insertions;
+    }
+}
+
 #[derive(Default)]
+struct Shard {
+    entries: HashMap<(String, u16), Entry>,
+    stats: CacheStats,
+}
+
+/// TTL cache keyed by `(owner name, record type)`, sharded by owner name.
 pub struct RecordCache {
-    inner: Mutex<CacheInner>,
+    shards: Vec<Mutex<Shard>>,
     /// Optional TTL clamp (seconds); `Some(c)` caps every entry's
     /// lifetime at `c`, the knob used by the Fig 12 ablation.
     ttl_clamp: Option<u32>,
 }
 
-#[derive(Default)]
-struct CacheInner {
-    entries: HashMap<(String, u16), Entry>,
-    stats: CacheStats,
+impl Default for RecordCache {
+    fn default() -> RecordCache {
+        RecordCache::with_config(DEFAULT_SHARDS, None)
+    }
+}
+
+/// FNV-1a over the case-folded owner key; stable across runs (no
+/// `RandomState`), so shard assignment is deterministic. Shared with
+/// the engine's worker-affinity partition, which must use the same
+/// stable hash.
+pub(crate) fn fnv1a(key: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in key.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
 }
 
 impl RecordCache {
-    /// An empty cache with no TTL clamp.
+    /// An empty cache with the default shard count and no TTL clamp.
     pub fn new() -> RecordCache {
         RecordCache::default()
     }
 
     /// An empty cache clamping every TTL at `clamp` seconds.
     pub fn with_ttl_clamp(clamp: u32) -> RecordCache {
-        RecordCache { inner: Mutex::new(CacheInner::default()), ttl_clamp: Some(clamp) }
+        RecordCache::with_config(DEFAULT_SHARDS, Some(clamp))
+    }
+
+    /// An empty cache with `shards` shards (minimum 1) and no clamp.
+    pub fn with_shards(shards: usize) -> RecordCache {
+        RecordCache::with_config(shards, None)
+    }
+
+    /// An empty cache with explicit shard count and optional TTL clamp.
+    pub fn with_config(shards: usize, ttl_clamp: Option<u32>) -> RecordCache {
+        let n = shards.max(1);
+        RecordCache { shards: (0..n).map(|_| Mutex::new(Shard::default())).collect(), ttl_clamp }
+    }
+
+    /// Number of shards (for benches and diagnostics).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard_for(&self, owner_key: &str) -> &Mutex<Shard> {
+        let idx = (fnv1a(owner_key) % self.shards.len() as u64) as usize;
+        &self.shards[idx]
     }
 
     fn effective_ttl(&self, ttl: u32) -> u32 {
@@ -95,10 +162,11 @@ impl RecordCache {
             return;
         }
         let ttl = self.effective_ttl(records.iter().map(|r| r.ttl).min().unwrap_or(0));
-        let mut inner = self.inner.lock();
-        inner.stats.insertions += 1;
-        inner.entries.insert(
-            (name.key(), rtype.code()),
+        let key = name.key();
+        let mut shard = self.shard_for(&key).lock();
+        shard.stats.insertions += 1;
+        shard.entries.insert(
+            (key, rtype.code()),
             Entry {
                 answer: CachedAnswer::Positive { records, rrsigs },
                 inserted: now,
@@ -118,10 +186,11 @@ impl RecordCache {
         now: Timestamp,
     ) {
         let ttl = self.effective_ttl(ttl);
-        let mut inner = self.inner.lock();
-        inner.stats.insertions += 1;
-        inner.entries.insert(
-            (name.key(), rtype.code()),
+        let key = name.key();
+        let mut shard = self.shard_for(&key).lock();
+        shard.stats.insertions += 1;
+        shard.entries.insert(
+            (key, rtype.code()),
             Entry {
                 answer: CachedAnswer::Negative { rcode },
                 inserted: now,
@@ -133,21 +202,21 @@ impl RecordCache {
     /// Fetch a live entry; expired entries are evicted.
     pub fn get(&self, name: &DnsName, rtype: RecordType, now: Timestamp) -> Option<CachedAnswer> {
         let key = (name.key(), rtype.code());
-        let mut inner = self.inner.lock();
-        match inner.entries.get(&key) {
+        let mut shard = self.shard_for(&key.0).lock();
+        match shard.entries.get(&key) {
             Some(entry) if entry.expires > now => {
                 let answer = entry.answer.clone();
-                inner.stats.hits += 1;
+                shard.stats.hits += 1;
                 Some(answer)
             }
             Some(_) => {
-                inner.entries.remove(&key);
-                inner.stats.expirations += 1;
-                inner.stats.misses += 1;
+                shard.entries.remove(&key);
+                shard.stats.expirations += 1;
+                shard.stats.misses += 1;
                 None
             }
             None => {
-                inner.stats.misses += 1;
+                shard.stats.misses += 1;
                 None
             }
         }
@@ -156,32 +225,34 @@ impl RecordCache {
     /// Age in seconds of the live entry at (name, type), if any.
     pub fn age(&self, name: &DnsName, rtype: RecordType, now: Timestamp) -> Option<u64> {
         let key = (name.key(), rtype.code());
-        let inner = self.inner.lock();
-        inner
-            .entries
-            .get(&key)
-            .filter(|e| e.expires > now)
-            .map(|e| now.since(e.inserted))
+        let shard = self.shard_for(&key.0).lock();
+        shard.entries.get(&key).filter(|e| e.expires > now).map(|e| now.since(e.inserted))
     }
 
     /// Drop every entry (the testbed's "clear local DNS cache" step).
     pub fn flush(&self) {
-        self.inner.lock().entries.clear();
+        for shard in &self.shards {
+            shard.lock().entries.clear();
+        }
     }
 
-    /// Current statistics snapshot.
+    /// Current statistics snapshot, aggregated across shards.
     pub fn stats(&self) -> CacheStats {
-        self.inner.lock().stats
+        let mut total = CacheStats::default();
+        for shard in &self.shards {
+            total.merge(shard.lock().stats);
+        }
+        total
     }
 
     /// Number of entries currently stored (live and expired-but-unswept).
     pub fn len(&self) -> usize {
-        self.inner.lock().entries.len()
+        self.shards.iter().map(|s| s.lock().entries.len()).sum()
     }
 
     /// Whether the cache is empty.
     pub fn is_empty(&self) -> bool {
-        self.inner.lock().entries.is_empty()
+        self.shards.iter().all(|s| s.lock().entries.is_empty())
     }
 }
 
@@ -202,7 +273,13 @@ mod tests {
     #[test]
     fn hit_until_ttl_expiry() {
         let cache = RecordCache::new();
-        cache.insert_positive(&name("a.com"), RecordType::A, vec![a_record(300)], vec![], Timestamp(0));
+        cache.insert_positive(
+            &name("a.com"),
+            RecordType::A,
+            vec![a_record(300)],
+            vec![],
+            Timestamp(0),
+        );
         assert!(cache.get(&name("a.com"), RecordType::A, Timestamp(299)).is_some());
         assert!(cache.get(&name("a.com"), RecordType::A, Timestamp(300)).is_none());
         // After expiry the entry is evicted.
@@ -224,7 +301,13 @@ mod tests {
     #[test]
     fn negative_caching() {
         let cache = RecordCache::new();
-        cache.insert_negative(&name("gone.com"), RecordType::Https, Rcode::NxDomain, 300, Timestamp(0));
+        cache.insert_negative(
+            &name("gone.com"),
+            RecordType::Https,
+            Rcode::NxDomain,
+            300,
+            Timestamp(0),
+        );
         match cache.get(&name("gone.com"), RecordType::Https, Timestamp(100)) {
             Some(CachedAnswer::Negative { rcode }) => assert_eq!(rcode, Rcode::NxDomain),
             other => panic!("{other:?}"),
@@ -235,7 +318,13 @@ mod tests {
     #[test]
     fn ttl_clamp_caps_lifetime() {
         let cache = RecordCache::with_ttl_clamp(30);
-        cache.insert_positive(&name("a.com"), RecordType::A, vec![a_record(300)], vec![], Timestamp(0));
+        cache.insert_positive(
+            &name("a.com"),
+            RecordType::A,
+            vec![a_record(300)],
+            vec![],
+            Timestamp(0),
+        );
         assert!(cache.get(&name("a.com"), RecordType::A, Timestamp(29)).is_some());
         assert!(cache.get(&name("a.com"), RecordType::A, Timestamp(31)).is_none());
     }
@@ -243,7 +332,13 @@ mod tests {
     #[test]
     fn flush_clears() {
         let cache = RecordCache::new();
-        cache.insert_positive(&name("a.com"), RecordType::A, vec![a_record(300)], vec![], Timestamp(0));
+        cache.insert_positive(
+            &name("a.com"),
+            RecordType::A,
+            vec![a_record(300)],
+            vec![],
+            Timestamp(0),
+        );
         cache.flush();
         assert!(cache.get(&name("a.com"), RecordType::A, Timestamp(1)).is_none());
         assert!(cache.is_empty());
@@ -252,7 +347,13 @@ mod tests {
     #[test]
     fn age_tracks_insertion() {
         let cache = RecordCache::new();
-        cache.insert_positive(&name("a.com"), RecordType::A, vec![a_record(300)], vec![], Timestamp(100));
+        cache.insert_positive(
+            &name("a.com"),
+            RecordType::A,
+            vec![a_record(300)],
+            vec![],
+            Timestamp(100),
+        );
         assert_eq!(cache.age(&name("a.com"), RecordType::A, Timestamp(150)), Some(50));
         assert_eq!(cache.age(&name("a.com"), RecordType::A, Timestamp(500)), None);
     }
@@ -260,7 +361,13 @@ mod tests {
     #[test]
     fn types_are_separate_keys() {
         let cache = RecordCache::new();
-        cache.insert_positive(&name("a.com"), RecordType::A, vec![a_record(300)], vec![], Timestamp(0));
+        cache.insert_positive(
+            &name("a.com"),
+            RecordType::A,
+            vec![a_record(300)],
+            vec![],
+            Timestamp(0),
+        );
         assert!(cache.get(&name("a.com"), RecordType::Https, Timestamp(1)).is_none());
         assert!(cache.get(&name("a.com"), RecordType::A, Timestamp(1)).is_some());
     }
@@ -268,7 +375,13 @@ mod tests {
     #[test]
     fn case_insensitive_keying() {
         let cache = RecordCache::new();
-        cache.insert_positive(&name("A.COM"), RecordType::A, vec![a_record(300)], vec![], Timestamp(0));
+        cache.insert_positive(
+            &name("A.COM"),
+            RecordType::A,
+            vec![a_record(300)],
+            vec![],
+            Timestamp(0),
+        );
         assert!(cache.get(&name("a.com"), RecordType::A, Timestamp(1)).is_some());
     }
 
@@ -277,5 +390,35 @@ mod tests {
         let cache = RecordCache::new();
         cache.insert_positive(&name("a.com"), RecordType::A, vec![], vec![], Timestamp(0));
         assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn single_shard_degenerate_case_works() {
+        let cache = RecordCache::with_shards(1);
+        assert_eq!(cache.shard_count(), 1);
+        for i in 0..32 {
+            let n = name(&format!("d{i}.example"));
+            cache.insert_positive(&n, RecordType::A, vec![a_record(60)], vec![], Timestamp(0));
+        }
+        assert_eq!(cache.len(), 32);
+        assert_eq!(cache.stats().insertions, 32);
+    }
+
+    #[test]
+    fn entries_spread_across_shards() {
+        let cache = RecordCache::with_shards(16);
+        for i in 0..256 {
+            let n = name(&format!("d{i}.example"));
+            cache.insert_positive(&n, RecordType::A, vec![a_record(60)], vec![], Timestamp(0));
+        }
+        assert_eq!(cache.len(), 256);
+        let populated = cache.shards.iter().filter(|s| !s.lock().entries.is_empty()).count();
+        assert!(populated > 8, "expected a spread, got {populated} populated shards");
+    }
+
+    #[test]
+    fn shard_count_clamped_to_one() {
+        let cache = RecordCache::with_shards(0);
+        assert_eq!(cache.shard_count(), 1);
     }
 }

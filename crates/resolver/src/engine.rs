@@ -1,0 +1,224 @@
+//! The shared query engine: one resolution front-end for every consumer.
+//!
+//! The scanner, the browser testbed, and the benches all used to
+//! hand-roll their own query loops against a [`RecursiveResolver`]. The
+//! [`QueryEngine`] replaces those loops with one object that owns the
+//! resolver (and through it the sharded [`RecordCache`]) and exposes two
+//! paths:
+//!
+//! - [`QueryEngine::resolve`] — the existing single-query path,
+//!   unchanged semantics;
+//! - [`QueryEngine::resolve_batch`] — resolve many queries with a
+//!   deterministic worker fan-out over the simulated network.
+//!
+//! ## Batch semantics and the determinism contract
+//!
+//! `resolve_batch(queries, threads)` returns one result per input query,
+//! **in input order**, and is deterministic in the following sense:
+//!
+//! 1. **Deduplication.** Queries are deduplicated on `(owner name,
+//!    record type)` before the fan-out; each distinct query is resolved
+//!    exactly once per batch and duplicate positions receive a clone of
+//!    that single resolution. Whether a duplicate "would have" hit the
+//!    cache therefore does not depend on scheduling.
+//! 2. **Zone-affinity assignment.** Distinct queries are assigned to
+//!    workers by a stable hash of their authoritative zone apex (from
+//!    the delegation registry), and each worker resolves its queries in
+//!    input order. There is no work stealing. All queries against one
+//!    zone therefore resolve on one worker, in input order, so
+//!    [`SelectionStrategy::RoundRobin`](crate::SelectionStrategy) —
+//!    whose state is per-zone rotation counters — consumes that state
+//!    in the same sequence for **every thread count**; this is what
+//!    keeps the paper's §4.2.3 mixed-provider flapping reproducible
+//!    under a parallel scanner.
+//!    [`SelectionStrategy::Random`](crate::SelectionStrategy) is the
+//!    exception: it draws from one RNG shared across zones, so with
+//!    more than one worker its pick sequence depends on interleaving —
+//!    batches under `Random` are only reproducible where endpoint data
+//!    is consistent (or with `threads == 1`).
+//! 3. **Time is frozen.** The simulated clock does not advance during a
+//!    batch, so every query sees the same `now` and cache-expiry
+//!    decisions are interleaving-independent. Cache entries written by
+//!    concurrent workers for the same RRset are byte-identical, so
+//!    last-writer-wins races cannot change any answer.
+//!
+//! Under those rules a batch's results match a sequential resolution of
+//! the same distinct queries, independent of thread count. The residual
+//! caveat: a query whose resolution *crosses* zones (a CNAME chase, or
+//! the DS lookup walking into the parent) can touch another worker's
+//! zone concurrently; this only matters when that other zone's endpoints
+//! serve divergent data for the same name, which does not occur in the
+//! modelled ecosystem (divergence is confined to apex zones with mixed
+//! NS sets, and every query for an apex zone shares a worker).
+
+use crate::cache::{fnv1a, RecordCache};
+use crate::resolver::{RecursiveResolver, Resolution, ResolveError, ResolverConfig};
+use authserver::DelegationRegistry;
+use dns_wire::{DnsName, RecordType};
+use netsim::Network;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// One query in a batch: an owner name and a record type.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Query {
+    /// Owner name to resolve.
+    pub name: DnsName,
+    /// Record type to resolve.
+    pub rtype: RecordType,
+}
+
+impl Query {
+    /// Construct a query.
+    pub fn new(name: DnsName, rtype: RecordType) -> Query {
+        Query { name, rtype }
+    }
+
+    fn key(&self) -> (String, u16) {
+        (self.name.key(), self.rtype.code())
+    }
+}
+
+/// The shared, batch-capable resolution engine.
+pub struct QueryEngine {
+    resolver: Arc<RecursiveResolver>,
+}
+
+impl QueryEngine {
+    /// Build an engine with its own resolver on `network`/`registry`.
+    pub fn new(
+        network: Network,
+        registry: DelegationRegistry,
+        config: ResolverConfig,
+    ) -> QueryEngine {
+        QueryEngine { resolver: Arc::new(RecursiveResolver::new(network, registry, config)) }
+    }
+
+    /// Wrap an existing shared resolver (e.g. one also bound to the
+    /// network as a public-resolver datagram service).
+    pub fn from_resolver(resolver: Arc<RecursiveResolver>) -> QueryEngine {
+        QueryEngine { resolver }
+    }
+
+    /// The underlying resolver.
+    pub fn resolver(&self) -> &Arc<RecursiveResolver> {
+        &self.resolver
+    }
+
+    /// The resolver's sharded cache.
+    pub fn cache(&self) -> &RecordCache {
+        self.resolver.cache()
+    }
+
+    /// The simulated network handle.
+    pub fn network(&self) -> &Network {
+        self.resolver.network()
+    }
+
+    /// Resolve one query at the current simulated time.
+    pub fn resolve(&self, name: &DnsName, rtype: RecordType) -> Result<Resolution, ResolveError> {
+        self.resolver.resolve(name, rtype)
+    }
+
+    /// Resolve a batch of queries with `threads` workers, returning one
+    /// result per query in input order. See the module docs for the
+    /// determinism contract.
+    pub fn resolve_batch(
+        &self,
+        queries: &[Query],
+        threads: usize,
+    ) -> Vec<Result<Resolution, ResolveError>> {
+        // Deduplicate, preserving first-occurrence order.
+        let mut index_of: HashMap<(String, u16), usize> = HashMap::new();
+        let mut distinct: Vec<&Query> = Vec::new();
+        let mut positions: Vec<usize> = Vec::with_capacity(queries.len());
+        for q in queries {
+            let next = distinct.len();
+            let idx = *index_of.entry(q.key()).or_insert_with(|| {
+                distinct.push(q);
+                next
+            });
+            positions.push(idx);
+        }
+
+        let threads = threads.clamp(1, distinct.len().max(1));
+        let mut resolved: Vec<Option<Result<Resolution, ResolveError>>> =
+            vec![None; distinct.len()];
+
+        if threads == 1 {
+            for (slot, q) in resolved.iter_mut().zip(&distinct) {
+                *slot = Some(self.resolver.resolve(&q.name, q.rtype));
+            }
+        } else {
+            // Zone-affinity partition: every query for one zone lands on
+            // one worker (see the module docs).
+            let mut assignment: Vec<Vec<usize>> = vec![Vec::new(); threads];
+            for (i, q) in distinct.iter().enumerate() {
+                assignment[(fnv1a(&self.affinity_key(q)) % threads as u64) as usize].push(i);
+            }
+            let chunks: Vec<Vec<(usize, Result<Resolution, ResolveError>)>> =
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = assignment
+                        .iter()
+                        .map(|indices| {
+                            let resolver = &self.resolver;
+                            let distinct = &distinct;
+                            scope.spawn(move || {
+                                indices
+                                    .iter()
+                                    .map(|&i| {
+                                        let q = distinct[i];
+                                        (i, resolver.resolve(&q.name, q.rtype))
+                                    })
+                                    .collect()
+                            })
+                        })
+                        .collect();
+                    handles.into_iter().map(|h| h.join().expect("batch worker panicked")).collect()
+                });
+            for (i, result) in chunks.into_iter().flatten() {
+                resolved[i] = Some(result);
+            }
+        }
+
+        // Hand each resolution to its consumers, cloning only for true
+        // duplicates: the common all-distinct batch moves every result.
+        let mut remaining = vec![0usize; resolved.len()];
+        for &idx in &positions {
+            remaining[idx] += 1;
+        }
+        positions
+            .into_iter()
+            .map(|idx| {
+                remaining[idx] -= 1;
+                let slot = &mut resolved[idx];
+                if remaining[idx] == 0 { slot.take() } else { slot.clone() }
+                    .expect("every distinct query resolved")
+            })
+            .collect()
+    }
+
+    /// The worker-affinity key of a query: the apex of its authoritative
+    /// zone when the registry knows one, else the owner name itself.
+    fn affinity_key(&self, q: &Query) -> String {
+        self.resolver
+            .registry()
+            .find_authority(&q.name)
+            .map(|(apex, _)| apex.key())
+            .unwrap_or_else(|| q.name.key())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_key_folds_case() {
+        let a = Query::new(DnsName::parse("A.Example").unwrap(), RecordType::Https);
+        let b = Query::new(DnsName::parse("a.example").unwrap(), RecordType::Https);
+        assert_eq!(a.key(), b.key());
+        let c = Query::new(DnsName::parse("a.example").unwrap(), RecordType::A);
+        assert_ne!(a.key(), c.key());
+    }
+}

@@ -10,9 +10,11 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod engine;
 pub mod resolver;
 pub mod selection;
 
-pub use cache::{CacheStats, CachedAnswer, RecordCache};
-pub use resolver::{Resolution, ResolveError, ResolverConfig, RecursiveResolver};
+pub use cache::{CacheStats, CachedAnswer, RecordCache, DEFAULT_SHARDS};
+pub use engine::{Query, QueryEngine};
+pub use resolver::{RecursiveResolver, Resolution, ResolveError, ResolverConfig};
 pub use selection::{NsSelector, SelectionStrategy};

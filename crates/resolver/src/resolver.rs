@@ -33,6 +33,8 @@ pub struct ResolverConfig {
     pub ttl_clamp: Option<u32>,
     /// Negative-cache TTL when no SOA is present in the response.
     pub default_negative_ttl: u32,
+    /// Shard count for the record cache (see [`crate::cache`]).
+    pub cache_shards: usize,
 }
 
 impl Default for ResolverConfig {
@@ -44,6 +46,7 @@ impl Default for ResolverConfig {
             seed: 0,
             ttl_clamp: None,
             default_negative_ttl: 300,
+            cache_shards: crate::cache::DEFAULT_SHARDS,
         }
     }
 }
@@ -121,10 +124,7 @@ pub struct RecursiveResolver {
 impl RecursiveResolver {
     /// Create a resolver.
     pub fn new(network: Network, registry: DelegationRegistry, config: ResolverConfig) -> Self {
-        let cache = match config.ttl_clamp {
-            Some(c) => RecordCache::with_ttl_clamp(c),
-            None => RecordCache::new(),
-        };
+        let cache = RecordCache::with_config(config.cache_shards, config.ttl_clamp);
         let selector = NsSelector::new(config.strategy, config.seed);
         RecursiveResolver {
             network,
@@ -145,6 +145,11 @@ impl RecursiveResolver {
     /// The underlying network handle.
     pub fn network(&self) -> &Network {
         &self.network
+    }
+
+    /// The delegation registry this resolver consults.
+    pub fn registry(&self) -> &DelegationRegistry {
+        &self.registry
     }
 
     /// Resolve `(name, rtype)` at the current simulated time.
@@ -218,9 +223,8 @@ impl RecursiveResolver {
                 ));
             }
             // CNAME step from the live response.
-            let cname = resp.answers.iter().find(|r| {
-                r.rtype == RecordType::Cname && r.name == current
-            });
+            let cname =
+                resp.answers.iter().find(|r| r.rtype == RecordType::Cname && r.name == current);
             if let Some(rec) = cname {
                 if let RData::Cname(target) = &rec.rdata {
                     chain.push(rec.clone());
@@ -257,14 +261,7 @@ impl RecursiveResolver {
                 } else {
                     None
                 };
-                Resolution {
-                    chain,
-                    records,
-                    rrsigs,
-                    rcode: Rcode::NoError,
-                    validation,
-                    from_cache,
-                }
+                Resolution { chain, records, rrsigs, rcode: Rcode::NoError, validation, from_cache }
             }
             CachedAnswer::Negative { rcode } => Resolution {
                 chain,
@@ -481,11 +478,7 @@ impl DatagramService for RecursiveResolver {
 }
 
 fn extract_rrset(resp: &Message, name: &DnsName, rtype: RecordType) -> Vec<Record> {
-    resp.answers
-        .iter()
-        .filter(|r| r.rtype == rtype && r.name == *name)
-        .cloned()
-        .collect()
+    resp.answers.iter().filter(|r| r.rtype == rtype && r.name == *name).cloned().collect()
 }
 
 fn extract_rrsigs(resp: &Message, name: &DnsName, rtype: RecordType) -> Vec<RrsigRdata> {

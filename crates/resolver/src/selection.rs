@@ -38,7 +38,10 @@ impl NsSelector {
     pub fn new(strategy: SelectionStrategy, seed: u64) -> NsSelector {
         NsSelector {
             strategy,
-            state: Mutex::new(SelectorState { counters: HashMap::new(), rng: StdRng::seed_from_u64(seed) }),
+            state: Mutex::new(SelectorState {
+                counters: HashMap::new(),
+                rng: StdRng::seed_from_u64(seed),
+            }),
         }
     }
 
@@ -71,7 +74,11 @@ impl NsSelector {
 
     /// Pick endpoints in fallback order: the primary pick first, then the
     /// remaining endpoints (for retry after an unresponsive server).
-    pub fn pick_order<'a>(&self, zone_key: &str, endpoints: &'a [NsEndpoint]) -> Vec<&'a NsEndpoint> {
+    pub fn pick_order<'a>(
+        &self,
+        zone_key: &str,
+        endpoints: &'a [NsEndpoint],
+    ) -> Vec<&'a NsEndpoint> {
         let Some(primary) = self.pick(zone_key, endpoints) else {
             return Vec::new();
         };

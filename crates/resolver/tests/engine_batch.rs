@@ -1,0 +1,99 @@
+//! The engine's determinism contract, pinned against a full simulated
+//! world: `resolve_batch` results are identical to sequential
+//! single-query resolution, for every thread count.
+
+use dns_wire::RecordType;
+use ecosystem::{EcosystemConfig, World};
+use resolver::{Query, QueryEngine, Resolution, ResolveError, ResolverConfig};
+
+fn world() -> World {
+    World::build(EcosystemConfig::tiny())
+}
+
+/// A fresh engine over `world`, mirroring the scanner's configuration
+/// (validation on, default round-robin selection).
+fn engine(world: &World) -> QueryEngine {
+    QueryEngine::new(
+        world.network.clone(),
+        world.registry.clone(),
+        ResolverConfig { validate: true, ..Default::default() },
+    )
+}
+
+/// The scanner's wave-1 query shape: HTTPS, A, and NS for every listed
+/// apex plus HTTPS for www.
+fn scan_queries(world: &World) -> Vec<Query> {
+    let mut queries = Vec::new();
+    for &id in &world.today_list().ranked {
+        let apex = world.domain(id).apex.clone();
+        queries.push(Query::new(apex.clone(), RecordType::Https));
+        queries.push(Query::new(apex.clone(), RecordType::A));
+        queries.push(Query::new(apex.clone(), RecordType::Ns));
+        if let Ok(www) = apex.prepend("www") {
+            queries.push(Query::new(www, RecordType::Https));
+        }
+    }
+    queries
+}
+
+#[test]
+fn batch_matches_sequential_resolution() {
+    let world = world();
+    let queries = scan_queries(&world);
+    assert!(queries.len() > 100, "world too small to be meaningful");
+
+    // Baseline: one query at a time through a fresh engine.
+    let sequential: Vec<Result<Resolution, ResolveError>> = {
+        let engine = engine(&world);
+        queries.iter().map(|q| engine.resolve(&q.name, q.rtype)).collect()
+    };
+
+    for threads in [1, 2, 4, 8] {
+        let engine = engine(&world);
+        let batch = engine.resolve_batch(&queries, threads);
+        assert_eq!(batch.len(), sequential.len());
+        for (i, (b, s)) in batch.iter().zip(&sequential).enumerate() {
+            assert_eq!(b, s, "query #{i} ({:?}) diverged at threads={threads}", queries[i]);
+        }
+    }
+}
+
+#[test]
+fn duplicate_queries_share_one_resolution() {
+    let world = world();
+    let mut queries = scan_queries(&world);
+    queries.truncate(40);
+    // Duplicate the whole list, interleaved shifts included.
+    let doubled: Vec<Query> = queries.iter().chain(queries.iter()).cloned().collect();
+
+    let baseline = engine(&world).resolve_batch(&doubled, 1);
+    for threads in [2, 4, 8] {
+        let batch = engine(&world).resolve_batch(&doubled, threads);
+        assert_eq!(batch, baseline, "threads={threads}");
+    }
+    // Duplicate positions carry the identical resolution (not a cache
+    // hit with different provenance).
+    let n = queries.len();
+    for i in 0..n {
+        assert_eq!(baseline[i], baseline[i + n], "position {i} vs its duplicate");
+    }
+}
+
+#[test]
+fn batch_thread_count_does_not_change_cache_contents() {
+    // Final cache *contents* are thread-count-invariant. Stats counters
+    // are deliberately not compared: two workers can race the first
+    // miss on a shared key (e.g. a TLD's DNSKEY set during validation)
+    // and both insert the identical entry, so `insertions` may differ
+    // across thread counts on a multi-core host even though the
+    // resulting cache is the same.
+    let world = world();
+    let queries = scan_queries(&world);
+    let mut contents = Vec::new();
+    for threads in [1, 4] {
+        let engine = engine(&world);
+        let _ = engine.resolve_batch(&queries, threads);
+        contents.push(engine.cache().len());
+    }
+    assert_eq!(contents[0], contents[1]);
+}

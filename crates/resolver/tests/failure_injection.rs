@@ -41,7 +41,10 @@ fn good_server() -> Arc<AuthoritativeServer> {
     Arc::new(AuthoritativeServer::new(zones))
 }
 
-fn world_with(first: Arc<dyn DatagramService>, second: Option<Arc<dyn DatagramService>>) -> (Network, DelegationRegistry) {
+fn world_with(
+    first: Arc<dyn DatagramService>,
+    second: Option<Arc<dyn DatagramService>>,
+) -> (Network, DelegationRegistry) {
     let net = Network::new(SimClock::new());
     let reg = DelegationRegistry::new();
     net.bind_datagram(ip("10.0.0.1"), 53, first);
@@ -58,7 +61,11 @@ fn resolver_first(net: &Network, reg: &DelegationRegistry) -> RecursiveResolver 
     RecursiveResolver::new(
         net.clone(),
         reg.clone(),
-        ResolverConfig { strategy: SelectionStrategy::First, validate: false, ..Default::default() },
+        ResolverConfig {
+            strategy: SelectionStrategy::First,
+            validate: false,
+            ..Default::default()
+        },
     )
 }
 
@@ -74,10 +81,7 @@ fn lame_first_server_fails_over() {
 fn all_lame_is_an_error() {
     let (net, reg) = world_with(lame_server(), Some(lame_server()));
     let r = resolver_first(&net, &reg);
-    assert!(matches!(
-        r.resolve(&name("a.com"), RecordType::A),
-        Err(ResolveError::Lame(_))
-    ));
+    assert!(matches!(r.resolve(&name("a.com"), RecordType::A), Err(ResolveError::Lame(_))));
 }
 
 #[test]
@@ -92,10 +96,7 @@ fn garbage_response_fails_over_to_good_server() {
 fn all_garbage_is_malformed_error() {
     let (net, reg) = world_with(Arc::new(GarbageServer), Some(Arc::new(GarbageServer)));
     let r = resolver_first(&net, &reg);
-    assert!(matches!(
-        r.resolve(&name("a.com"), RecordType::A),
-        Err(ResolveError::Malformed)
-    ));
+    assert!(matches!(r.resolve(&name("a.com"), RecordType::A), Err(ResolveError::Malformed)));
 }
 
 #[test]
@@ -132,7 +133,9 @@ fn strategies_produce_different_failure_exposure() {
     // cold resolve; round-robin alternates.
     let (net, reg) = world_with(good_server(), Some(good_server()));
     net.set_unreachable(ip("10.0.0.1"));
-    for strategy in [SelectionStrategy::First, SelectionStrategy::RoundRobin, SelectionStrategy::Random] {
+    for strategy in
+        [SelectionStrategy::First, SelectionStrategy::RoundRobin, SelectionStrategy::Random]
+    {
         let r = RecursiveResolver::new(
             net.clone(),
             reg.clone(),

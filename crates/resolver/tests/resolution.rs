@@ -207,10 +207,7 @@ fn no_authority_error() {
     let net = Network::new(clock);
     let reg = DelegationRegistry::new();
     let r = resolver_of(&net, &reg);
-    assert!(matches!(
-        r.resolve(&name("x.test"), RecordType::A),
-        Err(ResolveError::NoAuthority(_))
-    ));
+    assert!(matches!(r.resolve(&name("x.test"), RecordType::A), Err(ResolveError::NoAuthority(_))));
 }
 
 #[test]

@@ -33,11 +33,7 @@ pub struct AuthorityDisagreement {
 impl AuthorityDisagreement {
     /// Endpoints that served the HTTPS record.
     pub fn serving(&self) -> Vec<&str> {
-        self.answers
-            .iter()
-            .filter(|a| a.https_records > 0)
-            .map(|a| a.ns_name.as_str())
-            .collect()
+        self.answers.iter().filter(|a| a.https_records > 0).map(|a| a.ns_name.as_str()).collect()
     }
 
     /// Endpoints that answered but without the HTTPS record.
@@ -86,7 +82,9 @@ pub fn probe_domain(
                     https_records: resp.answers_of(RecordType::Https).len(),
                     responded: true,
                 },
-                Err(_) => EndpointAnswer { ns_name: ep.name.key(), https_records: 0, responded: false },
+                Err(_) => {
+                    EndpointAnswer { ns_name: ep.name.key(), https_records: 0, responded: false }
+                }
             },
             Err(_) => EndpointAnswer { ns_name: ep.name.key(), https_records: 0, responded: false },
         };

@@ -3,15 +3,19 @@
 //! through a recursive resolver, follow up with A and NS queries for
 //! HTTPS-positive domains, resolve name-server addresses, and attribute
 //! operators via WHOIS.
+//!
+//! Resolution goes through the shared [`QueryEngine`]: each scan day is
+//! three batched waves (HTTPS for every name; then A/NS follow-ups; then
+//! NS-host addresses), and the engine's deterministic fan-out replaces
+//! the hand-rolled per-domain worker pool this module used to carry.
 
 use crate::observation::{flags, NsCategory, Observation};
 use crate::store::SnapshotStore;
 use dns_wire::{DnsName, RData, RecordType, SvcbRdata};
 use ecosystem::World;
-use resolver::{RecursiveResolver, ResolverConfig};
+use resolver::{Query, QueryEngine, ResolverConfig};
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
-use std::sync::Arc;
 
 /// Campaign configuration: which days to scan and how.
 #[derive(Debug, Clone)]
@@ -20,7 +24,7 @@ pub struct Campaign {
     pub sample_days: Vec<u64>,
     /// Scan www subdomains too.
     pub scan_www: bool,
-    /// Worker threads for the per-domain fan-out.
+    /// Worker threads for the batched query fan-out.
     pub threads: usize,
 }
 
@@ -39,10 +43,13 @@ impl Campaign {
         Campaign::strided(study_days, 1)
     }
 
-    /// Run the campaign, advancing the world through its timeline.
+    /// Run the campaign, advancing the world through its timeline. All
+    /// resolution flows through one [`QueryEngine`] whose cache persists
+    /// across days, exactly like the paper's long-lived recursive
+    /// resolver vantage point.
     pub fn run(&self, world: &mut World) -> SnapshotStore {
         let mut store = SnapshotStore::new();
-        // Pre-intern known orgs so scanning threads need no interner.
+        // Pre-intern known orgs so scan processing needs no interner.
         let mut org_ids: HashMap<String, u16> = HashMap::new();
         for infra in world.catalog.all() {
             let id = store.orgs.intern(infra.spec.org);
@@ -51,156 +58,212 @@ impl Campaign {
         let byoip = store.orgs.intern("BYOIP Customer Org");
         org_ids.insert("BYOIP Customer Org".to_string(), byoip);
 
-        let scan_resolver = Arc::new(RecursiveResolver::new(
+        let engine = QueryEngine::new(
             world.network.clone(),
             world.registry.clone(),
             ResolverConfig { validate: true, ..Default::default() },
-        ));
+        );
 
         for &day in &self.sample_days {
             world.step_to_day(day);
-            let obs = scan_one_day(world, &scan_resolver, &org_ids, self.scan_www, self.threads);
+            let obs = scan_one_day(world, &engine, &org_ids, self.scan_www, self.threads);
             store.push_day(day as u32, obs);
         }
         store
     }
 }
 
-/// Scan today's list. Returns observations sorted by (domain, www-flag).
+/// Per-target scan state accumulated across the waves.
+struct TargetScan {
+    domain_id: u32,
+    rank: u32,
+    name: DnsName,
+    is_www: bool,
+    flags: u32,
+    min_priority: u16,
+    ns_category: u8,
+    org: u16,
+    /// IPv4 hints advertised by the chosen HTTPS RRset (for the
+    /// hint-consistency check against the owner's A records).
+    hints: Vec<Ipv4Addr>,
+    /// Index into the wave-2 batch of the owner-name A follow-up.
+    owner_a: Option<usize>,
+    /// Index into the wave-2 batch of the apex NS follow-up.
+    ns_lookup: Option<usize>,
+    /// Indices into the wave-3 batch of the NS-host A lookups.
+    ns_host_a: Vec<usize>,
+}
+
+impl TargetScan {
+    fn finish(&self, day: u32) -> Observation {
+        Observation {
+            day,
+            domain_id: self.domain_id,
+            rank: self.rank,
+            flags: self.flags,
+            ns_category: self.ns_category,
+            org: self.org,
+            min_priority: self.min_priority,
+        }
+    }
+}
+
+/// Scan today's list through the engine. Returns observations sorted by
+/// (domain, www-flag).
 pub fn scan_one_day(
     world: &World,
-    resolver: &Arc<RecursiveResolver>,
+    engine: &QueryEngine,
     org_ids: &HashMap<String, u16>,
     scan_www: bool,
     threads: usize,
 ) -> Vec<Observation> {
     let list = world.today_list();
-    let ranks: HashMap<u32, u32> = list
-        .ranked
-        .iter()
-        .enumerate()
-        .map(|(i, id)| (*id, (i + 1) as u32))
-        .collect();
-    let ids: Vec<u32> = list.ranked.clone();
+    let ranks: HashMap<u32, u32> =
+        list.ranked.iter().enumerate().map(|(i, id)| (*id, (i + 1) as u32)).collect();
     let day = world.current_day as u32;
 
-    let chunk = ids.len().div_ceil(threads.max(1));
-    let mut results: Vec<Observation> = Vec::with_capacity(ids.len() * 2);
-    crossbeam::scope(|scope| {
-        let mut handles = Vec::new();
-        for part in ids.chunks(chunk.max(1)) {
-            let resolver = Arc::clone(resolver);
-            let ranks = &ranks;
-            let org_ids = &org_ids;
-            handles.push(scope.spawn(move |_| {
-                let mut local = Vec::with_capacity(part.len() * 2);
-                for &id in part {
-                    let d = world.domain(id);
-                    let rank = ranks.get(&id).copied().unwrap_or(0);
-                    local.push(scan_name(world, &resolver, org_ids, &d.apex, id, day, rank, false));
-                    if scan_www {
-                        if let Ok(www) = d.apex.prepend("www") {
-                            local.push(scan_name(world, &resolver, org_ids, &www, id, day, rank, true));
+    // Build the target list: apex (and optionally www) for every listed
+    // domain, in list order.
+    let mut targets: Vec<TargetScan> = Vec::with_capacity(list.ranked.len() * 2);
+    for &id in &list.ranked {
+        let d = world.domain(id);
+        let rank = ranks.get(&id).copied().unwrap_or(0);
+        let mut push = |name: DnsName, is_www: bool| {
+            targets.push(TargetScan {
+                domain_id: id,
+                rank,
+                name,
+                is_www,
+                flags: if is_www { flags::IS_WWW } else { 0 },
+                min_priority: u16::MAX,
+                ns_category: NsCategory::NoNs as u8,
+                org: u16::MAX,
+                hints: Vec::new(),
+                owner_a: None,
+                ns_lookup: None,
+                ns_host_a: Vec::new(),
+            });
+        };
+        push(d.apex.clone(), false);
+        if scan_www {
+            if let Ok(www) = d.apex.prepend("www") {
+                push(www, true);
+            }
+        }
+    }
+
+    // Wave 1: HTTPS for every target.
+    let https_queries: Vec<Query> =
+        targets.iter().map(|t| Query::new(t.name.clone(), RecordType::Https)).collect();
+    let https_results = engine.resolve_batch(&https_queries, threads);
+
+    let mut wave2: Vec<Query> = Vec::new();
+    for (t, res) in targets.iter_mut().zip(&https_results) {
+        match res {
+            Ok(res) => {
+                if !res.chain.is_empty() {
+                    t.flags |= flags::VIA_CNAME;
+                }
+                let rdatas: Vec<&SvcbRdata> = res
+                    .records
+                    .iter()
+                    .filter_map(|r| match &r.rdata {
+                        RData::Https(rd) => Some(rd),
+                        _ => None,
+                    })
+                    .collect();
+                if !rdatas.is_empty() {
+                    t.flags |= flags::HTTPS_PRESENT;
+                    t.flags |= classify_rdatas(&rdatas);
+                    t.min_priority = rdatas.iter().map(|rd| rd.priority).min().unwrap_or(u16::MAX);
+                    if !res.rrsigs.is_empty() {
+                        t.flags |= flags::RRSIG;
+                    }
+                    if res.ad() {
+                        t.flags |= flags::AD;
+                    }
+                    // Follow-up A query for the record owner; hint
+                    // consistency is checked in wave 2.
+                    t.hints =
+                        rdatas.iter().filter_map(|rd| rd.ipv4hint()).flatten().copied().collect();
+                    t.owner_a = Some(wave2.len());
+                    wave2.push(Query::new(res.records[0].name.clone(), RecordType::A));
+                }
+            }
+            Err(_) => {
+                t.flags |= flags::RESOLUTION_FAILED;
+            }
+        }
+        // NS follow-up for every apex observation (the paper's NS dataset
+        // tracks providers whether or not the HTTPS record is active).
+        if !t.is_www && t.flags & flags::RESOLUTION_FAILED == 0 {
+            t.ns_lookup = Some(wave2.len());
+            wave2.push(Query::new(t.name.clone(), RecordType::Ns));
+        }
+    }
+
+    // Wave 2: owner-A and apex-NS follow-ups.
+    let wave2_results = engine.resolve_batch(&wave2, threads);
+
+    let mut wave3: Vec<Query> = Vec::new();
+    for t in targets.iter_mut() {
+        if let Some(idx) = t.owner_a {
+            if let Ok(a_res) = &wave2_results[idx] {
+                let a_ips: Vec<Ipv4Addr> = a_res
+                    .records
+                    .iter()
+                    .filter_map(|r| match &r.rdata {
+                        RData::A(a) => Some(*a),
+                        _ => None,
+                    })
+                    .collect();
+                if !t.hints.is_empty()
+                    && !a_ips.is_empty()
+                    && t.hints.iter().all(|h| a_ips.contains(h))
+                {
+                    t.flags |= flags::HINT_MATCH;
+                }
+            }
+        }
+        if let Some(idx) = t.ns_lookup {
+            if let Ok(ns_res) = &wave2_results[idx] {
+                for r in &ns_res.records {
+                    if let RData::Ns(ns) = &r.rdata {
+                        t.ns_host_a.push(wave3.len());
+                        wave3.push(Query::new(ns.clone(), RecordType::A));
+                    }
+                }
+            }
+        }
+    }
+
+    // Wave 3: NS-host addresses, then WHOIS attribution.
+    let wave3_results = engine.resolve_batch(&wave3, threads);
+
+    for t in targets.iter_mut() {
+        if t.ns_lookup.is_none() || t.ns_host_a.is_empty() {
+            continue;
+        }
+        let mut orgs: Vec<String> = Vec::new();
+        for &idx in &t.ns_host_a {
+            if let Ok(a_res) = &wave3_results[idx] {
+                for r in &a_res.records {
+                    if let RData::A(a) = &r.rdata {
+                        if let Some(org) = world.whois.lookup(std::net::IpAddr::V4(*a)) {
+                            orgs.push(org.to_string());
                         }
                     }
                 }
-                local
-            }));
+            }
         }
-        for h in handles {
-            results.extend(h.join().expect("scan worker panicked"));
-        }
-    })
-    .expect("crossbeam scope");
+        let (category, org) = categorize_orgs(&orgs, org_ids);
+        t.ns_category = category as u8;
+        t.org = org;
+    }
+
+    let mut results: Vec<Observation> = targets.iter().map(|t| t.finish(day)).collect();
     results.sort_by_key(|o| (o.domain_id, o.is_www()));
     results
-}
-
-/// Scan one name (apex or www): HTTPS (+RRSIG/AD), then A/NS follow-ups.
-#[allow(clippy::too_many_arguments)]
-fn scan_name(
-    world: &World,
-    resolver: &RecursiveResolver,
-    org_ids: &HashMap<String, u16>,
-    name: &DnsName,
-    domain_id: u32,
-    day: u32,
-    rank: u32,
-    is_www: bool,
-) -> Observation {
-    let mut f: u32 = 0;
-    let mut min_priority = u16::MAX;
-    let mut ns_category = NsCategory::NoNs as u8;
-    let mut org = u16::MAX;
-    if is_www {
-        f |= flags::IS_WWW;
-    }
-
-    match resolver.resolve(name, RecordType::Https) {
-        Ok(res) => {
-            if !res.chain.is_empty() {
-                f |= flags::VIA_CNAME;
-            }
-            let rdatas: Vec<&SvcbRdata> = res
-                .records
-                .iter()
-                .filter_map(|r| match &r.rdata {
-                    RData::Https(rd) => Some(rd),
-                    _ => None,
-                })
-                .collect();
-            if !rdatas.is_empty() {
-                f |= flags::HTTPS_PRESENT;
-                f |= classify_rdatas(&rdatas);
-                min_priority = rdatas.iter().map(|rd| rd.priority).min().unwrap_or(u16::MAX);
-                if !res.rrsigs.is_empty() {
-                    f |= flags::RRSIG;
-                }
-                if res.ad() {
-                    f |= flags::AD;
-                }
-
-                // Follow-up A query; check hint consistency.
-                let owner = res.records[0].name.clone();
-                if let Ok(a_res) = resolver.resolve(&owner, RecordType::A) {
-                    let a_ips: Vec<Ipv4Addr> = a_res
-                        .records
-                        .iter()
-                        .filter_map(|r| match &r.rdata {
-                            RData::A(a) => Some(*a),
-                            _ => None,
-                        })
-                        .collect();
-                    let hints: Vec<Ipv4Addr> = rdatas
-                        .iter()
-                        .filter_map(|rd| rd.ipv4hint())
-                        .flatten()
-                        .copied()
-                        .collect();
-                    if !hints.is_empty()
-                        && !a_ips.is_empty()
-                        && hints.iter().all(|h| a_ips.contains(h))
-                    {
-                        f |= flags::HINT_MATCH;
-                    }
-                }
-
-            }
-        }
-        Err(_) => {
-            f |= flags::RESOLUTION_FAILED;
-        }
-    }
-
-    // NS follow-up for every apex observation (the paper's NS dataset
-    // tracks providers whether or not the HTTPS record is active today).
-    if !is_www && f & flags::RESOLUTION_FAILED == 0 {
-        let (cat, o) = categorize_ns(world, resolver, name, org_ids);
-        ns_category = cat as u8;
-        org = o;
-    }
-
-    Observation { day, domain_id, rank, flags: f, ns_category, org, min_priority }
 }
 
 /// Derive record-shape flags from the HTTPS RDATA set.
@@ -273,40 +336,9 @@ fn is_cf_default(rd: &SvcbRdata) -> bool {
         && rd.port().is_none()
 }
 
-/// Resolve the NS set of an apex, then each NS host's address, then
-/// attribute operators via WHOIS (§4.2.2's pipeline).
-fn categorize_ns(
-    world: &World,
-    resolver: &RecursiveResolver,
-    apex: &DnsName,
-    org_ids: &HashMap<String, u16>,
-) -> (NsCategory, u16) {
-    let Ok(ns_res) = resolver.resolve(apex, RecordType::Ns) else {
-        return (NsCategory::NoNs, u16::MAX);
-    };
-    let ns_names: Vec<DnsName> = ns_res
-        .records
-        .iter()
-        .filter_map(|r| match &r.rdata {
-            RData::Ns(n) => Some(n.clone()),
-            _ => None,
-        })
-        .collect();
-    if ns_names.is_empty() {
-        return (NsCategory::NoNs, u16::MAX);
-    }
-    let mut orgs: Vec<String> = Vec::new();
-    for ns in &ns_names {
-        if let Ok(a_res) = resolver.resolve(ns, RecordType::A) {
-            for r in &a_res.records {
-                if let RData::A(a) = &r.rdata {
-                    if let Some(org) = world.whois.lookup(std::net::IpAddr::V4(*a)) {
-                        orgs.push(org.to_string());
-                    }
-                }
-            }
-        }
-    }
+/// Attribute an NS org set to a category and representative operator
+/// (§4.2.2's pipeline, applied to the WHOIS lookups of wave 3).
+fn categorize_orgs(orgs: &[String], org_ids: &HashMap<String, u16>) -> (NsCategory, u16) {
     if orgs.is_empty() {
         return (NsCategory::NoNs, u16::MAX);
     }
@@ -319,11 +351,8 @@ fn categorize_ns(
     } else {
         NsCategory::NoneCloudflare
     };
-    let representative = orgs
-        .iter()
-        .find(|o| !is_cf(o))
-        .or_else(|| orgs.first())
-        .expect("non-empty");
+    let representative =
+        orgs.iter().find(|o| !is_cf(o)).or_else(|| orgs.first()).expect("non-empty");
     let org_id = org_ids.get(representative.as_str()).copied().unwrap_or(u16::MAX);
     (category, org_id)
 }

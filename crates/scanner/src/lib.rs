@@ -6,9 +6,10 @@
 //! attribution, a longitudinal [`SnapshotStore`], the §4.4.2 hourly ECH
 //! rotation scan, and the §4.3.5 connectivity probe.
 //!
-//! Scans run with a bounded worker pool (crossbeam scoped threads) over
-//! the shared simulated network, mirroring the paper's controlled-pace
-//! parallel scanning.
+//! Scans resolve through the shared [`resolver::QueryEngine`]: each day
+//! is a sequence of batched query waves with a deterministic worker
+//! fan-out over the simulated network, mirroring the paper's
+//! controlled-pace parallel scanning.
 
 #![warn(missing_docs)]
 
@@ -18,7 +19,9 @@ pub mod observation;
 pub mod special;
 pub mod store;
 
-pub use authority::{authority_consistency_scan, probe_domain, AuthorityDisagreement, EndpointAnswer};
+pub use authority::{
+    authority_consistency_scan, probe_domain, AuthorityDisagreement, EndpointAnswer,
+};
 pub use daily::{scan_one_day, Campaign};
 pub use observation::{flags, NsCategory, Observation};
 pub use special::{connectivity_probe, hourly_ech_scan, ConnectivityReport, EchObservation};

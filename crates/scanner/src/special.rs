@@ -126,10 +126,9 @@ pub fn connectivity_probe(world: &World) -> Vec<ConnectivityReport> {
         let probe = |ip: Ipv4Addr| -> bool {
             let hello = ClientHello::plain(&d.apex.key(), vec!["h2".into()]);
             match world.network.stream_exchange(IpAddr::V4(ip), 443, &hello.encode()) {
-                Ok(bytes) => matches!(
-                    ServerResponse::decode(&bytes),
-                    Some(ServerResponse::Accepted { .. })
-                ),
+                Ok(bytes) => {
+                    matches!(ServerResponse::decode(&bytes), Some(ServerResponse::Accepted { .. }))
+                }
                 Err(_) => false,
             }
         };

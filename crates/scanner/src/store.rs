@@ -95,7 +95,8 @@ impl SnapshotStore {
 
     /// Export as CSV (one row per observation).
     pub fn to_csv(&self) -> String {
-        let mut out = String::from("day,domain_id,rank,is_www,https,flags,ns_category,org,min_priority\n");
+        let mut out =
+            String::from("day,domain_id,rank,is_www,https,flags,ns_category,org,min_priority\n");
         for o in &self.observations {
             out.push_str(&format!(
                 "{},{},{},{},{},{:#x},{},{},{}\n",
@@ -167,10 +168,8 @@ mod tests {
     fn csv_export_contains_rows() {
         let mut store = SnapshotStore::new();
         let org = store.orgs.intern("Cloudflare, Inc.");
-        store.push_day(
-            0,
-            vec![Observation { org, ..obs(0, 9, flags::HTTPS_PRESENT | flags::ECH) }],
-        );
+        store
+            .push_day(0, vec![Observation { org, ..obs(0, 9, flags::HTTPS_PRESENT | flags::ECH) }]);
         let csv = store.to_csv();
         assert!(csv.starts_with("day,domain_id"));
         assert!(csv.contains("Cloudflare, Inc."));

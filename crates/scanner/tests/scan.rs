@@ -68,16 +68,10 @@ fn cf_default_flag_set_for_default_configs() {
     let mut world = tiny_world();
     let campaign = Campaign { sample_days: vec![0], scan_www: false, threads: 2 };
     let store = campaign.run(&mut world);
-    let default_count = store
-        .day(0)
-        .iter()
-        .filter(|o| o.https() && o.has(flags::CF_DEFAULT))
-        .count();
-    let custom_count = store
-        .day(0)
-        .iter()
-        .filter(|o| o.https() && !o.has(flags::CF_DEFAULT))
-        .count();
+    let default_count =
+        store.day(0).iter().filter(|o| o.https() && o.has(flags::CF_DEFAULT)).count();
+    let custom_count =
+        store.day(0).iter().filter(|o| o.https() && !o.has(flags::CF_DEFAULT)).count();
     assert!(default_count > custom_count, "{default_count} vs {custom_count}");
 }
 
@@ -87,11 +81,8 @@ fn rrsig_and_ad_flags_appear() {
     let campaign = Campaign { sample_days: vec![0], scan_www: false, threads: 2 };
     let store = campaign.run(&mut world);
     let signed = store.day(0).iter().filter(|o| o.https() && o.has(flags::RRSIG)).count();
-    let validated = store
-        .day(0)
-        .iter()
-        .filter(|o| o.https() && o.has(flags::RRSIG | flags::AD))
-        .count();
+    let validated =
+        store.day(0).iter().filter(|o| o.https() && o.has(flags::RRSIG | flags::AD)).count();
     assert!(signed > 0, "some HTTPS RRsets must be signed");
     assert!(validated <= signed);
     assert!(validated < signed, "some signed records must fail validation (missing DS)");

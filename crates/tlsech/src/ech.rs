@@ -201,7 +201,11 @@ mod tests {
     }
 
     fn config(id: u8) -> EchConfig {
-        EchConfig::new(id, name("cloudflare-ech.com"), SimKeyPair::derive(&format!("k{id}")).public())
+        EchConfig::new(
+            id,
+            name("cloudflare-ech.com"),
+            SimKeyPair::derive(&format!("k{id}")).public(),
+        )
     }
 
     #[test]

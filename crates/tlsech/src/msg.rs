@@ -298,7 +298,11 @@ mod tests {
 
     #[test]
     fn client_hello_round_trip() {
-        for hello in [ClientHello::plain("a.com", vec!["h2".into()]), hello_with_ech(), ClientHello::plain("x", vec![])] {
+        for hello in [
+            ClientHello::plain("a.com", vec!["h2".into()]),
+            hello_with_ech(),
+            ClientHello::plain("x", vec![]),
+        ] {
             let bytes = hello.encode();
             assert_eq!(ClientHello::decode(&bytes).unwrap(), hello);
         }

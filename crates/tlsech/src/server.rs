@@ -143,10 +143,12 @@ impl WebServer {
                             return ServerResponse::Alert(AlertCause::HandshakeFailure);
                         };
                         // Split mode: forward to the back end if a rule matches.
-                        let fwd = self.forwards.read().get(&inner.sni.to_ascii_lowercase()).copied();
+                        let fwd =
+                            self.forwards.read().get(&inner.sni.to_ascii_lowercase()).copied();
                         if let Some((ip, port)) = fwd {
                             let fwd_hello = ClientHello::plain(&inner.sni, inner.alpn.clone());
-                            return match self.network.stream_exchange(ip, port, &fwd_hello.encode()) {
+                            return match self.network.stream_exchange(ip, port, &fwd_hello.encode())
+                            {
                                 Ok(bytes) => match ServerResponse::decode(&bytes) {
                                     Some(ServerResponse::Accepted {
                                         cert_name,
@@ -208,8 +210,11 @@ pub struct HttpServer {
 impl StreamService for HttpServer {
     fn exchange(&self, message: &[u8], _now: Timestamp) -> Result<Vec<u8>, NetError> {
         if message.starts_with(b"GET ") {
-            Ok(format!("HTTP/1.1 301 Moved Permanently\r\nLocation: https://{}/\r\n\r\n", self.host)
-                .into_bytes())
+            Ok(format!(
+                "HTTP/1.1 301 Moved Permanently\r\nLocation: https://{}/\r\n\r\n",
+                self.host
+            )
+            .into_bytes())
         } else {
             Err(NetError::Reset)
         }
@@ -307,7 +312,8 @@ mod tests {
         let configs = s.current_ech_configs().unwrap();
         let inner = InnerHello { sni: "a.com".into(), alpn: vec!["h2".into()] };
         let ech = seal_inner(&configs, "cover.a.com", &inner);
-        let hello = ClientHello { sni: "cover.a.com".into(), alpn: vec!["h2".into()], ech: Some(ech) };
+        let hello =
+            ClientHello { sni: "cover.a.com".into(), alpn: vec!["h2".into()], ech: Some(ech) };
         match s.handshake(&hello) {
             ServerResponse::Accepted { used_ech, served_sni, cert_name, .. } => {
                 assert!(used_ech);
@@ -330,13 +336,18 @@ mod tests {
         s.rotate_ech_key("k");
         let inner = InnerHello { sni: "a.com".into(), alpn: vec!["h2".into()] };
         let ech = seal_inner(&stale_configs, "cover.a.com", &inner);
-        let hello = ClientHello { sni: "cover.a.com".into(), alpn: vec!["h2".into()], ech: Some(ech) };
+        let hello =
+            ClientHello { sni: "cover.a.com".into(), alpn: vec!["h2".into()], ech: Some(ech) };
         match s.handshake(&hello) {
             ServerResponse::EchRetry { retry_configs, .. } => {
                 assert_eq!(retry_configs, s.current_ech_configs().unwrap());
                 // Retrying with the fresh configs succeeds.
                 let ech2 = seal_inner(&retry_configs, "cover.a.com", &inner);
-                let hello2 = ClientHello { sni: "cover.a.com".into(), alpn: vec!["h2".into()], ech: Some(ech2) };
+                let hello2 = ClientHello {
+                    sni: "cover.a.com".into(),
+                    alpn: vec!["h2".into()],
+                    ech: Some(ech2),
+                };
                 assert!(matches!(
                     s.handshake(&hello2),
                     ServerResponse::Accepted { used_ech: true, .. }
@@ -374,7 +385,8 @@ mod tests {
         s.rotate_ech_key("k");
         let inner = InnerHello { sni: "a.com".into(), alpn: vec!["h2".into()] };
         let ech = seal_inner(&old, "cover.a.com", &inner);
-        let hello = ClientHello { sni: "cover.a.com".into(), alpn: vec!["h2".into()], ech: Some(ech) };
+        let hello =
+            ClientHello { sni: "cover.a.com".into(), alpn: vec!["h2".into()], ech: Some(ech) };
         assert!(matches!(s.handshake(&hello), ServerResponse::Accepted { used_ech: true, .. }));
     }
 
@@ -438,9 +450,8 @@ mod tests {
         let s = Arc::new(basic_server(&net));
         net.bind_stream("9.9.9.9".parse().unwrap(), 443, s);
         let hello = ClientHello::plain("a.com", vec!["h2".into()]);
-        let resp_bytes = net
-            .stream_exchange("9.9.9.9".parse().unwrap(), 443, &hello.encode())
-            .unwrap();
+        let resp_bytes =
+            net.stream_exchange("9.9.9.9".parse().unwrap(), 443, &hello.encode()).unwrap();
         assert!(matches!(
             ServerResponse::decode(&resp_bytes),
             Some(ServerResponse::Accepted { .. })
@@ -457,7 +468,11 @@ mod tests {
             Arc::new(HttpServer { host: "a.com".into() }),
         );
         let resp = net
-            .stream_exchange("9.9.9.9".parse().unwrap(), 80, b"GET / HTTP/1.1\r\nHost: a.com\r\n\r\n")
+            .stream_exchange(
+                "9.9.9.9".parse().unwrap(),
+                80,
+                b"GET / HTTP/1.1\r\nHost: a.com\r\n\r\n",
+            )
             .unwrap();
         let text = String::from_utf8(resp).unwrap();
         assert!(text.starts_with("HTTP/1.1 301"));

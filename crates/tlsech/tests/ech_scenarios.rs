@@ -5,8 +5,8 @@ use dns_wire::DnsName;
 use netsim::{Network, SimClock};
 use std::sync::Arc;
 use tlsech::{
-    AlertCause, ClientHello, EchConfig, EchConfigList, EchExtension, EchKeyManager,
-    EchServerState, InnerHello, ServerResponse, WebServer, WebServerConfig,
+    AlertCause, ClientHello, EchConfig, EchConfigList, EchExtension, EchKeyManager, EchServerState,
+    InnerHello, ServerResponse, WebServer, WebServerConfig,
 };
 
 fn name(s: &str) -> DnsName {
@@ -53,10 +53,7 @@ fn client_uses_preferred_config_from_multi_entry_list() {
         alpn: vec!["h2".into()],
         ech: Some(seal_with(list.preferred(), &inner)),
     };
-    assert!(matches!(
-        server.handshake(&hello),
-        ServerResponse::Accepted { used_ech: true, .. }
-    ));
+    assert!(matches!(server.handshake(&hello), ServerResponse::Accepted { used_ech: true, .. }));
 }
 
 #[test]
@@ -71,10 +68,7 @@ fn inner_alpn_governs_negotiation() {
         alpn: vec!["h2".into()],
         ech: Some(seal_with(configs.preferred(), &inner)),
     };
-    assert_eq!(
-        server.handshake(&hello),
-        ServerResponse::Alert(AlertCause::NoApplicationProtocol)
-    );
+    assert_eq!(server.handshake(&hello), ServerResponse::Alert(AlertCause::NoApplicationProtocol));
 }
 
 #[test]
@@ -112,10 +106,7 @@ fn split_mode_forward_to_dead_backend_fails_handshake() {
         alpn: vec!["h2".into()],
         ech: Some(seal_with(configs.preferred(), &inner)),
     };
-    assert_eq!(
-        front.handshake(&hello),
-        ServerResponse::Alert(AlertCause::HandshakeFailure)
-    );
+    assert_eq!(front.handshake(&hello), ServerResponse::Alert(AlertCause::HandshakeFailure));
 }
 
 #[test]

@@ -10,11 +10,8 @@ use httpsrr::analysis::tab9_chain_audit;
 use httpsrr::ecosystem::{EcosystemConfig, World};
 
 fn main() {
-    let config = EcosystemConfig {
-        population: 3_000,
-        list_size: 2_400,
-        ..EcosystemConfig::default()
-    };
+    let config =
+        EcosystemConfig { population: 3_000, list_size: 2_400, ..EcosystemConfig::default() };
     eprintln!("building world ({} domains) and validating chains …", config.population);
     let mut world = World::build(config);
     // The paper ran this audit on 2024-01-02 (day 239).

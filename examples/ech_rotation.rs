@@ -57,7 +57,10 @@ fn main() {
     };
     match server.handshake(&hello) {
         ServerResponse::EchRetry { retry_configs, .. } => {
-            println!("stale key rejected; server offered fresh retry configs ({} bytes)", retry_configs.len());
+            println!(
+                "stale key rejected; server offered fresh retry configs ({} bytes)",
+                retry_configs.len()
+            );
             let fresh = EchConfigList::decode(&retry_configs).expect("valid retry configs");
             let cfg2 = fresh.preferred();
             let sealed2 = cfg2.public_key.seal(cfg2.public_name.key().as_bytes(), &inner.encode());

@@ -10,11 +10,8 @@ use httpsrr::{server_side_report, Study};
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let (config, stride) = if quick {
-        (EcosystemConfig::tiny(), 28)
-    } else {
-        (EcosystemConfig::default(), 7)
-    };
+    let (config, stride) =
+        if quick { (EcosystemConfig::tiny(), 28) } else { (EcosystemConfig::default(), 7) };
     let days = config.study_days();
     let population = config.population;
     eprintln!(

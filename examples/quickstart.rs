@@ -43,16 +43,17 @@ fn main() {
     // 3. A web server at the advertised address.
     let server = Arc::new(WebServer::new(
         network.clone(),
-        WebServerConfig { cert_names: vec![apex.clone()], alpn: vec!["h2".into(), "http/1.1".into()] },
+        WebServerConfig {
+            cert_names: vec![apex.clone()],
+            alpn: vec!["h2".into(), "http/1.1".into()],
+        },
     ));
     network.bind_stream(web_ip, 443, server);
 
     // 4. Resolve the HTTPS record like a stub → recursive → authoritative
     //    chain would.
     let resolver = RecursiveResolver::new(network.clone(), registry, ResolverConfig::default());
-    let res = resolver
-        .resolve(&apex, RecordType::Https)
-        .expect("resolution succeeds");
+    let res = resolver.resolve(&apex, RecordType::Https).expect("resolution succeeds");
     println!("HTTPS record(s) for {apex}:");
     for rec in &res.records {
         println!("  {rec}");
@@ -66,9 +67,8 @@ fn main() {
     let hint = rd.ipv4hint().expect("record has hints")[0];
     println!("connecting to {hint}:443 offering {alpn:?} …");
     let hello = ClientHello::plain("example.com", vec![alpn[0].clone()]);
-    let resp = network
-        .stream_exchange(IpAddr::V4(hint), 443, &hello.encode())
-        .expect("server reachable");
+    let resp =
+        network.stream_exchange(IpAddr::V4(hint), 443, &hello.encode()).expect("server reachable");
     match ServerResponse::decode(&resp).expect("valid handshake reply") {
         ServerResponse::Accepted { alpn, cert_name, .. } => {
             println!("TLS established with {cert_name} using ALPN {alpn:?}");

@@ -99,9 +99,9 @@ fn chromium_ignores_record_without_alpn() {
     let tb = Testbed::new();
     tb.set_domain_records(
         vec!["203.0.113.10".parse().unwrap()],
-        Some(SvcbRdata::service_self(vec![SvcParam::Ipv4Hint(vec![
-            "203.0.113.30".parse().unwrap(),
-        ])])),
+        Some(SvcbRdata::service_self(vec![SvcParam::Ipv4Hint(vec!["203.0.113.30"
+            .parse()
+            .unwrap()])])),
     );
     tb.web_server(
         httpsrr::browser::testbed::addr::WEB_PRIMARY,

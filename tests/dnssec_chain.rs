@@ -25,7 +25,9 @@ fn signed_ds_uploaded_domain_is_secure() {
     let d = w
         .domains
         .iter()
-        .find(|d| d.signed && d.ds_uploaded && w.publishes_today(d) && d.secondary_provider.is_none())
+        .find(|d| {
+            d.signed && d.ds_uploaded && w.publishes_today(d) && d.secondary_provider.is_none()
+        })
         .expect("a secure HTTPS domain exists");
     let res = r.resolve(&d.apex, RecordType::Https).unwrap();
     assert!(res.is_positive());
@@ -40,7 +42,9 @@ fn signed_without_ds_is_insecure() {
     let d = w
         .domains
         .iter()
-        .find(|d| d.signed && !d.ds_uploaded && w.publishes_today(d) && d.secondary_provider.is_none())
+        .find(|d| {
+            d.signed && !d.ds_uploaded && w.publishes_today(d) && d.secondary_provider.is_none()
+        })
         .expect("an insecure HTTPS domain exists");
     let res = r.resolve(&d.apex, RecordType::Https).unwrap();
     assert_eq!(res.validation, Some(ValidationState::Insecure), "{}", d.apex);
@@ -94,7 +98,9 @@ fn validation_survives_cache_round_trips() {
     let d = w
         .domains
         .iter()
-        .find(|d| d.signed && d.ds_uploaded && w.publishes_today(d) && d.secondary_provider.is_none())
+        .find(|d| {
+            d.signed && d.ds_uploaded && w.publishes_today(d) && d.secondary_provider.is_none()
+        })
         .expect("a secure domain exists");
     let cold = r.resolve(&d.apex, RecordType::Https).unwrap();
     let warm = r.resolve(&d.apex, RecordType::Https).unwrap();

@@ -5,7 +5,7 @@ use httpsrr::authserver::{AuthoritativeServer, DelegationRegistry, NsEndpoint, Z
 use httpsrr::browser::{Browser, BrowserProfile, Outcome, UrlScheme};
 use httpsrr::dns_wire::{DnsName, RData, Record, SvcParam, SvcbRdata};
 use httpsrr::netsim::{Network, SimClock};
-use httpsrr::resolver::{RecursiveResolver, ResolverConfig};
+use httpsrr::resolver::{QueryEngine, RecursiveResolver, ResolverConfig};
 use httpsrr::tlsech::{EchKeyManager, EchServerState, WebServer, WebServerConfig};
 use std::net::IpAddr;
 use std::sync::Arc;
@@ -22,6 +22,14 @@ struct Stack {
     network: Network,
     zones: ZoneSet,
     web: Arc<WebServer>,
+    resolver: Arc<RecursiveResolver>,
+}
+
+impl Stack {
+    /// A browser resolving through the stack's shared public resolver.
+    fn browser(&self, profile: BrowserProfile) -> Browser {
+        Browser::new(profile, QueryEngine::from_resolver(self.resolver.clone()), ip("9.9.9.9"))
+    }
 }
 
 /// Build a full stack for `shop.example` with an HTTPS record, a web
@@ -59,24 +67,22 @@ fn full_stack(with_ech: bool) -> Stack {
     let zones = ZoneSet::new();
     zones.insert(zone);
     network.bind_datagram(ip("10.1.1.1"), 53, Arc::new(AuthoritativeServer::new(zones.clone())));
-    registry.delegate(
-        &apex,
-        vec![NsEndpoint { name: name("ns1.shop.example"), ip: ip("10.1.1.1") }],
-    );
+    registry
+        .delegate(&apex, vec![NsEndpoint { name: name("ns1.shop.example"), ip: ip("10.1.1.1") }]);
 
     let resolver = Arc::new(RecursiveResolver::new(
         network.clone(),
         registry,
         ResolverConfig { validate: false, ..Default::default() },
     ));
-    network.bind_datagram(ip("9.9.9.9"), 53, resolver);
-    Stack { network, zones, web }
+    network.bind_datagram(ip("9.9.9.9"), 53, resolver.clone());
+    Stack { network, zones, web, resolver }
 }
 
 #[test]
 fn browser_full_path_plain() {
     let stack = full_stack(false);
-    let browser = Browser::new(BrowserProfile::firefox(), stack.network.clone(), ip("9.9.9.9"));
+    let browser = stack.browser(BrowserProfile::firefox());
     let nav = browser.navigate("shop.example", UrlScheme::Bare);
     assert!(nav.queried_https_rr());
     match nav.outcome {
@@ -93,7 +99,7 @@ fn browser_full_path_plain() {
 fn browser_full_path_with_ech() {
     let stack = full_stack(true);
     for profile in [BrowserProfile::chrome(), BrowserProfile::firefox()] {
-        let browser = Browser::new(profile, stack.network.clone(), ip("9.9.9.9"));
+        let browser = stack.browser(profile);
         let nav = browser.navigate("shop.example", UrlScheme::Https);
         match &nav.outcome {
             Outcome::HttpsOk { used_ech, .. } => {
@@ -118,7 +124,7 @@ fn browser_full_path_with_ech() {
 #[test]
 fn safari_skips_ech_but_connects() {
     let stack = full_stack(true);
-    let browser = Browser::new(BrowserProfile::safari(), stack.network.clone(), ip("9.9.9.9"));
+    let browser = stack.browser(BrowserProfile::safari());
     let nav = browser.navigate("shop.example", UrlScheme::Https);
     assert!(!nav.attempted_ech());
     assert!(matches!(nav.outcome, Outcome::HttpsOk { used_ech: false, .. }));
@@ -127,7 +133,7 @@ fn safari_skips_ech_but_connects() {
 #[test]
 fn zone_update_visible_after_ttl() {
     let stack = full_stack(false);
-    let browser = Browser::new(BrowserProfile::chrome(), stack.network.clone(), ip("9.9.9.9"));
+    let browser = stack.browser(BrowserProfile::chrome());
     let apex = name("shop.example");
 
     let nav = browser.navigate("shop.example", UrlScheme::Https);
@@ -159,7 +165,7 @@ fn zone_update_visible_after_ttl() {
 #[test]
 fn ech_key_rotation_recovers_via_retry_end_to_end() {
     let stack = full_stack(true);
-    let browser = Browser::new(BrowserProfile::chrome(), stack.network.clone(), ip("9.9.9.9"));
+    let browser = stack.browser(BrowserProfile::chrome());
 
     // Prime the resolver cache with the current ECH config.
     let nav = browser.navigate("shop.example", UrlScheme::Https);

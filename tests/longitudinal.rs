@@ -18,13 +18,8 @@ fn overlapping_is_subset_of_every_day() {
     let days = study.store.days();
     let ov = overlapping_ids(&study.store, &days);
     for day in days {
-        let today: std::collections::HashSet<u32> = study
-            .store
-            .day(day)
-            .iter()
-            .filter(|o| !o.is_www())
-            .map(|o| o.domain_id)
-            .collect();
+        let today: std::collections::HashSet<u32> =
+            study.store.day(day).iter().filter(|o| !o.is_www()).map(|o| o.domain_id).collect();
         for id in &ov {
             assert!(today.contains(id), "overlapping domain {id} missing on day {day}");
         }
@@ -68,8 +63,21 @@ fn report_renders_every_section() {
     let study = Study::quick();
     let report = httpsrr::server_side_report(&study);
     for needle in [
-        "Fig 2", "Table 2", "Table 3", "Fig 3", "Fig 10", "Sec 4.2.3", "Table 4", "Table 5",
-        "Sec 4.3.3", "Table 8", "Fig 11", "Fig 12", "Fig 13", "Fig 5", "Fig 14",
+        "Fig 2",
+        "Table 2",
+        "Table 3",
+        "Fig 3",
+        "Fig 10",
+        "Sec 4.2.3",
+        "Table 4",
+        "Table 5",
+        "Sec 4.3.3",
+        "Table 8",
+        "Fig 11",
+        "Fig 12",
+        "Fig 13",
+        "Fig 5",
+        "Fig 14",
     ] {
         assert!(report.contains(needle), "report missing {needle}:\n{report}");
     }
@@ -89,12 +97,7 @@ fn ground_truth_agrees_with_scans_on_final_day() {
         if d.secondary_provider.is_some() {
             continue;
         }
-        assert_eq!(
-            o.https(),
-            truth,
-            "domain {} scan/truth divergence on day {last_day}",
-            d.apex
-        );
+        assert_eq!(o.https(), truth, "domain {} scan/truth divergence on day {last_day}", d.apex);
     }
 }
 
@@ -144,11 +147,7 @@ fn authority_scan_explains_mixed_ns_intermittency() {
     let reports = authority_consistency_scan(&study.world);
     for r in &reports {
         let d = study.world.domain(r.domain_id);
-        assert!(
-            d.secondary_provider.is_some(),
-            "{} flagged without a mixed NS set",
-            r.apex
-        );
+        assert!(d.secondary_provider.is_some(), "{} flagged without a mixed NS set", r.apex);
         assert!(!r.serving().is_empty() && !r.not_serving().is_empty());
     }
 }
