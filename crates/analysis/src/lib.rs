@@ -16,6 +16,7 @@ pub mod dnssec_a;
 pub mod ech;
 pub mod params;
 pub mod providers;
+pub mod vantage_diff;
 
 pub use adoption::{fig2_adoption, fig8_rank_distribution, AdoptionSeries, RankBuckets};
 pub use dnssec_a::{fig5_dnssec_trend, tab9_chain_audit, ChainAudit, DnssecSeries};
@@ -29,6 +30,7 @@ pub use providers::{
     fig10_noncf_domains, fig3_noncf_provider_count, sec423_intermittent, tab2_ns_category,
     tab3_top_noncf, IntermittentBreakdown, NoncfSeries, NsCategoryShares, TopProviders,
 };
+pub use vantage_diff::{vantage_diff, VantageDiffReport, VantageDisagreement, VantageSummary};
 
 use scanner::SnapshotStore;
 use std::collections::HashSet;
@@ -100,7 +102,7 @@ impl std::fmt::Display for Series {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use scanner::Observation;
+    use scanner::{Observation, OrgId};
 
     fn obs(day: u32, id: u32) -> Observation {
         Observation {
@@ -109,7 +111,7 @@ mod tests {
             rank: 1,
             flags: 0,
             ns_category: 0,
-            org: 0,
+            org: OrgId(0),
             min_priority: u16::MAX,
         }
     }

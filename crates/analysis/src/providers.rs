@@ -3,7 +3,7 @@
 //! HTTPS records).
 
 use crate::Series;
-use scanner::{flags, NsCategory, SnapshotStore};
+use scanner::{flags, NsCategory, OrgId, SnapshotStore};
 use std::collections::{BTreeMap, HashMap, HashSet};
 
 /// Table 2: mean/std shares of NS categories among HTTPS-positive apexes.
@@ -94,7 +94,7 @@ impl std::fmt::Display for TopProviders {
 
 /// Compute Table 3 over all sampled days.
 pub fn tab3_top_noncf(store: &SnapshotStore) -> TopProviders {
-    let mut per_org: HashMap<u16, HashSet<u32>> = HashMap::new();
+    let mut per_org: HashMap<OrgId, HashSet<u32>> = HashMap::new();
     for o in store.all() {
         if o.is_www() || !o.https() {
             continue;
@@ -102,7 +102,7 @@ pub fn tab3_top_noncf(store: &SnapshotStore) -> TopProviders {
         if NsCategory::from_u8(o.ns_category) != NsCategory::NoneCloudflare {
             continue;
         }
-        if o.org != u16::MAX {
+        if !o.org.is_none() {
             per_org.entry(o.org).or_default().insert(o.domain_id);
         }
     }
@@ -144,7 +144,7 @@ pub fn fig3_noncf_provider_count(store: &SnapshotStore) -> NoncfSeries {
             }
             if NsCategory::from_u8(o.ns_category) == NsCategory::NoneCloudflare {
                 domains += 1;
-                if o.org != u16::MAX {
+                if !o.org.is_none() {
                     orgs.insert(o.org);
                 }
             }

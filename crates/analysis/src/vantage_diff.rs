@@ -1,0 +1,294 @@
+//! Cross-vantage comparison (§4.2.3's resolver-view experiment): diff
+//! the labelled per-vantage [`SnapshotStore`]s a multi-vantage campaign
+//! produces, surfacing domains whose HTTPS record is visible through one
+//! resolver view but not another, per-day disagreement counts, and
+//! per-vantage flapping rates.
+//!
+//! The interesting population is mixed-provider NS zones: one provider's
+//! servers publish the HTTPS record, the co-delegated provider's servers
+//! do not, so whether a vantage sees the record is decided entirely by
+//! its NS selection strategy. A `First`-pinned vantage reports a stable
+//! view while rotating/randomized vantages flap — exactly the paper's
+//! observation that the record's visibility depends on where you look
+//! from.
+
+use scanner::SnapshotStore;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// One cross-vantage disagreement: a (day, name) whose HTTPS presence
+/// differs between resolver views.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VantageDisagreement {
+    /// Scan day.
+    pub day: u32,
+    /// Universe domain id.
+    pub domain_id: u32,
+    /// Whether this is the www observation.
+    pub is_www: bool,
+    /// Vantage labels that saw the HTTPS record.
+    pub present_in: Vec<String>,
+    /// Vantage labels that did not.
+    pub absent_in: Vec<String>,
+}
+
+/// Per-vantage summary statistics.
+#[derive(Debug, Clone)]
+pub struct VantageSummary {
+    /// Vantage label.
+    pub vantage: String,
+    /// Mean HTTPS-positive apex count per day.
+    pub mean_positive: f64,
+    /// Flapping rate: fraction of domains observed on every day whose
+    /// HTTPS presence changed between consecutive sampled days.
+    pub flapping_rate: f64,
+}
+
+/// The full cross-vantage diff report.
+#[derive(Debug, Clone)]
+pub struct VantageDiffReport {
+    /// Vantage labels, in store order.
+    pub vantages: Vec<String>,
+    /// Days common to every store (only these are compared).
+    pub days: Vec<u32>,
+    /// Every cross-vantage disagreement, in (day, domain, www) order.
+    pub disagreements: Vec<VantageDisagreement>,
+    /// Disagreement count per day.
+    pub per_day: BTreeMap<u32, usize>,
+    /// Distinct domains with at least one disagreement.
+    pub disagreeing_domains: BTreeSet<u32>,
+    /// Per-vantage summaries (positive counts, flapping).
+    pub summaries: Vec<VantageSummary>,
+}
+
+impl VantageDiffReport {
+    /// Whether any resolver views disagreed.
+    pub fn has_disagreements(&self) -> bool {
+        !self.disagreements.is_empty()
+    }
+}
+
+impl std::fmt::Display for VantageDiffReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "Cross-vantage diff ({} views, {} days)",
+            self.vantages.len(),
+            self.days.len()
+        )?;
+        for s in &self.summaries {
+            writeln!(
+                f,
+                "  {:<12} mean HTTPS-positive {:8.1}/day   flapping {:5.2}%",
+                s.vantage,
+                s.mean_positive,
+                100.0 * s.flapping_rate
+            )?;
+        }
+        writeln!(
+            f,
+            "  disagreements: {} rows over {} domains",
+            self.disagreements.len(),
+            self.disagreeing_domains.len()
+        )?;
+        for (day, n) in &self.per_day {
+            if *n > 0 {
+                writeln!(f, "    day {day:>4}: {n}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Presence key: (domain, www-flag) → HTTPS seen. Skips rows whose
+/// resolution failed outright (no view to compare — the `everywhere`
+/// filter in [`vantage_diff`] then drops the name for that day).
+fn presence_of(store: &SnapshotStore, day: u32) -> HashMap<(u32, bool), bool> {
+    store
+        .day(day)
+        .iter()
+        .filter(|o| !o.has(scanner::flags::RESOLUTION_FAILED))
+        .map(|o| ((o.domain_id, o.is_www()), o.https()))
+        .collect()
+}
+
+/// Diff per-vantage stores produced by one multi-vantage campaign run.
+///
+/// Compares the days present in *every* store (a store missing a day
+/// contributes nothing for it) and reports every (day, name) where at
+/// least two views disagree about HTTPS presence.
+pub fn vantage_diff(stores: &[SnapshotStore]) -> VantageDiffReport {
+    let vantages: Vec<String> = stores.iter().map(|s| s.vantage().to_string()).collect();
+
+    // Days common to all stores.
+    let mut days: Vec<u32> = match stores.first() {
+        Some(s) => s.days(),
+        None => Vec::new(),
+    };
+    for s in stores.iter().skip(1) {
+        let own: BTreeSet<u32> = s.days().into_iter().collect();
+        days.retain(|d| own.contains(d));
+    }
+
+    let mut disagreements: Vec<VantageDisagreement> = Vec::new();
+    let mut per_day: BTreeMap<u32, usize> = BTreeMap::new();
+    let mut disagreeing_domains: BTreeSet<u32> = BTreeSet::new();
+
+    for &day in &days {
+        let views: Vec<HashMap<(u32, bool), bool>> =
+            stores.iter().map(|s| presence_of(s, day)).collect();
+        let mut count = 0usize;
+        // Keys present in every view, in deterministic order.
+        let keys: BTreeSet<(u32, bool)> = match views.first() {
+            Some(v) => v.keys().copied().collect(),
+            None => BTreeSet::new(),
+        };
+        for key in keys {
+            let mut present_in = Vec::new();
+            let mut absent_in = Vec::new();
+            let mut everywhere = true;
+            for (view, label) in views.iter().zip(&vantages) {
+                match view.get(&key) {
+                    Some(true) => present_in.push(label.clone()),
+                    Some(false) => absent_in.push(label.clone()),
+                    None => everywhere = false,
+                }
+            }
+            if everywhere && !present_in.is_empty() && !absent_in.is_empty() {
+                disagreements.push(VantageDisagreement {
+                    day,
+                    domain_id: key.0,
+                    is_www: key.1,
+                    present_in,
+                    absent_in,
+                });
+                disagreeing_domains.insert(key.0);
+                count += 1;
+            }
+        }
+        per_day.insert(day, count);
+    }
+
+    let summaries = stores
+        .iter()
+        .map(|s| {
+            // Mean daily HTTPS-positive apex count over the common days.
+            let mut positives = 0usize;
+            for &day in &days {
+                positives += s.day(day).iter().filter(|o| !o.is_www() && o.https()).count();
+            }
+            let mean_positive =
+                if days.is_empty() { 0.0 } else { positives as f64 / days.len() as f64 };
+
+            // Flapping: domains observed every day whose presence changed
+            // between consecutive sampled days.
+            let mut timelines: HashMap<(u32, bool), Vec<bool>> = HashMap::new();
+            for &day in &days {
+                for o in s.day(day) {
+                    timelines.entry((o.domain_id, o.is_www())).or_default().push(o.https());
+                }
+            }
+            let full: Vec<&Vec<bool>> =
+                timelines.values().filter(|t| t.len() == days.len()).collect();
+            let flapped = full.iter().filter(|t| t.windows(2).any(|w| w[0] != w[1])).count();
+            let flapping_rate =
+                if full.is_empty() { 0.0 } else { flapped as f64 / full.len() as f64 };
+
+            VantageSummary { vantage: s.vantage().to_string(), mean_positive, flapping_rate }
+        })
+        .collect();
+
+    VantageDiffReport { vantages, days, disagreements, per_day, disagreeing_domains, summaries }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scanner::{flags, Observation, OrgId};
+
+    fn obs(day: u32, id: u32, https: bool) -> Observation {
+        Observation {
+            day,
+            domain_id: id,
+            rank: id + 1,
+            flags: if https { flags::HTTPS_PRESENT } else { 0 },
+            ns_category: 0,
+            org: OrgId(0),
+            min_priority: 1,
+        }
+    }
+
+    fn store(vantage: &str, days: &[(u32, Vec<Observation>)]) -> SnapshotStore {
+        let mut s = SnapshotStore::with_vantage(vantage);
+        for (day, obs) in days {
+            s.push_day(*day, obs.clone());
+        }
+        s
+    }
+
+    #[test]
+    fn detects_cross_vantage_disagreement() {
+        let a = store("pinned", &[(0, vec![obs(0, 1, true), obs(0, 2, true)])]);
+        let b = store("random", &[(0, vec![obs(0, 1, true), obs(0, 2, false)])]);
+        let report = vantage_diff(&[a, b]);
+        assert!(report.has_disagreements());
+        assert_eq!(report.disagreements.len(), 1);
+        let d = &report.disagreements[0];
+        assert_eq!((d.day, d.domain_id), (0, 2));
+        assert_eq!(d.present_in, vec!["pinned".to_string()]);
+        assert_eq!(d.absent_in, vec!["random".to_string()]);
+        assert_eq!(report.per_day[&0], 1);
+        assert!(report.disagreeing_domains.contains(&2));
+    }
+
+    #[test]
+    fn agreement_produces_empty_report() {
+        let a = store("x", &[(0, vec![obs(0, 1, true)]), (1, vec![obs(1, 1, true)])]);
+        let b = store("y", &[(0, vec![obs(0, 1, true)]), (1, vec![obs(1, 1, true)])]);
+        let report = vantage_diff(&[a, b]);
+        assert!(!report.has_disagreements());
+        assert_eq!(report.days, vec![0, 1]);
+        assert_eq!(report.summaries[0].flapping_rate, 0.0);
+    }
+
+    #[test]
+    fn flapping_rate_counts_presence_changes() {
+        let a = store(
+            "flappy",
+            &[
+                (0, vec![obs(0, 1, true), obs(0, 2, true)]),
+                (1, vec![obs(1, 1, false), obs(1, 2, true)]),
+            ],
+        );
+        let report = vantage_diff(std::slice::from_ref(&a));
+        assert!((report.summaries[0].flapping_rate - 0.5).abs() < 1e-9);
+        assert!((report.summaries[0].mean_positive - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_store_slice_yields_empty_report() {
+        let report = vantage_diff(&[]);
+        assert!(!report.has_disagreements());
+        assert!(report.days.is_empty());
+        assert!(report.vantages.is_empty());
+        assert!(report.summaries.is_empty());
+    }
+
+    #[test]
+    fn only_common_days_are_compared() {
+        let a = store("a", &[(0, vec![obs(0, 1, true)]), (1, vec![obs(1, 1, false)])]);
+        let b = store("b", &[(0, vec![obs(0, 1, true)])]);
+        let report = vantage_diff(&[a, b]);
+        assert_eq!(report.days, vec![0]);
+        assert!(!report.has_disagreements());
+    }
+
+    #[test]
+    fn display_renders_summary_lines() {
+        let a = store("pinned", &[(0, vec![obs(0, 1, true)])]);
+        let b = store("random", &[(0, vec![obs(0, 1, false)])]);
+        let text = vantage_diff(&[a, b]).to_string();
+        assert!(text.contains("Cross-vantage diff"));
+        assert!(text.contains("pinned"));
+        assert!(text.contains("disagreements: 1 rows over 1 domains"));
+    }
+}

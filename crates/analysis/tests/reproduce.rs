@@ -10,7 +10,7 @@ use scanner::{connectivity_probe, hourly_ech_scan, Campaign};
 fn campaign_store() -> (World, scanner::SnapshotStore) {
     let mut world = World::build(EcosystemConfig::tiny());
     let days: Vec<u64> = (0..=328).step_by(24).collect();
-    let campaign = Campaign { sample_days: days, scan_www: true, threads: 4 };
+    let campaign = Campaign { sample_days: days, scan_www: true, threads: 4, vantages: vec![] };
     let store = campaign.run(&mut world);
     (world, store)
 }

@@ -2,16 +2,16 @@
 //! stores (no world construction), pinning the exact arithmetic.
 
 use analysis::*;
-use scanner::{flags, NsCategory, Observation, SnapshotStore};
+use scanner::{flags, NsCategory, Observation, OrgId, SnapshotStore};
 
-fn obs(day: u32, id: u32, f: u32, cat: NsCategory, org: u16) -> Observation {
+fn obs(day: u32, id: u32, f: u32, cat: NsCategory, org: u32) -> Observation {
     Observation {
         day,
         domain_id: id,
         rank: id + 1,
         flags: f,
         ns_category: cat as u8,
-        org,
+        org: if org == u32::MAX { OrgId::NONE } else { OrgId(org) },
         min_priority: if f & flags::ALIAS_MODE != 0 { 0 } else { 1 },
     }
 }
@@ -45,13 +45,13 @@ fn tab3_distinct_domain_counting() {
     store.push_day(
         0,
         vec![
-            obs(0, 1, H, NsCategory::NoneCloudflare, ename),
-            obs(0, 2, H, NsCategory::NoneCloudflare, ename),
-            obs(0, 3, H, NsCategory::NoneCloudflare, google),
+            obs(0, 1, H, NsCategory::NoneCloudflare, ename.0),
+            obs(0, 2, H, NsCategory::NoneCloudflare, ename.0),
+            obs(0, 3, H, NsCategory::NoneCloudflare, google.0),
         ],
     );
     // Same domain again on a later day must not double-count.
-    store.push_day(5, vec![obs(5, 1, H, NsCategory::NoneCloudflare, ename)]);
+    store.push_day(5, vec![obs(5, 1, H, NsCategory::NoneCloudflare, ename.0)]);
     let t = tab3_top_noncf(&store);
     assert_eq!(t.providers, vec![("eName".to_string(), 2), ("Google".to_string(), 1)]);
 }
@@ -78,7 +78,7 @@ fn sec423_classification() {
             obs(1, 1, 0, NsCategory::FullCloudflare, 0),
             obs(1, 2, 0, NsCategory::NoneCloudflare, 1),
             obs(1, 3, H, NsCategory::FullCloudflare, 0),
-            obs(1, 4, 0, NsCategory::NoNs, u16::MAX),
+            obs(1, 4, 0, NsCategory::NoNs, u32::MAX),
         ],
     );
     let b = sec423_intermittent(&store);

@@ -1,0 +1,90 @@
+//! Multi-vantage scan benchmarks: the cost of scanning one world
+//! through N resolver vantage points, and of diffing the resulting
+//! per-vantage datasets.
+//!
+//! Prints a vantage-count scaling table at startup (the regeneration
+//! convention of this harness), then benchmarks representative shapes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use httpsrr::analysis::vantage_diff;
+use httpsrr::ecosystem::{EcosystemConfig, World};
+use httpsrr::resolver::{SelectionStrategy, VantagePoint};
+use httpsrr::scanner::Campaign;
+use std::time::Instant;
+
+fn bench_world() -> World {
+    World::build(EcosystemConfig { population: 800, list_size: 600, ..EcosystemConfig::tiny() })
+}
+
+fn campaign(vantages: Vec<VantagePoint>) -> Campaign {
+    Campaign { sample_days: vec![0, 3, 6], scan_www: true, threads: 1, vantages }
+}
+
+/// N distinct vantage profiles: the three presets plus seeded Random
+/// variants past that.
+fn vantage_set(n: usize) -> Vec<VantagePoint> {
+    let mut set = VantagePoint::presets();
+    for k in set.len()..n {
+        set.push(
+            VantagePoint::custom(&format!("lab{k}"), SelectionStrategy::Random)
+                .with_seed(0xA5 + k as u64),
+        );
+    }
+    set.truncate(n);
+    set
+}
+
+/// Regeneration output: wall time of a 3-day campaign versus the number
+/// of vantage points scanning the same world.
+fn regenerate() {
+    println!("=== multi_vantage_scan (600-domain list, 3 sampled days) ===");
+    println!(
+        "{:>9} {:>14} {:>16} {:>15}",
+        "vantages", "campaign time", "disagreements", "diff time"
+    );
+    for n in [1usize, 2, 3, 6] {
+        let mut world = bench_world();
+        let c = campaign(vantage_set(n));
+        let start = Instant::now();
+        let stores = c.run_vantages(&mut world);
+        let scan = start.elapsed();
+        let start = Instant::now();
+        let report = vantage_diff(&stores);
+        let diff = start.elapsed();
+        println!(
+            "{n:>9} {:>11.1} ms {:>16} {:>12.2} ms",
+            scan.as_secs_f64() * 1e3,
+            report.disagreements.len(),
+            diff.as_secs_f64() * 1e3,
+        );
+    }
+}
+
+fn benches(c: &mut Criterion) {
+    regenerate();
+
+    c.bench_function("campaign_single_vantage_3days", |b| {
+        b.iter(|| {
+            let mut world = bench_world();
+            campaign(vantage_set(1)).run_vantages(&mut world)
+        })
+    });
+
+    c.bench_function("campaign_three_vantages_3days", |b| {
+        b.iter(|| {
+            let mut world = bench_world();
+            campaign(vantage_set(3)).run_vantages(&mut world)
+        })
+    });
+
+    let mut world = bench_world();
+    let stores = campaign(vantage_set(3)).run_vantages(&mut world);
+    c.bench_function("vantage_diff_three_views", |b| b.iter(|| vantage_diff(&stores)));
+}
+
+criterion_group! {
+    name = vantage;
+    config = Criterion::default().sample_size(10);
+    targets = benches
+}
+criterion_main!(vantage);

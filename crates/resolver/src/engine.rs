@@ -25,17 +25,16 @@
 //!    workers by a stable hash of their authoritative zone apex (from
 //!    the delegation registry), and each worker resolves its queries in
 //!    input order. There is no work stealing. All queries against one
-//!    zone therefore resolve on one worker, in input order, so
-//!    [`SelectionStrategy::RoundRobin`](crate::SelectionStrategy) —
-//!    whose state is per-zone rotation counters — consumes that state
-//!    in the same sequence for **every thread count**; this is what
-//!    keeps the paper's §4.2.3 mixed-provider flapping reproducible
-//!    under a parallel scanner.
-//!    [`SelectionStrategy::Random`](crate::SelectionStrategy) is the
-//!    exception: it draws from one RNG shared across zones, so with
-//!    more than one worker its pick sequence depends on interleaving —
-//!    batches under `Random` are only reproducible where endpoint data
-//!    is consistent (or with `threads == 1`).
+//!    zone therefore resolve on one worker, in input order, and both
+//!    stateful selection strategies keep their state **per zone**:
+//!    [`SelectionStrategy::RoundRobin`](crate::SelectionStrategy) uses
+//!    per-zone rotation counters, and
+//!    [`SelectionStrategy::Random`](crate::SelectionStrategy) draws
+//!    from a per-zone RNG seeded from `(seed, zone key)`. Each zone
+//!    consumes its selection state in the same sequence for **every
+//!    thread count**; this is what keeps the paper's §4.2.3
+//!    mixed-provider flapping reproducible under a parallel scanner,
+//!    including randomized-selection vantage points.
 //! 3. **Time is frozen.** The simulated clock does not advance during a
 //!    batch, so every query sees the same `now` and cache-expiry
 //!    decisions are interleaving-independent. Cache entries written by
@@ -45,11 +44,13 @@
 //! Under those rules a batch's results match a sequential resolution of
 //! the same distinct queries, independent of thread count. The residual
 //! caveat: a query whose resolution *crosses* zones (a CNAME chase, or
-//! the DS lookup walking into the parent) can touch another worker's
-//! zone concurrently; this only matters when that other zone's endpoints
-//! serve divergent data for the same name, which does not occur in the
-//! modelled ecosystem (divergence is confined to apex zones with mixed
-//! NS sets, and every query for an apex zone shares a worker).
+//! the DS/DNSKEY walk into an ancestor zone) can consume another
+//! worker's zone selection state concurrently; this only matters when
+//! that other zone's endpoints serve divergent data for the same name,
+//! which does not occur in the modelled ecosystem (divergence is
+//! confined to apex zones with mixed NS sets, and every query for an
+//! apex zone shares a worker — shared ancestor zones serve identical
+//! data from every endpoint, so pick order cannot change an answer).
 
 use crate::cache::{fnv1a, RecordCache};
 use crate::resolver::{RecursiveResolver, Resolution, ResolveError, ResolverConfig};
@@ -151,7 +152,9 @@ impl QueryEngine {
             }
         } else {
             // Zone-affinity partition: every query for one zone lands on
-            // one worker (see the module docs).
+            // one worker (see the module docs). Buckets the hash-mod
+            // partition leaves empty are skipped — a scoped spawn costs
+            // 25–35% on a single-CPU host, so dead workers are pure waste.
             let mut assignment: Vec<Vec<usize>> = vec![Vec::new(); threads];
             for (i, q) in distinct.iter().enumerate() {
                 assignment[(fnv1a(&self.affinity_key(q)) % threads as u64) as usize].push(i);
@@ -160,6 +163,7 @@ impl QueryEngine {
                 std::thread::scope(|scope| {
                     let handles: Vec<_> = assignment
                         .iter()
+                        .filter(|indices| !indices.is_empty())
                         .map(|indices| {
                             let resolver = &self.resolver;
                             let distinct = &distinct;

@@ -3,7 +3,8 @@
 //! A recursive caching DNS resolver over the simulated network:
 //! delegation-registry-driven authority lookup, pluggable name-server
 //! selection, cross-zone CNAME chasing, TTL-faithful positive/negative
-//! caching, DNSSEC chain validation with AD-bit semantics, and a
+//! caching, DNSSEC chain validation with AD-bit semantics, named
+//! [`VantagePoint`] profiles modelling public-resolver behaviours, and a
 //! [`netsim::DatagramService`] implementation so it can be bound to an IP
 //! and used as a "public resolver" by browsers and scanners.
 
@@ -13,8 +14,10 @@ pub mod cache;
 pub mod engine;
 pub mod resolver;
 pub mod selection;
+pub mod vantage;
 
 pub use cache::{CacheStats, CachedAnswer, RecordCache, DEFAULT_SHARDS};
 pub use engine::{Query, QueryEngine};
 pub use resolver::{RecursiveResolver, Resolution, ResolveError, ResolverConfig};
 pub use selection::{NsSelector, SelectionStrategy};
+pub use vantage::VantagePoint;

@@ -4,6 +4,7 @@
 //! strategy decides whether a client sees the HTTPS record at all, so the
 //! strategy is pluggable and an ablation axis.
 
+use crate::cache::fnv1a;
 use authserver::NsEndpoint;
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
@@ -18,31 +19,35 @@ pub enum SelectionStrategy {
     First,
     /// Rotate through endpoints per zone (models per-query rotation).
     RoundRobin,
-    /// Uniform random choice (seeded; models randomized selection).
+    /// Uniform random choice (seeded; models randomized selection). The
+    /// pick sequence is **per zone**: each zone draws from its own RNG
+    /// seeded from `(selector seed, zone key)`, so picks in one zone are
+    /// independent of how queries against other zones interleave.
     Random,
 }
 
 /// Stateful selector owned by one resolver.
 pub struct NsSelector {
     strategy: SelectionStrategy,
+    seed: u64,
     state: Mutex<SelectorState>,
 }
 
+#[derive(Default)]
 struct SelectorState {
     counters: HashMap<String, usize>,
-    rng: StdRng,
+    /// Per-zone RNGs for `Random`, lazily seeded from `(seed, zone_key)`.
+    /// One RNG per zone (rather than one shared stream) keeps the pick
+    /// sequence of a zone invariant under cross-zone interleaving, which
+    /// is what makes `QueryEngine::resolve_batch` thread-count-invariant
+    /// under `Random` (all queries for one zone share a worker).
+    rngs: HashMap<String, StdRng>,
 }
 
 impl NsSelector {
     /// Create a selector; `seed` drives the `Random` strategy.
     pub fn new(strategy: SelectionStrategy, seed: u64) -> NsSelector {
-        NsSelector {
-            strategy,
-            state: Mutex::new(SelectorState {
-                counters: HashMap::new(),
-                rng: StdRng::seed_from_u64(seed),
-            }),
-        }
+        NsSelector { strategy, seed, state: Mutex::new(SelectorState::default()) }
     }
 
     /// The configured strategy.
@@ -52,6 +57,11 @@ impl NsSelector {
 
     /// Pick one endpoint for the zone keyed by `zone_key`.
     pub fn pick<'a>(&self, zone_key: &str, endpoints: &'a [NsEndpoint]) -> Option<&'a NsEndpoint> {
+        self.pick_index(zone_key, endpoints).map(|i| &endpoints[i])
+    }
+
+    /// Pick the index of one endpoint for the zone keyed by `zone_key`.
+    fn pick_index(&self, zone_key: &str, endpoints: &[NsEndpoint]) -> Option<usize> {
         if endpoints.is_empty() {
             return None;
         }
@@ -66,24 +76,33 @@ impl NsSelector {
             }
             SelectionStrategy::Random => {
                 let mut st = self.state.lock();
-                st.rng.gen_range(0..endpoints.len())
+                let seed = self.seed;
+                let rng = st
+                    .rngs
+                    .entry(zone_key.to_string())
+                    .or_insert_with(|| StdRng::seed_from_u64(seed ^ fnv1a(zone_key)));
+                rng.gen_range(0..endpoints.len())
             }
         };
-        endpoints.get(idx)
+        Some(idx)
     }
 
     /// Pick endpoints in fallback order: the primary pick first, then the
-    /// remaining endpoints (for retry after an unresponsive server).
+    /// remaining endpoints (for retry after an unresponsive server). With
+    /// duplicate endpoints in the delegation set, only the picked *slot*
+    /// is moved to the front — other copies keep their retry positions,
+    /// so the order always covers every slot exactly once.
     pub fn pick_order<'a>(
         &self,
         zone_key: &str,
         endpoints: &'a [NsEndpoint],
     ) -> Vec<&'a NsEndpoint> {
-        let Some(primary) = self.pick(zone_key, endpoints) else {
+        let Some(primary) = self.pick_index(zone_key, endpoints) else {
             return Vec::new();
         };
-        let mut order: Vec<&NsEndpoint> = vec![primary];
-        order.extend(endpoints.iter().filter(|e| *e != primary));
+        let mut order: Vec<&NsEndpoint> = Vec::with_capacity(endpoints.len());
+        order.push(&endpoints[primary]);
+        order.extend(endpoints.iter().enumerate().filter(|(i, _)| *i != primary).map(|(_, e)| e));
         order
     }
 }
@@ -135,6 +154,38 @@ mod tests {
     }
 
     #[test]
+    fn random_streams_are_per_zone() {
+        // The pick sequence of one zone must not depend on interleaved
+        // picks against other zones (the batch-determinism prerequisite).
+        let endpoints = eps(4);
+        let alone = {
+            let sel = NsSelector::new(SelectionStrategy::Random, 7);
+            (0..10).map(|_| sel.pick("zone-a", &endpoints).unwrap().ip).collect::<Vec<_>>()
+        };
+        let interleaved = {
+            let sel = NsSelector::new(SelectionStrategy::Random, 7);
+            (0..10)
+                .map(|_| {
+                    let _ = sel.pick("zone-b", &endpoints);
+                    let pick = sel.pick("zone-a", &endpoints).unwrap().ip;
+                    let _ = sel.pick("zone-c", &endpoints);
+                    pick
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(alone, interleaved);
+    }
+
+    #[test]
+    fn random_zones_draw_distinct_streams() {
+        let endpoints = eps(4);
+        let sel = NsSelector::new(SelectionStrategy::Random, 7);
+        let a: Vec<_> = (0..16).map(|_| sel.pick("zone-a", &endpoints).unwrap().ip).collect();
+        let b: Vec<_> = (0..16).map(|_| sel.pick("zone-b", &endpoints).unwrap().ip).collect();
+        assert_ne!(a, b, "distinct zones should not share one pick stream");
+    }
+
+    #[test]
     fn random_covers_all_endpoints() {
         let endpoints = eps(3);
         let sel = NsSelector::new(SelectionStrategy::Random, 42);
@@ -160,5 +211,26 @@ mod tests {
         assert_eq!(order.len(), 3);
         let set: std::collections::HashSet<_> = order.iter().map(|e| e.ip).collect();
         assert_eq!(set.len(), 3);
+    }
+
+    #[test]
+    fn pick_order_keeps_duplicate_endpoints() {
+        // A delegation set with duplicate entries (two copies of ns0, one
+        // ns1) must still yield a fallback order covering every slot:
+        // only the picked slot moves to the front, duplicates of it are
+        // not dropped from the retry tail.
+        let mut endpoints = eps(2);
+        endpoints.push(endpoints[0].clone());
+        for strategy in
+            [SelectionStrategy::First, SelectionStrategy::RoundRobin, SelectionStrategy::Random]
+        {
+            let sel = NsSelector::new(strategy, 3);
+            for _ in 0..6 {
+                let order = sel.pick_order("z", &endpoints);
+                assert_eq!(order.len(), endpoints.len(), "{strategy:?} shrank the retry set");
+                let dup_count = order.iter().filter(|e| e.ip == endpoints[0].ip).count();
+                assert_eq!(dup_count, 2, "{strategy:?} dropped a duplicate endpoint");
+            }
+        }
     }
 }

@@ -1,23 +1,51 @@
 //! The engine's determinism contract, pinned against a full simulated
 //! world: `resolve_batch` results are identical to sequential
-//! single-query resolution, for every thread count.
+//! single-query resolution, for every thread count and for every
+//! selection strategy — including `Random`, whose per-zone seeded RNGs
+//! make randomized-vantage batches thread-count-invariant.
+//!
+//! CI runs this suite under a thread matrix: set `RESOLVER_TEST_THREADS`
+//! to a comma-separated list (e.g. `16,32`) to extend the default
+//! `{1, 2, 4, 8}` axis.
 
 use dns_wire::RecordType;
 use ecosystem::{EcosystemConfig, World};
-use resolver::{Query, QueryEngine, Resolution, ResolveError, ResolverConfig};
+use resolver::{Query, QueryEngine, Resolution, ResolveError, ResolverConfig, SelectionStrategy};
 
 fn world() -> World {
     World::build(EcosystemConfig::tiny())
 }
 
-/// A fresh engine over `world`, mirroring the scanner's configuration
-/// (validation on, default round-robin selection).
-fn engine(world: &World) -> QueryEngine {
+/// Thread counts to exercise: the built-in axis plus any counts named in
+/// the `RESOLVER_TEST_THREADS` env var (the CI matrix hook).
+fn thread_axis() -> Vec<usize> {
+    let mut axis = vec![1, 2, 4, 8];
+    if let Ok(extra) = std::env::var("RESOLVER_TEST_THREADS") {
+        for tok in extra.split(',') {
+            if let Ok(n) = tok.trim().parse::<usize>() {
+                if n > 0 && !axis.contains(&n) {
+                    axis.push(n);
+                }
+            }
+        }
+    }
+    axis
+}
+
+/// A fresh engine over `world` with the given selection strategy,
+/// otherwise mirroring the scanner's configuration (validation on).
+fn engine_with(world: &World, strategy: SelectionStrategy) -> QueryEngine {
     QueryEngine::new(
         world.network.clone(),
         world.registry.clone(),
-        ResolverConfig { validate: true, ..Default::default() },
+        ResolverConfig { validate: true, strategy, seed: 0xBEEF, ..Default::default() },
     )
+}
+
+/// A fresh engine mirroring the scanner's default configuration
+/// (validation on, default round-robin selection).
+fn engine(world: &World) -> QueryEngine {
+    engine_with(world, SelectionStrategy::RoundRobin)
 }
 
 /// The scanner's wave-1 query shape: HTTPS, A, and NS for every listed
@@ -48,7 +76,7 @@ fn batch_matches_sequential_resolution() {
         queries.iter().map(|q| engine.resolve(&q.name, q.rtype)).collect()
     };
 
-    for threads in [1, 2, 4, 8] {
+    for threads in thread_axis() {
         let engine = engine(&world);
         let batch = engine.resolve_batch(&queries, threads);
         assert_eq!(batch.len(), sequential.len());
@@ -56,6 +84,45 @@ fn batch_matches_sequential_resolution() {
             assert_eq!(b, s, "query #{i} ({:?}) diverged at threads={threads}", queries[i]);
         }
     }
+}
+
+#[test]
+fn random_selection_batch_is_thread_count_invariant() {
+    // The PR-2 bugfix contract: under `Random`, per-zone RNGs seeded
+    // from (seed, zone key) make the batch independent of worker count.
+    // Before the fix one shared RNG made multi-threaded Random batches
+    // interleaving-dependent.
+    let world = world();
+    let queries = scan_queries(&world);
+
+    let sequential: Vec<Result<Resolution, ResolveError>> = {
+        let engine = engine_with(&world, SelectionStrategy::Random);
+        queries.iter().map(|q| engine.resolve(&q.name, q.rtype)).collect()
+    };
+
+    for threads in thread_axis() {
+        let engine = engine_with(&world, SelectionStrategy::Random);
+        let batch = engine.resolve_batch(&queries, threads);
+        assert_eq!(batch.len(), sequential.len());
+        for (i, (b, s)) in batch.iter().zip(&sequential).enumerate() {
+            assert_eq!(
+                b, s,
+                "Random-selection query #{i} ({:?}) diverged at threads={threads}",
+                queries[i]
+            );
+        }
+    }
+}
+
+#[test]
+fn random_selection_batches_repeat_exactly() {
+    // Two fresh engines with the same seed produce identical batches —
+    // the reproducibility a randomized-vantage scan relies on.
+    let world = world();
+    let queries = scan_queries(&world);
+    let a = engine_with(&world, SelectionStrategy::Random).resolve_batch(&queries, 4);
+    let b = engine_with(&world, SelectionStrategy::Random).resolve_batch(&queries, 4);
+    assert_eq!(a, b);
 }
 
 #[test]
@@ -67,7 +134,10 @@ fn duplicate_queries_share_one_resolution() {
     let doubled: Vec<Query> = queries.iter().chain(queries.iter()).cloned().collect();
 
     let baseline = engine(&world).resolve_batch(&doubled, 1);
-    for threads in [2, 4, 8] {
+    for threads in thread_axis() {
+        if threads == 1 {
+            continue;
+        }
         let batch = engine(&world).resolve_batch(&doubled, threads);
         assert_eq!(batch, baseline, "threads={threads}");
     }
@@ -96,4 +166,16 @@ fn batch_thread_count_does_not_change_cache_contents() {
         contents.push(engine.cache().len());
     }
     assert_eq!(contents[0], contents[1]);
+}
+
+#[test]
+fn batch_with_more_threads_than_queries() {
+    // Sparse batches leave most hash-mod buckets empty; the engine must
+    // skip the dead buckets (no spawn) and still answer every position.
+    let world = world();
+    let mut queries = scan_queries(&world);
+    queries.truncate(3);
+    let baseline = engine(&world).resolve_batch(&queries, 1);
+    let batch = engine(&world).resolve_batch(&queries, 64);
+    assert_eq!(batch, baseline);
 }

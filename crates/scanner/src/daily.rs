@@ -8,12 +8,22 @@
 //! three batched waves (HTTPS for every name; then A/NS follow-ups; then
 //! NS-host addresses), and the engine's deterministic fan-out replaces
 //! the hand-rolled per-domain worker pool this module used to carry.
+//!
+//! ## Multi-vantage campaigns
+//!
+//! A campaign can drive several [`VantagePoint`] profiles over the
+//! *same* world: each vantage owns one engine (and through it one
+//! long-lived cache, like the paper's distinct Google/Cloudflare/ISP
+//! recursive resolvers) and fills one labelled [`SnapshotStore`]. Every
+//! scan day the world steps once and every vantage scans the identical
+//! frozen state, so cross-vantage differences are pure resolver-view
+//! effects — the §4.2.3 mixed-provider comparison.
 
 use crate::observation::{flags, NsCategory, Observation};
-use crate::store::SnapshotStore;
+use crate::store::{OrgId, SnapshotStore};
 use dns_wire::{DnsName, RData, RecordType, SvcbRdata};
 use ecosystem::World;
-use resolver::{Query, QueryEngine, ResolverConfig};
+use resolver::{Query, QueryEngine, SelectionStrategy, VantagePoint};
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
 
@@ -26,6 +36,10 @@ pub struct Campaign {
     pub scan_www: bool,
     /// Worker threads for the batched query fan-out.
     pub threads: usize,
+    /// Vantage profiles to scan through. Empty means one unlabelled
+    /// default vantage (validating, round-robin selection) — the
+    /// single-resolver campaign shape this module started with.
+    pub vantages: Vec<VantagePoint>,
 }
 
 impl Campaign {
@@ -35,6 +49,7 @@ impl Campaign {
             sample_days: (0..study_days).step_by(stride.max(1) as usize).collect(),
             scan_www: true,
             threads: 4,
+            vantages: Vec::new(),
         }
     }
 
@@ -43,33 +58,68 @@ impl Campaign {
         Campaign::strided(study_days, 1)
     }
 
-    /// Run the campaign, advancing the world through its timeline. All
-    /// resolution flows through one [`QueryEngine`] whose cache persists
-    /// across days, exactly like the paper's long-lived recursive
-    /// resolver vantage point.
-    pub fn run(&self, world: &mut World) -> SnapshotStore {
-        let mut store = SnapshotStore::new();
-        // Pre-intern known orgs so scan processing needs no interner.
-        let mut org_ids: HashMap<String, u16> = HashMap::new();
-        for infra in world.catalog.all() {
-            let id = store.orgs.intern(infra.spec.org);
-            org_ids.insert(infra.spec.org.to_string(), id);
-        }
-        let byoip = store.orgs.intern("BYOIP Customer Org");
-        org_ids.insert("BYOIP Customer Org".to_string(), byoip);
+    /// Use the given vantage profiles (builder style).
+    pub fn with_vantages(mut self, vantages: Vec<VantagePoint>) -> Campaign {
+        self.vantages = vantages;
+        self
+    }
 
-        let engine = QueryEngine::new(
-            world.network.clone(),
-            world.registry.clone(),
-            ResolverConfig { validate: true, ..Default::default() },
-        );
+    /// The profiles this campaign scans through: the configured ones, or
+    /// the single unlabelled default.
+    fn effective_vantages(&self) -> Vec<VantagePoint> {
+        if self.vantages.is_empty() {
+            vec![VantagePoint::custom("", SelectionStrategy::RoundRobin)]
+        } else {
+            self.vantages.clone()
+        }
+    }
+
+    /// Run the campaign through the first (or default) vantage,
+    /// advancing the world through its timeline. All resolution flows
+    /// through one [`QueryEngine`] whose cache persists across days,
+    /// exactly like the paper's long-lived recursive resolver.
+    pub fn run(&self, world: &mut World) -> SnapshotStore {
+        let single = Campaign {
+            vantages: self.effective_vantages().into_iter().take(1).collect(),
+            ..self.clone()
+        };
+        single.run_vantages(world).into_iter().next().expect("one vantage yields one store")
+    }
+
+    /// Run the campaign through every configured vantage, producing one
+    /// labelled [`SnapshotStore`] per profile (in `vantages` order).
+    ///
+    /// Each scan day the world steps once; then every vantage's engine
+    /// scans the same frozen state. Org interning is replayed in the
+    /// same order for every store, so org ids agree across vantages and
+    /// stores can be diffed row-for-row.
+    pub fn run_vantages(&self, world: &mut World) -> Vec<SnapshotStore> {
+        let vantages = self.effective_vantages();
+        // Pre-intern known orgs (identically per store) so scan
+        // processing needs no interner.
+        let mut org_ids: HashMap<String, OrgId> = HashMap::new();
+        let mut runs: Vec<(QueryEngine, SnapshotStore)> = vantages
+            .iter()
+            .map(|v| {
+                let mut store = SnapshotStore::with_vantage(&v.name);
+                for infra in world.catalog.all() {
+                    let id = store.orgs.intern(infra.spec.org);
+                    org_ids.insert(infra.spec.org.to_string(), id);
+                }
+                let byoip = store.orgs.intern("BYOIP Customer Org");
+                org_ids.insert("BYOIP Customer Org".to_string(), byoip);
+                (v.engine(world.network.clone(), world.registry.clone()), store)
+            })
+            .collect();
 
         for &day in &self.sample_days {
             world.step_to_day(day);
-            let obs = scan_one_day(world, &engine, &org_ids, self.scan_www, self.threads);
-            store.push_day(day as u32, obs);
+            for (engine, store) in runs.iter_mut() {
+                let obs = scan_one_day(world, engine, &org_ids, self.scan_www, self.threads);
+                store.push_day(day as u32, obs);
+            }
         }
-        store
+        runs.into_iter().map(|(_, store)| store).collect()
     }
 }
 
@@ -82,7 +132,7 @@ struct TargetScan {
     flags: u32,
     min_priority: u16,
     ns_category: u8,
-    org: u16,
+    org: OrgId,
     /// IPv4 hints advertised by the chosen HTTPS RRset (for the
     /// hint-consistency check against the owner's A records).
     hints: Vec<Ipv4Addr>,
@@ -113,7 +163,7 @@ impl TargetScan {
 pub fn scan_one_day(
     world: &World,
     engine: &QueryEngine,
-    org_ids: &HashMap<String, u16>,
+    org_ids: &HashMap<String, OrgId>,
     scan_www: bool,
     threads: usize,
 ) -> Vec<Observation> {
@@ -137,7 +187,7 @@ pub fn scan_one_day(
                 flags: if is_www { flags::IS_WWW } else { 0 },
                 min_priority: u16::MAX,
                 ns_category: NsCategory::NoNs as u8,
-                org: u16::MAX,
+                org: OrgId::NONE,
                 hints: Vec::new(),
                 owner_a: None,
                 ns_lookup: None,
@@ -338,9 +388,9 @@ fn is_cf_default(rd: &SvcbRdata) -> bool {
 
 /// Attribute an NS org set to a category and representative operator
 /// (§4.2.2's pipeline, applied to the WHOIS lookups of wave 3).
-fn categorize_orgs(orgs: &[String], org_ids: &HashMap<String, u16>) -> (NsCategory, u16) {
+fn categorize_orgs(orgs: &[String], org_ids: &HashMap<String, OrgId>) -> (NsCategory, OrgId) {
     if orgs.is_empty() {
-        return (NsCategory::NoNs, u16::MAX);
+        return (NsCategory::NoNs, OrgId::NONE);
     }
     let is_cf = |o: &String| o == "Cloudflare, Inc.";
     let cf_count = orgs.iter().filter(|o| is_cf(o)).count();
@@ -353,6 +403,6 @@ fn categorize_orgs(orgs: &[String], org_ids: &HashMap<String, u16>) -> (NsCatego
     };
     let representative =
         orgs.iter().find(|o| !is_cf(o)).or_else(|| orgs.first()).expect("non-empty");
-    let org_id = org_ids.get(representative.as_str()).copied().unwrap_or(u16::MAX);
+    let org_id = org_ids.get(representative.as_str()).copied().unwrap_or(OrgId::NONE);
     (category, org_id)
 }

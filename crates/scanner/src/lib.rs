@@ -10,6 +10,11 @@
 //! is a sequence of batched query waves with a deterministic worker
 //! fan-out over the simulated network, mirroring the paper's
 //! controlled-pace parallel scanning.
+//!
+//! A [`Campaign`] can drive several [`resolver::VantagePoint`] profiles
+//! over the same world ([`Campaign::run_vantages`]), producing one
+//! labelled [`SnapshotStore`] per resolver view for cross-vantage
+//! diffing; [`store::combined_csv`] exports them as one dataset.
 
 #![warn(missing_docs)]
 
@@ -25,4 +30,4 @@ pub use authority::{
 pub use daily::{scan_one_day, Campaign};
 pub use observation::{flags, NsCategory, Observation};
 pub use special::{connectivity_probe, hourly_ech_scan, ConnectivityReport, EchObservation};
-pub use store::{OrgInterner, SnapshotStore};
+pub use store::{combined_csv, OrgId, OrgInterner, SnapshotStore};

@@ -3,6 +3,8 @@
 //! the record is a fixed-size struct with bit flags rather than parsed
 //! RDATA (the analyses only need the derived features).
 
+use crate::store::OrgId;
+
 /// Bit flags describing one scanned (domain, day) pair.
 pub mod flags {
     /// An HTTPS RRset was returned.
@@ -89,8 +91,8 @@ pub struct Observation {
     /// NS provider category.
     pub ns_category: u8,
     /// Interned org id of the (first non-Cloudflare, else first) NS
-    /// operator; `u16::MAX` = unknown.
-    pub org: u16,
+    /// operator; [`OrgId::NONE`] = unknown.
+    pub org: OrgId,
     /// Minimum SvcPriority among returned records (u16::MAX = none).
     pub min_priority: u16,
 }
@@ -156,7 +158,7 @@ mod tests {
             rank: 3,
             flags: flags::HTTPS_PRESENT | flags::ECH,
             ns_category: 0,
-            org: 0,
+            org: OrgId(0),
             min_priority: 1,
         };
         assert!(obs.has(flags::HTTPS_PRESENT | flags::ECH));

@@ -1,32 +1,59 @@
 //! The longitudinal dataset: observations indexed by day, an org-name
-//! interner, and CSV export for external analysis.
+//! interner, a vantage label, and CSV export (single-store and combined
+//! multi-vantage) for external analysis.
 
 use crate::observation::Observation;
 use std::collections::BTreeMap;
 use std::ops::Range;
 
+/// Typed id of an interned organization name.
+///
+/// Ids are dense u32 indices; [`OrgId::NONE`] is the "no attributable
+/// org" sentinel. The id used to be a bare `u16`, which silently aliased
+/// two distinct orgs once the interner passed 65 535 entries — fatal for
+/// the 100 k-domain scale-up, where WHOIS orgs can exceed that.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct OrgId(pub u32);
+
+impl OrgId {
+    /// Sentinel: no attributable organization.
+    pub const NONE: OrgId = OrgId(u32::MAX);
+
+    /// Whether this id is the [`NONE`](Self::NONE) sentinel.
+    pub fn is_none(self) -> bool {
+        self == OrgId::NONE
+    }
+}
+
 /// Interner for organization names (WHOIS orgs).
 #[derive(Debug, Default, Clone)]
 pub struct OrgInterner {
     names: Vec<String>,
-    index: BTreeMap<String, u16>,
+    index: BTreeMap<String, OrgId>,
 }
 
 impl OrgInterner {
-    /// Intern a name, returning its id.
-    pub fn intern(&mut self, name: &str) -> u16 {
+    /// Intern a name, returning its id. Panics (with a clear message)
+    /// if the interner would collide with the [`OrgId::NONE`] sentinel —
+    /// at 4 294 967 295 distinct orgs, far past any realistic WHOIS set.
+    pub fn intern(&mut self, name: &str) -> OrgId {
         if let Some(&id) = self.index.get(name) {
             return id;
         }
-        let id = self.names.len() as u16;
+        assert!(
+            self.names.len() < OrgId::NONE.0 as usize,
+            "OrgInterner overflow: {} distinct orgs exhausts the u32 id space",
+            self.names.len()
+        );
+        let id = OrgId(self.names.len() as u32);
         self.names.push(name.to_string());
         self.index.insert(name.to_string(), id);
         id
     }
 
     /// Resolve an id back to the name.
-    pub fn name(&self, id: u16) -> Option<&str> {
-        self.names.get(id as usize).map(|s| s.as_str())
+    pub fn name(&self, id: OrgId) -> Option<&str> {
+        self.names.get(id.0 as usize).map(|s| s.as_str())
     }
 
     /// Number of interned names.
@@ -45,14 +72,25 @@ impl OrgInterner {
 pub struct SnapshotStore {
     observations: Vec<Observation>,
     day_ranges: BTreeMap<u32, Range<usize>>,
+    vantage: String,
     /// Org-name interner shared by all observations.
     pub orgs: OrgInterner,
 }
 
 impl SnapshotStore {
-    /// Empty store.
+    /// Empty store (unlabelled vantage).
     pub fn new() -> SnapshotStore {
         SnapshotStore::default()
+    }
+
+    /// Empty store labelled with the vantage point that produced it.
+    pub fn with_vantage(vantage: &str) -> SnapshotStore {
+        SnapshotStore { vantage: vantage.to_string(), ..SnapshotStore::default() }
+    }
+
+    /// The vantage label ("" for single-vantage legacy stores).
+    pub fn vantage(&self) -> &str {
+        &self.vantage
     }
 
     /// Append a day's observations (days must be appended in order).
@@ -98,21 +136,42 @@ impl SnapshotStore {
         let mut out =
             String::from("day,domain_id,rank,is_www,https,flags,ns_category,org,min_priority\n");
         for o in &self.observations {
-            out.push_str(&format!(
-                "{},{},{},{},{},{:#x},{},{},{}\n",
-                o.day,
-                o.domain_id,
-                o.rank,
-                u8::from(o.is_www()),
-                u8::from(o.https()),
-                o.flags,
-                o.ns_category,
-                self.orgs.name(o.org).unwrap_or(""),
-                o.min_priority,
-            ));
+            out.push_str(&self.csv_row(o));
         }
         out
     }
+
+    fn csv_row(&self, o: &Observation) -> String {
+        format!(
+            "{},{},{},{},{},{:#x},{},{},{}\n",
+            o.day,
+            o.domain_id,
+            o.rank,
+            u8::from(o.is_www()),
+            u8::from(o.https()),
+            o.flags,
+            o.ns_category,
+            self.orgs.name(o.org).unwrap_or(""),
+            o.min_priority,
+        )
+    }
+}
+
+/// Export several per-vantage stores as one combined CSV with a leading
+/// `vantage` column — the cross-view dataset the paper's resolver
+/// comparison works from.
+pub fn combined_csv<'a>(stores: impl IntoIterator<Item = &'a SnapshotStore>) -> String {
+    let mut out = String::from(
+        "vantage,day,domain_id,rank,is_www,https,flags,ns_category,org,min_priority\n",
+    );
+    for store in stores {
+        for o in store.all() {
+            out.push_str(store.vantage());
+            out.push(',');
+            out.push_str(&store.csv_row(o));
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -127,7 +186,7 @@ mod tests {
             rank: id + 1,
             flags: f,
             ns_category: 0,
-            org: 0,
+            org: OrgId(0),
             min_priority: 1,
         }
     }
@@ -160,8 +219,24 @@ mod tests {
         assert_eq!(orgs.intern("Cloudflare, Inc."), a);
         assert_ne!(a, b);
         assert_eq!(orgs.name(a), Some("Cloudflare, Inc."));
-        assert_eq!(orgs.name(999), None);
+        assert_eq!(orgs.name(OrgId(999)), None);
         assert_eq!(orgs.len(), 2);
+    }
+
+    #[test]
+    fn interner_does_not_alias_past_u16_range() {
+        // Regression: with a u16 id, entry 65 536 wrapped to id 0 and
+        // silently aliased the first org. The typed u32 id must keep
+        // every org distinct well past that boundary.
+        let mut orgs = OrgInterner::default();
+        let n = (u16::MAX as usize) + 64;
+        let ids: Vec<OrgId> = (0..n).map(|i| orgs.intern(&format!("Org {i}"))).collect();
+        assert_eq!(orgs.len(), n);
+        let wrapped = ids[u16::MAX as usize + 1];
+        assert_ne!(wrapped, ids[0], "org 65536 must not alias org 0");
+        assert_eq!(orgs.name(wrapped), Some(format!("Org {}", u16::MAX as usize + 1).as_str()));
+        assert_eq!(orgs.name(ids[0]), Some("Org 0"));
+        assert!(!wrapped.is_none());
     }
 
     #[test]
@@ -174,5 +249,19 @@ mod tests {
         assert!(csv.starts_with("day,domain_id"));
         assert!(csv.contains("Cloudflare, Inc."));
         assert_eq!(csv.lines().count(), 2);
+    }
+
+    #[test]
+    fn combined_csv_carries_vantage_labels() {
+        let mut a = SnapshotStore::with_vantage("google");
+        a.push_day(0, vec![obs(0, 1, flags::HTTPS_PRESENT)]);
+        let mut b = SnapshotStore::with_vantage("isp");
+        b.push_day(0, vec![obs(0, 1, 0)]);
+        let csv = combined_csv([&a, &b]);
+        assert!(csv.starts_with("vantage,day,domain_id"));
+        assert!(csv.contains("google,0,1"));
+        assert!(csv.contains("isp,0,1"));
+        assert_eq!(csv.lines().count(), 3);
+        assert_eq!(a.vantage(), "google");
     }
 }

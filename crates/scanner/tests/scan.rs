@@ -11,7 +11,8 @@ fn tiny_world() -> World {
 #[test]
 fn campaign_produces_consistent_snapshots() {
     let mut world = tiny_world();
-    let campaign = Campaign { sample_days: vec![0, 10], scan_www: true, threads: 3 };
+    let campaign =
+        Campaign { sample_days: vec![0, 10], scan_www: true, threads: 3, vantages: vec![] };
     let store = campaign.run(&mut world);
     assert_eq!(store.days(), vec![0, 10]);
     // Two observations (apex + www) per listed domain.
@@ -34,7 +35,8 @@ fn campaign_produces_consistent_snapshots() {
 fn scanner_is_deterministic() {
     let run = || {
         let mut world = tiny_world();
-        let campaign = Campaign { sample_days: vec![0, 5], scan_www: true, threads: 4 };
+        let campaign =
+            Campaign { sample_days: vec![0, 5], scan_www: true, threads: 4, vantages: vec![] };
         campaign.run(&mut world).to_csv()
     };
     assert_eq!(run(), run());
@@ -43,7 +45,7 @@ fn scanner_is_deterministic() {
 #[test]
 fn cloudflare_dominates_ns_categories() {
     let mut world = tiny_world();
-    let campaign = Campaign { sample_days: vec![0], scan_www: false, threads: 2 };
+    let campaign = Campaign { sample_days: vec![0], scan_www: false, threads: 2, vantages: vec![] };
     let store = campaign.run(&mut world);
     let mut full = 0usize;
     let mut other = 0usize;
@@ -66,7 +68,7 @@ fn cloudflare_dominates_ns_categories() {
 #[test]
 fn cf_default_flag_set_for_default_configs() {
     let mut world = tiny_world();
-    let campaign = Campaign { sample_days: vec![0], scan_www: false, threads: 2 };
+    let campaign = Campaign { sample_days: vec![0], scan_www: false, threads: 2, vantages: vec![] };
     let store = campaign.run(&mut world);
     let default_count =
         store.day(0).iter().filter(|o| o.https() && o.has(flags::CF_DEFAULT)).count();
@@ -78,7 +80,7 @@ fn cf_default_flag_set_for_default_configs() {
 #[test]
 fn rrsig_and_ad_flags_appear() {
     let mut world = tiny_world();
-    let campaign = Campaign { sample_days: vec![0], scan_www: false, threads: 2 };
+    let campaign = Campaign { sample_days: vec![0], scan_www: false, threads: 2, vantages: vec![] };
     let store = campaign.run(&mut world);
     let signed = store.day(0).iter().filter(|o| o.https() && o.has(flags::RRSIG)).count();
     let validated =
@@ -117,4 +119,98 @@ fn connectivity_probe_finds_mismatches() {
         assert!(!r.hint_results.is_empty());
         assert!(!r.a_results.is_empty());
     }
+}
+
+#[test]
+fn multi_vantage_stores_are_identical_across_thread_counts() {
+    // Acceptance pin for the PR-2 determinism contract: a campaign over
+    // >= 3 distinct vantage profiles (including a Random-strategy one)
+    // produces byte-identical per-vantage stores for threads 1 and 4.
+    use resolver::{SelectionStrategy, VantagePoint};
+    use scanner::combined_csv;
+
+    let run = |threads: usize| -> Vec<String> {
+        let mut world = tiny_world();
+        let campaign = Campaign {
+            sample_days: vec![0, 3, 6, 9],
+            scan_www: true,
+            threads,
+            vantages: VantagePoint::presets(),
+        };
+        campaign.run_vantages(&mut world).iter().map(|s| s.to_csv()).collect()
+    };
+    let single = run(1);
+    let parallel = run(4);
+    assert_eq!(single.len(), 3);
+    for (a, b) in single.iter().zip(&parallel) {
+        assert_eq!(a, b, "per-vantage store diverged between threads=1 and threads=4");
+    }
+
+    // The Random-strategy vantage is part of the matrix and reruns
+    // byte-identically on its own too.
+    let mut world = tiny_world();
+    let campaign = Campaign {
+        sample_days: vec![0, 3],
+        scan_www: true,
+        threads: 4,
+        vantages: vec![VantagePoint::isp_resolver()],
+    };
+    assert_eq!(campaign.vantages[0].strategy, SelectionStrategy::Random);
+    let store = campaign.run(&mut world);
+    assert_eq!(store.vantage(), "isp");
+    let mut world2 = tiny_world();
+    assert_eq!(store.to_csv(), campaign.run(&mut world2).to_csv());
+
+    // Combined export carries every vantage label.
+    let mut world3 = tiny_world();
+    let stores = Campaign {
+        sample_days: vec![0],
+        scan_www: false,
+        threads: 2,
+        vantages: VantagePoint::presets(),
+    }
+    .run_vantages(&mut world3);
+    let csv = combined_csv(&stores);
+    for v in ["google", "cloudflare", "isp"] {
+        assert!(csv.contains(&format!("\n{v},")), "combined CSV missing vantage {v}");
+    }
+}
+
+#[test]
+fn vantage_views_disagree_on_mixed_ns_zones() {
+    // §4.2.3: with mixed-provider NS sets, whether a vantage sees the
+    // HTTPS record depends on its NS selection strategy. A First-pinned
+    // vantage and rotating/random vantages must disagree on at least one
+    // mixed-NS domain across a few scan days.
+    use resolver::VantagePoint;
+
+    let mut world = tiny_world();
+    let campaign = Campaign {
+        sample_days: vec![0, 2, 4, 6],
+        scan_www: false,
+        threads: 2,
+        vantages: VantagePoint::presets(),
+    };
+    let stores = campaign.run_vantages(&mut world);
+    let mixed: std::collections::HashSet<u32> =
+        world.domains.iter().filter(|d| d.secondary_provider.is_some()).map(|d| d.id).collect();
+    assert!(!mixed.is_empty(), "tiny world guarantees mixed-NS domains");
+
+    let mut disagreements = 0usize;
+    for day in stores[0].days() {
+        let per_vantage: Vec<HashMap<u32, bool>> = stores
+            .iter()
+            .map(|s| s.day(day).iter().map(|o| (o.domain_id, o.https())).collect())
+            .collect();
+        for (&id, &first_sees) in &per_vantage[0] {
+            if per_vantage[1..].iter().any(|m| m.get(&id).copied() == Some(!first_sees)) {
+                assert!(
+                    mixed.contains(&id),
+                    "cross-vantage disagreement on non-mixed domain {id} (day {day})"
+                );
+                disagreements += 1;
+            }
+        }
+    }
+    assert!(disagreements > 0, "expected at least one cross-vantage disagreement");
 }
