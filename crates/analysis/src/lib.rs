@@ -30,7 +30,9 @@ pub use providers::{
     fig10_noncf_domains, fig3_noncf_provider_count, sec423_intermittent, tab2_ns_category,
     tab3_top_noncf, IntermittentBreakdown, NoncfSeries, NsCategoryShares, TopProviders,
 };
-pub use vantage_diff::{vantage_diff, VantageDiffReport, VantageDisagreement, VantageSummary};
+pub use vantage_diff::{
+    vantage_diff, vantage_diff_runs, VantageDiffReport, VantageDisagreement, VantageSummary,
+};
 
 use scanner::SnapshotStore;
 use std::collections::HashSet;

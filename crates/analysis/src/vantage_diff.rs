@@ -12,7 +12,7 @@
 //! observation that the record's visibility depends on where you look
 //! from.
 
-use scanner::SnapshotStore;
+use scanner::{SnapshotStore, VantageRun};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 /// One cross-vantage disagreement: a (day, name) whose HTTPS presence
@@ -41,6 +41,10 @@ pub struct VantageSummary {
     /// Flapping rate: fraction of domains observed on every day whose
     /// HTTPS presence changed between consecutive sampled days.
     pub flapping_rate: f64,
+    /// Cache-level hit rate of this vantage's resolver over the whole
+    /// campaign, sourced from the telemetry registries
+    /// ([`vantage_diff_runs`]); `None` when diffing bare stores.
+    pub cache_hit_rate: Option<f64>,
 }
 
 /// The full cross-vantage diff report.
@@ -76,13 +80,17 @@ impl std::fmt::Display for VantageDiffReport {
             self.days.len()
         )?;
         for s in &self.summaries {
-            writeln!(
+            write!(
                 f,
                 "  {:<12} mean HTTPS-positive {:8.1}/day   flapping {:5.2}%",
                 s.vantage,
                 s.mean_positive,
                 100.0 * s.flapping_rate
             )?;
+            match s.cache_hit_rate {
+                Some(rate) => writeln!(f, "   cache-hit {:5.2}%", 100.0 * rate)?,
+                None => writeln!(f)?,
+            }
         }
         writeln!(
             f,
@@ -115,8 +123,15 @@ fn presence_of(store: &SnapshotStore, day: u32) -> HashMap<(u32, bool), bool> {
 ///
 /// Compares the days present in *every* store (a store missing a day
 /// contributes nothing for it) and reports every (day, name) where at
-/// least two views disagree about HTTPS presence.
+/// least two views disagree about HTTPS presence. For stores bundled
+/// with telemetry, [`vantage_diff_runs`] adds the cache-hit-rate
+/// column.
 pub fn vantage_diff(stores: &[SnapshotStore]) -> VantageDiffReport {
+    let stores: Vec<&SnapshotStore> = stores.iter().collect();
+    diff_stores(&stores)
+}
+
+fn diff_stores(stores: &[&SnapshotStore]) -> VantageDiffReport {
     let vantages: Vec<String> = stores.iter().map(|s| s.vantage().to_string()).collect();
 
     // Days common to all stores.
@@ -193,11 +208,31 @@ pub fn vantage_diff(stores: &[SnapshotStore]) -> VantageDiffReport {
             let flapping_rate =
                 if full.is_empty() { 0.0 } else { flapped as f64 / full.len() as f64 };
 
-            VantageSummary { vantage: s.vantage().to_string(), mean_positive, flapping_rate }
+            VantageSummary {
+                vantage: s.vantage().to_string(),
+                mean_positive,
+                flapping_rate,
+                cache_hit_rate: None,
+            }
         })
         .collect();
 
     VantageDiffReport { vantages, days, disagreements, per_day, disagreeing_domains, summaries }
+}
+
+/// Diff an instrumented campaign's [`VantageRun`]s: identical to
+/// [`vantage_diff`] over the bundled stores, plus a per-vantage
+/// cache-hit-rate column sourced from each run's telemetry (the
+/// resolver-cache view in which the preset profiles differ — e.g. the
+/// non-validating `isp` preset revisits cached keys far less than the
+/// validating `google`/`cloudflare` ones at daily cadence).
+pub fn vantage_diff_runs(runs: &[VantageRun]) -> VantageDiffReport {
+    let stores: Vec<&SnapshotStore> = runs.iter().map(|r| &r.store).collect();
+    let mut report = diff_stores(&stores);
+    for (summary, run) in report.summaries.iter_mut().zip(runs) {
+        summary.cache_hit_rate = Some(run.cache.hit_rate());
+    }
+    report
 }
 
 #[cfg(test)]

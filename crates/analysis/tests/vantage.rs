@@ -98,3 +98,35 @@ fn pinned_vantage_is_stable_where_rotating_vantages_flap() {
     );
     assert!(rotating > 0.0 || random > 0.0, "rotating/random views must flap on mixed-NS zones");
 }
+
+#[test]
+fn instrumented_diff_carries_per_vantage_hit_rates() {
+    // The telemetry-sourced column: diffing VantageRuns fills
+    // cache_hit_rate per vantage, and the presets separate exactly as
+    // their profiles predict at daily cadence — validating vantages
+    // (google, cloudflare) re-serve DNSSEC material from their caches,
+    // while the non-validating isp profile barely revisits cached keys
+    // (in-day queries are deduped and the intra-day clock is frozen).
+    let mut world = World::build(EcosystemConfig::tiny());
+    let runs = campaign().run_vantages_instrumented(&mut world);
+    let report = analysis::vantage_diff_runs(&runs);
+
+    let by_name: std::collections::HashMap<&str, f64> = report
+        .summaries
+        .iter()
+        .map(|s| (s.vantage.as_str(), s.cache_hit_rate.expect("instrumented runs carry a rate")))
+        .collect();
+    for rate in by_name.values() {
+        assert!((0.0..=1.0).contains(rate));
+    }
+    assert!(by_name["google"] > by_name["isp"], "validating beats non-validating: {by_name:?}");
+    assert!(by_name["cloudflare"] > by_name["isp"]);
+
+    // The column renders, and the diff itself matches the bare-store path.
+    let text = report.to_string();
+    assert!(text.contains("cache-hit"), "report must render the hit-rate column:\n{text}");
+    let stores: Vec<_> = runs.into_iter().map(|r| r.store).collect();
+    let bare = vantage_diff(&stores);
+    assert_eq!(bare.disagreements, report.disagreements);
+    assert!(bare.summaries.iter().all(|s| s.cache_hit_rate.is_none()));
+}

@@ -9,6 +9,8 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use httpsrr::dns_wire::RecordType;
 use httpsrr::ecosystem::{EcosystemConfig, World};
 use httpsrr::resolver::{Query, QueryEngine, ResolverConfig, SelectionStrategy};
+use httpsrr::telemetry::MetricsRegistry;
+use std::sync::Arc;
 use std::time::Instant;
 
 fn bench_world() -> World {
@@ -67,10 +69,24 @@ fn regenerate(world: &World, queries: &[Query]) {
     }
 }
 
+/// Regeneration output: the telemetry view of one cold+warm batch pair
+/// (per-query/batch latency histograms, queue depths, authority-traffic
+/// distribution, deterministic counters, cache statistics).
+fn regenerate_telemetry(world: &World, queries: &[Query]) {
+    let metrics = Arc::new(MetricsRegistry::new("bench-engine"));
+    let eng = engine(world, 16).with_metrics(metrics.clone());
+    let _ = eng.resolve_batch(queries, 4); // cold
+    let _ = eng.resolve_batch(queries, 4); // warm
+    println!("=== engine_batch_telemetry (cold + warm batch, threads 4) ===");
+    print!("{}", metrics.render_text());
+    println!("cache {}", eng.cache().stats());
+}
+
 fn benches(c: &mut Criterion) {
     let world = bench_world();
     let queries = scan_queries(&world);
     regenerate(&world, &queries);
+    regenerate_telemetry(&world, &queries);
 
     // Cold cache: every iteration starts from an empty cache and walks
     // the full authority path (network-bound regime).

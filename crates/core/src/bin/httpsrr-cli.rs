@@ -2,6 +2,9 @@
 //!
 //! ```text
 //! httpsrr-cli study  [--population N] [--list N] [--stride D] [--seed S] [--csv PATH]
+//! httpsrr-cli run    [--population N] [--list N] [--days D] [--threads T] [--seed S]
+//!                    [--metrics PATH] [--csv PATH]   # multi-vantage campaign + telemetry
+//! httpsrr-cli bench  [--population N] [--list N] [--threads T] [--shards S] [--out PATH]
 //! httpsrr-cli matrix
 //! httpsrr-cli rotation [--hours H]
 //! httpsrr-cli audit  [--day D]
@@ -10,7 +13,7 @@
 
 use httpsrr::analysis;
 use httpsrr::ecosystem::{EcosystemConfig, World};
-use httpsrr::scanner::hourly_ech_scan;
+use httpsrr::scanner::{combined_csv, hourly_ech_scan, Campaign, VantageRun};
 use httpsrr::{client_side_report, server_side_report, Study};
 use std::process::ExitCode;
 
@@ -22,6 +25,8 @@ fn main() -> ExitCode {
     };
     match command.as_str() {
         "study" => cmd_study(&args[1..]),
+        "run" => cmd_run(&args[1..]),
+        "bench" => cmd_bench(&args[1..]),
         "matrix" => {
             println!("{}", client_side_report());
             ExitCode::SUCCESS
@@ -38,6 +43,8 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage:
   httpsrr-cli study  [--population N] [--list N] [--stride D] [--seed S] [--csv PATH]
+  httpsrr-cli run    [--population N] [--list N] [--days D] [--threads T] [--seed S] [--metrics PATH] [--csv PATH]
+  httpsrr-cli bench  [--population N] [--list N] [--threads T] [--shards S] [--out PATH]
   httpsrr-cli matrix
   httpsrr-cli rotation [--hours H]
   httpsrr-cli audit  [--day D]
@@ -77,6 +84,188 @@ fn cmd_study(args: &[String]) -> ExitCode {
                 return ExitCode::FAILURE;
             }
         }
+    }
+    ExitCode::SUCCESS
+}
+
+/// Run a multi-vantage campaign with telemetry attached and report the
+/// cross-vantage diff (with per-vantage cache-hit rates); `--metrics`
+/// dumps the full telemetry report — per-wave latency histograms,
+/// deterministic counters (incl. the per-day hit-rate series), and
+/// per-shard cache statistics for every vantage.
+fn cmd_run(args: &[String]) -> ExitCode {
+    let config = EcosystemConfig {
+        population: num_flag(args, "--population", 2_000),
+        list_size: num_flag(args, "--list", 1_400),
+        seed: num_flag(args, "--seed", EcosystemConfig::default().seed),
+        ..EcosystemConfig::default()
+    };
+    if config.list_size > config.population {
+        eprintln!("--list must not exceed --population");
+        return ExitCode::FAILURE;
+    }
+    let days = num_flag(args, "--days", 3u64).max(1);
+    let threads = num_flag(args, "--threads", 4usize).max(1);
+    eprintln!(
+        "running instrumented campaign: {} domains, {}-entry list, {} daily scans, 3 vantages …",
+        config.population, config.list_size, days
+    );
+    let mut world = World::build(config);
+    let campaign = Campaign {
+        sample_days: (0..days).collect(),
+        scan_www: true,
+        threads,
+        vantages: httpsrr::resolver::VantagePoint::presets(),
+    };
+    let runs = campaign.run_vantages_instrumented(&mut world);
+    println!("{}", analysis::vantage_diff_runs(&runs));
+
+    if let Some(path) = flag(args, "--metrics") {
+        if let Err(e) = std::fs::write(&path, metrics_report(&runs)) {
+            eprintln!("failed to write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote telemetry report to {path}");
+    }
+    if let Some(path) = flag(args, "--csv") {
+        let stores: Vec<_> = runs.iter().map(|r| &r.store).collect();
+        if let Err(e) = std::fs::write(&path, combined_csv(stores)) {
+            eprintln!("failed to write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote combined per-vantage CSV to {path}");
+    }
+    ExitCode::SUCCESS
+}
+
+/// The full telemetry report for an instrumented campaign: one section
+/// per vantage (registry counters + histograms, then aggregate and
+/// per-shard cache statistics, in `CacheStats`'s canonical rendering).
+fn metrics_report(runs: &[VantageRun]) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    for run in runs {
+        out.push_str(&run.metrics.render_text());
+        let _ = writeln!(out, "cache aggregate {}", run.cache);
+        for (i, shard) in run.shards.iter().enumerate() {
+            let _ = writeln!(out, "cache shard{i:02} {shard}");
+        }
+        if let Some(rate) = run.resolution_hit_rate() {
+            let _ = writeln!(out, "resolution from_cache_rate {rate:.4}");
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Benchmark the engine's batch path against the scanner's wave-1 query
+/// shape and emit a machine-readable JSON perf snapshot (cold-batch
+/// latency, warm throughput, hit rates, deterministic counters).
+fn cmd_bench(args: &[String]) -> ExitCode {
+    use httpsrr::dns_wire::RecordType;
+    use httpsrr::resolver::{Query, QueryEngine, ResolverConfig, SelectionStrategy};
+    use std::sync::Arc;
+    use std::time::Instant;
+
+    let population = num_flag(args, "--population", 1_200usize);
+    let list_size = num_flag(args, "--list", 900usize);
+    let threads = num_flag(args, "--threads", 1usize).max(1);
+    let shards = num_flag(args, "--shards", httpsrr::resolver::DEFAULT_SHARDS);
+    let world = World::build(EcosystemConfig { population, list_size, ..EcosystemConfig::tiny() });
+
+    // The scanner's wave-1 shape: HTTPS + A + NS per apex, HTTPS for www.
+    let mut queries = Vec::new();
+    for &id in &world.today_list().ranked {
+        let apex = world.domain(id).apex.clone();
+        queries.push(Query::new(apex.clone(), RecordType::Https));
+        queries.push(Query::new(apex.clone(), RecordType::A));
+        queries.push(Query::new(apex.clone(), RecordType::Ns));
+        if let Ok(www) = apex.prepend("www") {
+            queries.push(Query::new(www, RecordType::Https));
+        }
+    }
+
+    let engine = |metrics: Option<Arc<httpsrr::telemetry::MetricsRegistry>>| {
+        let eng = QueryEngine::new(
+            world.network.clone(),
+            world.registry.clone(),
+            ResolverConfig {
+                validate: true,
+                strategy: SelectionStrategy::RoundRobin,
+                cache_shards: shards,
+                ..Default::default()
+            },
+        );
+        match metrics {
+            Some(m) => eng.with_metrics(m),
+            None => eng,
+        }
+    };
+
+    // Cold: fresh engine and cache, full authority path.
+    let cold_reps = 3u32;
+    let cold_start = Instant::now();
+    for _ in 0..cold_reps {
+        let _ = engine(None).resolve_batch(&queries, threads);
+    }
+    let cold_batch_ms = cold_start.elapsed().as_secs_f64() * 1e3 / cold_reps as f64;
+
+    // Warm: prime the cache uninstrumented, then attach the registry so
+    // the reported warm metrics cover only the measured batches (the
+    // cold priming batch would otherwise dilute the rates and make the
+    // snapshot depend on warm_reps).
+    let warm_engine = engine(None);
+    let _ = warm_engine.resolve_batch(&queries, threads);
+    let primed = warm_engine.cache().stats();
+    let metrics = Arc::new(httpsrr::telemetry::MetricsRegistry::new("bench"));
+    let warm_engine = warm_engine.with_metrics(metrics.clone());
+    let warm_reps = 5u32;
+    let warm_start = Instant::now();
+    for _ in 0..warm_reps {
+        let _ = warm_engine.resolve_batch(&queries, threads);
+    }
+    let warm_batch_ms = warm_start.elapsed().as_secs_f64() * 1e3 / warm_reps as f64;
+    let warm_kqps = queries.len() as f64 / (warm_batch_ms / 1e3) / 1e3;
+
+    let from_cache = metrics.counter_value("engine.from_cache");
+    let distinct = metrics.counter_value("engine.distinct");
+    let warm_from_cache_rate =
+        if distinct == 0 { 0.0 } else { from_cache as f64 / distinct as f64 };
+    // Warm cache behaviour: the post-prime delta of the cache counters.
+    let cache = warm_engine.cache().stats();
+    let warm_hits = cache.hits - primed.hits;
+    let warm_lookups = cache.lookups() - primed.lookups();
+    let warm_cache_hit_rate =
+        if warm_lookups == 0 { 0.0 } else { warm_hits as f64 / warm_lookups as f64 };
+
+    use std::fmt::Write;
+    let mut counters = String::new();
+    for (i, (name, value)) in metrics.counter_snapshot().into_iter().enumerate() {
+        if i > 0 {
+            counters.push_str(", ");
+        }
+        let _ = write!(counters, "\"{name}\": {value}");
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"engine_batch\",\n  \"schema\": 1,\n  \"population\": {population},\n  \
+         \"list_size\": {list_size},\n  \"shards\": {shards},\n  \"threads\": {threads},\n  \
+         \"queries_per_batch\": {},\n  \"cold_batch_ms\": {cold_batch_ms:.2},\n  \
+         \"warm_batch_ms\": {warm_batch_ms:.2},\n  \"warm_kqps\": {warm_kqps:.1},\n  \
+         \"warm_from_cache_rate\": {warm_from_cache_rate:.4},\n  \
+         \"warm_cache_hit_rate\": {warm_cache_hit_rate:.4},\n  \
+         \"cache_lock_contended\": {},\n  \"counters\": {{{counters}}}\n}}\n",
+        queries.len(),
+        cache.lock_contended,
+    );
+    match flag(args, "--out") {
+        Some(path) => {
+            if let Err(e) = std::fs::write(&path, &json) {
+                eprintln!("failed to write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("wrote perf snapshot to {path}");
+        }
+        None => print!("{json}"),
     }
     ExitCode::SUCCESS
 }

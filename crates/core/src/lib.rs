@@ -38,6 +38,7 @@ pub use netsim;
 pub use resolver;
 pub use scanner;
 pub use simcrypto;
+pub use telemetry;
 pub use tlsech;
 
 use ecosystem::{EcosystemConfig, World};

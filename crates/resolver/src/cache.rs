@@ -19,12 +19,25 @@
 //! Sharding is invisible in the API: statistics aggregate across shards,
 //! and behaviour (hits, misses, expirations, eviction) is identical for
 //! any shard count — a property pinned by this module's tests.
+//!
+//! ## Statistics
+//!
+//! Each shard carries its own lock-free [`CacheStats`] counters (plain
+//! relaxed atomics, updated outside the entry mutex), so reading
+//! [`RecordCache::stats`] or [`RecordCache::shard_stats`] never takes a
+//! lock and never perturbs concurrent lookups. Misses distinguish
+//! *absent* (nothing stored) from *expired* (a dead entry was found and
+//! evicted), and hits on negative entries are surfaced separately —
+//! the split the paper's cache-behaviour comparisons need. Each shard
+//! also counts hot-path lock acquisitions and contended acquisitions
+//! (a contention proxy; see the README's single-CPU caveat).
 
 use dns_wire::record::RrsigRdata;
 use dns_wire::{DnsName, Rcode, Record, RecordType};
 use netsim::Timestamp;
-use parking_lot::Mutex;
+use parking_lot::{Mutex, MutexGuard};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Default shard count: enough to keep a typical worker fan-out (the
 /// scanner uses 4–8 threads) contention-free without wasting memory on
@@ -55,37 +68,150 @@ struct Entry {
     expires: Timestamp,
 }
 
-/// Statistics for cache behaviour analysis and ablations.
+/// Statistics snapshot for cache behaviour analysis and ablations.
+///
+/// A point-in-time copy of one shard's (or the whole cache's) lock-free
+/// counters. Misses are split by cause — [`miss_absent`](Self::miss_absent)
+/// vs [`miss_expired`](Self::miss_expired) — and hits on negative
+/// entries are counted separately in
+/// [`negative_hits`](Self::negative_hits) (they are also included in
+/// [`hits`](Self::hits)).
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct CacheStats {
-    /// Lookups that returned a live entry.
+    /// Lookups that returned a live entry (positive or negative).
     pub hits: u64,
-    /// Lookups that found nothing (or only expired entries).
-    pub misses: u64,
-    /// Entries that had expired at lookup time.
-    pub expirations: u64,
+    /// Subset of [`hits`](Self::hits) that returned a cached negative
+    /// answer (NODATA/NXDOMAIN).
+    pub negative_hits: u64,
+    /// Lookups that found nothing stored under the key.
+    pub miss_absent: u64,
+    /// Lookups that found only an expired entry (which was evicted).
+    pub miss_expired: u64,
     /// Entries inserted.
     pub insertions: u64,
+    /// Hot-path (get/insert/age) acquisitions of the shard entry lock.
+    pub lock_acquisitions: u64,
+    /// Hot-path acquisitions that found the lock already held and had
+    /// to block — a cross-thread contention proxy. Scheduling-dependent,
+    /// so excluded from determinism comparisons (and near-meaningless on
+    /// a single-CPU host, where threads rarely overlap).
+    pub lock_contended: u64,
 }
 
 impl CacheStats {
-    fn merge(&mut self, other: CacheStats) {
+    /// Total misses, either cause.
+    pub fn misses(&self) -> u64 {
+        self.miss_absent + self.miss_expired
+    }
+
+    /// Entries evicted because they had expired. Expired entries are
+    /// only discovered (and always evicted) by the lookup that finds
+    /// them, so this equals [`miss_expired`](Self::miss_expired).
+    pub fn expirations(&self) -> u64 {
+        self.miss_expired
+    }
+
+    /// Total lookups that counted a hit or a miss.
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses()
+    }
+
+    /// Hit fraction of all lookups (0 when there were none).
+    pub fn hit_rate(&self) -> f64 {
+        let lookups = self.lookups();
+        if lookups == 0 {
+            0.0
+        } else {
+            self.hits as f64 / lookups as f64
+        }
+    }
+
+    /// Accumulate another snapshot into this one (shard aggregation,
+    /// multi-vantage roll-ups).
+    pub fn merge(&mut self, other: CacheStats) {
         self.hits += other.hits;
-        self.misses += other.misses;
-        self.expirations += other.expirations;
+        self.negative_hits += other.negative_hits;
+        self.miss_absent += other.miss_absent;
+        self.miss_expired += other.miss_expired;
         self.insertions += other.insertions;
+        self.lock_acquisitions += other.lock_acquisitions;
+        self.lock_contended += other.lock_contended;
+    }
+}
+
+/// The canonical one-line rendering used by telemetry reports and the
+/// bench regeneration output.
+impl std::fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "hits={} negative_hits={} miss_absent={} miss_expired={} insertions={} \
+             lock_acquisitions={} lock_contended={} hit_rate={:.4}",
+            self.hits,
+            self.negative_hits,
+            self.miss_absent,
+            self.miss_expired,
+            self.insertions,
+            self.lock_acquisitions,
+            self.lock_contended,
+            self.hit_rate()
+        )
+    }
+}
+
+/// One shard's live counters: relaxed atomics bumped outside the entry
+/// mutex, so `stats()` readers and concurrent writers never serialize
+/// on statistics. (The old design kept a `CacheStats` inside the shard
+/// mutex and locked every shard to aggregate.)
+#[derive(Default)]
+struct ShardCounters {
+    hits: AtomicU64,
+    negative_hits: AtomicU64,
+    miss_absent: AtomicU64,
+    miss_expired: AtomicU64,
+    insertions: AtomicU64,
+    lock_acquisitions: AtomicU64,
+    lock_contended: AtomicU64,
+}
+
+impl ShardCounters {
+    fn snapshot(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            negative_hits: self.negative_hits.load(Ordering::Relaxed),
+            miss_absent: self.miss_absent.load(Ordering::Relaxed),
+            miss_expired: self.miss_expired.load(Ordering::Relaxed),
+            insertions: self.insertions.load(Ordering::Relaxed),
+            lock_acquisitions: self.lock_acquisitions.load(Ordering::Relaxed),
+            lock_contended: self.lock_contended.load(Ordering::Relaxed),
+        }
     }
 }
 
 #[derive(Default)]
 struct Shard {
-    entries: HashMap<(String, u16), Entry>,
-    stats: CacheStats,
+    entries: Mutex<HashMap<(String, u16), Entry>>,
+    stats: ShardCounters,
+}
+
+impl Shard {
+    /// Acquire the entry lock on a hot path, counting the acquisition
+    /// and whether it had to block behind another holder.
+    fn lock_entries(&self) -> MutexGuard<'_, HashMap<(String, u16), Entry>> {
+        self.stats.lock_acquisitions.fetch_add(1, Ordering::Relaxed);
+        match self.entries.try_lock() {
+            Some(guard) => guard,
+            None => {
+                self.stats.lock_contended.fetch_add(1, Ordering::Relaxed);
+                self.entries.lock()
+            }
+        }
+    }
 }
 
 /// TTL cache keyed by `(owner name, record type)`, sharded by owner name.
 pub struct RecordCache {
-    shards: Vec<Mutex<Shard>>,
+    shards: Vec<Shard>,
     /// Optional TTL clamp (seconds); `Some(c)` caps every entry's
     /// lifetime at `c`, the knob used by the Fig 12 ablation.
     ttl_clamp: Option<u32>,
@@ -129,7 +255,7 @@ impl RecordCache {
     /// An empty cache with explicit shard count and optional TTL clamp.
     pub fn with_config(shards: usize, ttl_clamp: Option<u32>) -> RecordCache {
         let n = shards.max(1);
-        RecordCache { shards: (0..n).map(|_| Mutex::new(Shard::default())).collect(), ttl_clamp }
+        RecordCache { shards: (0..n).map(|_| Shard::default()).collect(), ttl_clamp }
     }
 
     /// Number of shards (for benches and diagnostics).
@@ -137,7 +263,7 @@ impl RecordCache {
         self.shards.len()
     }
 
-    fn shard_for(&self, owner_key: &str) -> &Mutex<Shard> {
+    fn shard_for(&self, owner_key: &str) -> &Shard {
         let idx = (fnv1a(owner_key) % self.shards.len() as u64) as usize;
         &self.shards[idx]
     }
@@ -163,9 +289,9 @@ impl RecordCache {
         }
         let ttl = self.effective_ttl(records.iter().map(|r| r.ttl).min().unwrap_or(0));
         let key = name.key();
-        let mut shard = self.shard_for(&key).lock();
-        shard.stats.insertions += 1;
-        shard.entries.insert(
+        let shard = self.shard_for(&key);
+        shard.stats.insertions.fetch_add(1, Ordering::Relaxed);
+        shard.lock_entries().insert(
             (key, rtype.code()),
             Entry {
                 answer: CachedAnswer::Positive { records, rrsigs },
@@ -187,9 +313,9 @@ impl RecordCache {
     ) {
         let ttl = self.effective_ttl(ttl);
         let key = name.key();
-        let mut shard = self.shard_for(&key).lock();
-        shard.stats.insertions += 1;
-        shard.entries.insert(
+        let shard = self.shard_for(&key);
+        shard.stats.insertions.fetch_add(1, Ordering::Relaxed);
+        shard.lock_entries().insert(
             (key, rtype.code()),
             Entry {
                 answer: CachedAnswer::Negative { rcode },
@@ -202,21 +328,34 @@ impl RecordCache {
     /// Fetch a live entry; expired entries are evicted.
     pub fn get(&self, name: &DnsName, rtype: RecordType, now: Timestamp) -> Option<CachedAnswer> {
         let key = (name.key(), rtype.code());
-        let mut shard = self.shard_for(&key.0).lock();
-        match shard.entries.get(&key) {
+        let shard = self.shard_for(&key.0);
+        let mut entries = shard.lock_entries();
+        let outcome = match entries.get(&key) {
             Some(entry) if entry.expires > now => {
-                let answer = entry.answer.clone();
-                shard.stats.hits += 1;
-                Some(answer)
+                let negative = matches!(entry.answer, CachedAnswer::Negative { .. });
+                Some((entry.answer.clone(), negative))
             }
             Some(_) => {
-                shard.entries.remove(&key);
-                shard.stats.expirations += 1;
-                shard.stats.misses += 1;
+                entries.remove(&key);
                 None
             }
             None => {
-                shard.stats.misses += 1;
+                drop(entries);
+                shard.stats.miss_absent.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+        };
+        drop(entries);
+        match outcome {
+            Some((answer, negative)) => {
+                shard.stats.hits.fetch_add(1, Ordering::Relaxed);
+                if negative {
+                    shard.stats.negative_hits.fetch_add(1, Ordering::Relaxed);
+                }
+                Some(answer)
+            }
+            None => {
+                shard.stats.miss_expired.fetch_add(1, Ordering::Relaxed);
                 None
             }
         }
@@ -225,34 +364,42 @@ impl RecordCache {
     /// Age in seconds of the live entry at (name, type), if any.
     pub fn age(&self, name: &DnsName, rtype: RecordType, now: Timestamp) -> Option<u64> {
         let key = (name.key(), rtype.code());
-        let shard = self.shard_for(&key.0).lock();
-        shard.entries.get(&key).filter(|e| e.expires > now).map(|e| now.since(e.inserted))
+        let shard = self.shard_for(&key.0);
+        let entries = shard.lock_entries();
+        entries.get(&key).filter(|e| e.expires > now).map(|e| now.since(e.inserted))
     }
 
     /// Drop every entry (the testbed's "clear local DNS cache" step).
     pub fn flush(&self) {
         for shard in &self.shards {
-            shard.lock().entries.clear();
+            shard.entries.lock().clear();
         }
     }
 
-    /// Current statistics snapshot, aggregated across shards.
+    /// Current statistics snapshot, aggregated across shards. Lock-free:
+    /// reads each shard's atomic counters without touching entry locks.
     pub fn stats(&self) -> CacheStats {
         let mut total = CacheStats::default();
         for shard in &self.shards {
-            total.merge(shard.lock().stats);
+            total.merge(shard.stats.snapshot());
         }
         total
     }
 
+    /// Per-shard statistics snapshots, in shard-index order (for the
+    /// telemetry report's shard-balance and contention views).
+    pub fn shard_stats(&self) -> Vec<CacheStats> {
+        self.shards.iter().map(|s| s.stats.snapshot()).collect()
+    }
+
     /// Number of entries currently stored (live and expired-but-unswept).
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.lock().entries.len()).sum()
+        self.shards.iter().map(|s| s.entries.lock().len()).sum()
     }
 
     /// Whether the cache is empty.
     pub fn is_empty(&self) -> bool {
-        self.shards.iter().all(|s| s.lock().entries.is_empty())
+        self.shards.iter().all(|s| s.entries.lock().is_empty())
     }
 }
 
@@ -286,7 +433,78 @@ mod tests {
         assert_eq!(cache.len(), 0);
         let s = cache.stats();
         assert_eq!(s.hits, 1);
-        assert_eq!(s.expirations, 1);
+        assert_eq!(s.miss_expired, 1);
+        assert_eq!(s.expirations(), 1);
+        assert_eq!(s.miss_absent, 0);
+    }
+
+    #[test]
+    fn miss_causes_are_distinguished() {
+        let cache = RecordCache::new();
+        // Nothing stored: an absent miss.
+        assert!(cache.get(&name("a.com"), RecordType::A, Timestamp(0)).is_none());
+        cache.insert_positive(
+            &name("a.com"),
+            RecordType::A,
+            vec![a_record(300)],
+            vec![],
+            Timestamp(0),
+        );
+        // Stored but dead: an expired miss (and an eviction).
+        assert!(cache.get(&name("a.com"), RecordType::A, Timestamp(400)).is_none());
+        // Evicted now, so the next lookup is absent again.
+        assert!(cache.get(&name("a.com"), RecordType::A, Timestamp(401)).is_none());
+        let s = cache.stats();
+        assert_eq!((s.miss_absent, s.miss_expired), (2, 1));
+        assert_eq!(s.misses(), 3);
+        assert_eq!(s.hits, 0);
+        assert_eq!(s.hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn negative_hits_surface_separately() {
+        let cache = RecordCache::new();
+        cache.insert_negative(
+            &name("n.com"),
+            RecordType::Https,
+            Rcode::NxDomain,
+            300,
+            Timestamp(0),
+        );
+        cache.insert_positive(
+            &name("p.com"),
+            RecordType::A,
+            vec![a_record(300)],
+            vec![],
+            Timestamp(0),
+        );
+        assert!(cache.get(&name("n.com"), RecordType::Https, Timestamp(1)).is_some());
+        assert!(cache.get(&name("n.com"), RecordType::Https, Timestamp(2)).is_some());
+        assert!(cache.get(&name("p.com"), RecordType::A, Timestamp(1)).is_some());
+        let s = cache.stats();
+        assert_eq!(s.hits, 3, "negative hits count as hits");
+        assert_eq!(s.negative_hits, 2, "negative-entry hits are also surfaced separately");
+        assert!((s.hit_rate() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hot_path_lock_acquisitions_are_counted() {
+        let cache = RecordCache::new();
+        cache.insert_positive(
+            &name("a.com"),
+            RecordType::A,
+            vec![a_record(300)],
+            vec![],
+            Timestamp(0),
+        );
+        let _ = cache.get(&name("a.com"), RecordType::A, Timestamp(1));
+        let _ = cache.age(&name("a.com"), RecordType::A, Timestamp(1));
+        // insert + get + age: three hot-path acquisitions; flush() and
+        // stats() are maintenance paths and deliberately uncounted.
+        cache.flush();
+        let s = cache.stats();
+        assert_eq!(s.lock_acquisitions, 3);
+        assert_eq!(s.lock_contended, 0, "single-threaded use never contends");
     }
 
     #[test]
@@ -412,7 +630,7 @@ mod tests {
             cache.insert_positive(&n, RecordType::A, vec![a_record(60)], vec![], Timestamp(0));
         }
         assert_eq!(cache.len(), 256);
-        let populated = cache.shards.iter().filter(|s| !s.lock().entries.is_empty()).count();
+        let populated = cache.shards.iter().filter(|s| !s.entries.lock().is_empty()).count();
         assert!(populated > 8, "expected a spread, got {populated} populated shards");
     }
 

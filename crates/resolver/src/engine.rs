@@ -51,6 +51,23 @@
 //! confined to apex zones with mixed NS sets, and every query for an
 //! apex zone shares a worker — shared ancestor zones serve identical
 //! data from every endpoint, so pick order cannot change an answer).
+//!
+//! ## Telemetry
+//!
+//! An engine can carry a [`telemetry::MetricsRegistry`]
+//! ([`QueryEngine::with_metrics`]); resolution behaviour is identical
+//! with or without one — instrumentation observes batch *outcomes*,
+//! never steers them. Per the telemetry crate's determinism split:
+//!
+//! - **Counters** (`engine.queries`, `engine.distinct`,
+//!   `engine.coalesced`, `engine.from_cache`, `engine.answers_*`,
+//!   `engine.failures`, …) are derived from results, which the batch
+//!   contract makes thread-count-invariant — so counter snapshots are
+//!   byte-identical across thread counts (pinned in the determinism
+//!   suite).
+//! - **Histograms** (`engine.batch_us`, `engine.query_us`,
+//!   `engine.queue_depth`, `engine.authority_datagrams`) are
+//!   wall-clock/scheduling observations for perf work only.
 
 use crate::cache::{fnv1a, RecordCache};
 use crate::resolver::{RecursiveResolver, Resolution, ResolveError, ResolverConfig};
@@ -59,6 +76,8 @@ use dns_wire::{DnsName, RecordType};
 use netsim::Network;
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::Instant;
+use telemetry::MetricsRegistry;
 
 /// One query in a batch: an owner name and a record type.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -80,9 +99,21 @@ impl Query {
     }
 }
 
+/// Instrument handles for the single-query path, resolved from the
+/// registry once at attach time so each `resolve()` records through
+/// held `Arc`s instead of re-locking the registry's name maps.
+struct SingleQueryMetrics {
+    latency: Arc<telemetry::Histogram>,
+    queries: Arc<telemetry::Counter>,
+    from_cache: Arc<telemetry::Counter>,
+    failures: Arc<telemetry::Counter>,
+}
+
 /// The shared, batch-capable resolution engine.
 pub struct QueryEngine {
     resolver: Arc<RecursiveResolver>,
+    metrics: Option<Arc<MetricsRegistry>>,
+    single: Option<SingleQueryMetrics>,
 }
 
 impl QueryEngine {
@@ -92,13 +123,35 @@ impl QueryEngine {
         registry: DelegationRegistry,
         config: ResolverConfig,
     ) -> QueryEngine {
-        QueryEngine { resolver: Arc::new(RecursiveResolver::new(network, registry, config)) }
+        QueryEngine {
+            resolver: Arc::new(RecursiveResolver::new(network, registry, config)),
+            metrics: None,
+            single: None,
+        }
     }
 
     /// Wrap an existing shared resolver (e.g. one also bound to the
     /// network as a public-resolver datagram service).
     pub fn from_resolver(resolver: Arc<RecursiveResolver>) -> QueryEngine {
-        QueryEngine { resolver }
+        QueryEngine { resolver, metrics: None, single: None }
+    }
+
+    /// Attach a metrics registry (builder style). Resolution results are
+    /// bit-identical with or without one; see the module docs.
+    pub fn with_metrics(mut self, metrics: Arc<MetricsRegistry>) -> QueryEngine {
+        self.single = Some(SingleQueryMetrics {
+            latency: metrics.histogram("engine.single_us"),
+            queries: metrics.counter("engine.single_queries"),
+            from_cache: metrics.counter("engine.single_from_cache"),
+            failures: metrics.counter("engine.single_failures"),
+        });
+        self.metrics = Some(metrics);
+        self
+    }
+
+    /// The attached metrics registry, if any.
+    pub fn metrics(&self) -> Option<&Arc<MetricsRegistry>> {
+        self.metrics.as_ref()
     }
 
     /// The underlying resolver.
@@ -118,7 +171,19 @@ impl QueryEngine {
 
     /// Resolve one query at the current simulated time.
     pub fn resolve(&self, name: &DnsName, rtype: RecordType) -> Result<Resolution, ResolveError> {
-        self.resolver.resolve(name, rtype)
+        let Some(single) = &self.single else {
+            return self.resolver.resolve(name, rtype);
+        };
+        let start = Instant::now();
+        let result = self.resolver.resolve(name, rtype);
+        single.latency.record_duration(start.elapsed());
+        single.queries.inc();
+        match &result {
+            Ok(res) if res.from_cache => single.from_cache.inc(),
+            Ok(_) => {}
+            Err(_) => single.failures.inc(),
+        }
+        result
     }
 
     /// Resolve a batch of queries with `threads` workers, returning one
@@ -129,6 +194,15 @@ impl QueryEngine {
         queries: &[Query],
         threads: usize,
     ) -> Vec<Result<Resolution, ResolveError>> {
+        // An empty batch does no work: no assignment maps, no thread
+        // scaffolding, no metrics traffic.
+        if queries.is_empty() {
+            return Vec::new();
+        }
+        let batch_start = self.metrics.as_ref().map(|_| Instant::now());
+        let datagrams_before = self.metrics.as_ref().map(|_| self.network().stats().datagrams_sent);
+        let query_us = self.metrics.as_ref().map(|m| m.histogram("engine.query_us"));
+
         // Deduplicate, preserving first-occurrence order.
         let mut index_of: HashMap<(String, u16), usize> = HashMap::new();
         let mut distinct: Vec<&Query> = Vec::new();
@@ -142,13 +216,16 @@ impl QueryEngine {
             positions.push(idx);
         }
 
-        let threads = threads.clamp(1, distinct.len().max(1));
+        let threads = threads.clamp(1, distinct.len());
         let mut resolved: Vec<Option<Result<Resolution, ResolveError>>> =
             vec![None; distinct.len()];
 
         if threads == 1 {
+            if let Some(m) = &self.metrics {
+                m.histogram("engine.queue_depth").record(distinct.len() as u64);
+            }
             for (slot, q) in resolved.iter_mut().zip(&distinct) {
-                *slot = Some(self.resolver.resolve(&q.name, q.rtype));
+                *slot = Some(timed_resolve(&self.resolver, q, query_us.as_deref()));
             }
         } else {
             // Zone-affinity partition: every query for one zone lands on
@@ -159,6 +236,12 @@ impl QueryEngine {
             for (i, q) in distinct.iter().enumerate() {
                 assignment[(fnv1a(&self.affinity_key(q)) % threads as u64) as usize].push(i);
             }
+            if let Some(m) = &self.metrics {
+                let depth = m.histogram("engine.queue_depth");
+                for indices in assignment.iter().filter(|indices| !indices.is_empty()) {
+                    depth.record(indices.len() as u64);
+                }
+            }
             let chunks: Vec<Vec<(usize, Result<Resolution, ResolveError>)>> =
                 std::thread::scope(|scope| {
                     let handles: Vec<_> = assignment
@@ -167,13 +250,11 @@ impl QueryEngine {
                         .map(|indices| {
                             let resolver = &self.resolver;
                             let distinct = &distinct;
+                            let query_us = query_us.as_deref();
                             scope.spawn(move || {
                                 indices
                                     .iter()
-                                    .map(|&i| {
-                                        let q = distinct[i];
-                                        (i, resolver.resolve(&q.name, q.rtype))
-                                    })
+                                    .map(|&i| (i, timed_resolve(resolver, distinct[i], query_us)))
                                     .collect()
                             })
                         })
@@ -182,6 +263,19 @@ impl QueryEngine {
                 });
             for (i, result) in chunks.into_iter().flatten() {
                 resolved[i] = Some(result);
+            }
+        }
+
+        if let Some(metrics) = &self.metrics {
+            self.record_batch_outcomes(metrics, queries.len(), &resolved);
+            if let Some(start) = batch_start {
+                metrics.histogram("engine.batch_us").record_duration(start.elapsed());
+            }
+            if let Some(before) = datagrams_before {
+                // Approximate under concurrently batching engines on one
+                // shared network; exact for the (sequential) campaigns.
+                let sent = self.network().stats().datagrams_sent.saturating_sub(before);
+                metrics.histogram("engine.authority_datagrams").record(sent);
             }
         }
 
@@ -202,6 +296,44 @@ impl QueryEngine {
             .collect()
     }
 
+    /// Record the deterministic counter class for one finished batch.
+    /// Everything here is derived from the batch's *outcomes* — input
+    /// size, dedup shape, and per-distinct-query results — all of which
+    /// the determinism contract makes thread-count-invariant, so the
+    /// registry's counter snapshot is too (pinned by the determinism
+    /// suite).
+    fn record_batch_outcomes(
+        &self,
+        metrics: &MetricsRegistry,
+        inputs: usize,
+        resolved: &[Option<Result<Resolution, ResolveError>>],
+    ) {
+        metrics.counter("engine.batches").inc();
+        metrics.counter("engine.queries").add(inputs as u64);
+        metrics.counter("engine.distinct").add(resolved.len() as u64);
+        metrics.counter("engine.coalesced").add((inputs - resolved.len()) as u64);
+        let (mut from_cache, mut positive, mut negative, mut failures) = (0u64, 0u64, 0u64, 0u64);
+        for result in resolved.iter().flatten() {
+            match result {
+                Ok(res) => {
+                    if res.from_cache {
+                        from_cache += 1;
+                    }
+                    if res.is_positive() {
+                        positive += 1;
+                    } else {
+                        negative += 1;
+                    }
+                }
+                Err(_) => failures += 1,
+            }
+        }
+        metrics.counter("engine.from_cache").add(from_cache);
+        metrics.counter("engine.answers_positive").add(positive);
+        metrics.counter("engine.answers_negative").add(negative);
+        metrics.counter("engine.failures").add(failures);
+    }
+
     /// The worker-affinity key of a query: the apex of its authoritative
     /// zone when the registry knows one, else the owner name itself.
     fn affinity_key(&self, q: &Query) -> String {
@@ -210,6 +342,25 @@ impl QueryEngine {
             .find_authority(&q.name)
             .map(|(apex, _)| apex.key())
             .unwrap_or_else(|| q.name.key())
+    }
+}
+
+/// Resolve one distinct query, recording its wall-clock latency when a
+/// histogram is attached (the observational class: never compared for
+/// determinism).
+fn timed_resolve(
+    resolver: &RecursiveResolver,
+    q: &Query,
+    latency: Option<&telemetry::Histogram>,
+) -> Result<Resolution, ResolveError> {
+    match latency {
+        Some(hist) => {
+            let start = Instant::now();
+            let result = resolver.resolve(&q.name, q.rtype);
+            hist.record_duration(start.elapsed());
+            result
+        }
+        None => resolver.resolve(&q.name, q.rtype),
     }
 }
 

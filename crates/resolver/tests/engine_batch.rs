@@ -11,6 +11,8 @@
 use dns_wire::RecordType;
 use ecosystem::{EcosystemConfig, World};
 use resolver::{Query, QueryEngine, Resolution, ResolveError, ResolverConfig, SelectionStrategy};
+use std::sync::Arc;
+use telemetry::MetricsRegistry;
 
 fn world() -> World {
     World::build(EcosystemConfig::tiny())
@@ -166,6 +168,71 @@ fn batch_thread_count_does_not_change_cache_contents() {
         contents.push(engine.cache().len());
     }
     assert_eq!(contents[0], contents[1]);
+}
+
+#[test]
+fn counter_snapshot_is_thread_count_invariant() {
+    // The telemetry contract: deterministic counters are derived from
+    // batch outcomes, so the registry's canonical counter rendering is
+    // byte-identical for every worker thread count — including under
+    // Random NS selection, and including warm (from-cache) batches.
+    let world = world();
+    let queries = scan_queries(&world);
+    for strategy in [SelectionStrategy::RoundRobin, SelectionStrategy::Random] {
+        let mut baseline: Option<String> = None;
+        for threads in thread_axis() {
+            let metrics = Arc::new(MetricsRegistry::new("pin"));
+            let engine = engine_with(&world, strategy).with_metrics(metrics.clone());
+            let _ = engine.resolve_batch(&queries, threads); // cold
+            let _ = engine.resolve_batch(&queries, threads); // warm
+            let snapshot = metrics.counters_text();
+            match &baseline {
+                None => {
+                    assert!(snapshot.contains("counter engine.batches 2"));
+                    assert!(snapshot.contains("counter engine.queries"));
+                    assert!(snapshot.contains("counter engine.from_cache"));
+                    baseline = Some(snapshot);
+                }
+                Some(expected) => assert_eq!(
+                    &snapshot, expected,
+                    "counter snapshot diverged at threads={threads} ({strategy:?})"
+                ),
+            }
+        }
+    }
+}
+
+#[test]
+fn metrics_do_not_perturb_batch_results() {
+    // Instrumentation observes, never steers: the same batch through an
+    // instrumented engine is bit-identical to an uninstrumented one.
+    let world = world();
+    let queries = scan_queries(&world);
+    let plain = engine(&world).resolve_batch(&queries, 4);
+    let metrics = Arc::new(MetricsRegistry::new("observer"));
+    let instrumented = engine(&world).with_metrics(metrics.clone()).resolve_batch(&queries, 4);
+    assert_eq!(plain, instrumented);
+    assert_eq!(metrics.counter_value("engine.queries"), queries.len() as u64);
+}
+
+#[test]
+fn empty_batch_is_a_no_op() {
+    // The empty slice early-returns before assignment maps, thread
+    // scaffolding, or any metrics traffic.
+    let world = world();
+    let metrics = Arc::new(MetricsRegistry::new("empty"));
+    let engine = engine(&world).with_metrics(metrics.clone());
+    let sent_before = engine.network().stats().datagrams_sent;
+    let attach_time = metrics.counters_text();
+    let results = engine.resolve_batch(&[], 8);
+    assert!(results.is_empty());
+    // No batch counters appear and nothing moves: the registry still
+    // holds only the zero-valued single-query handles registered at
+    // attach time.
+    assert_eq!(metrics.counters_text(), attach_time, "an empty batch must record nothing");
+    assert_eq!(metrics.counter_value("engine.batches"), 0);
+    assert!(metrics.counter_snapshot().iter().all(|(_, v)| *v == 0));
+    assert_eq!(engine.network().stats().datagrams_sent, sent_before);
 }
 
 #[test]

@@ -18,14 +18,32 @@
 //! scan day the world steps once and every vantage scans the identical
 //! frozen state, so cross-vantage differences are pure resolver-view
 //! effects — the §4.2.3 mixed-provider comparison.
+//!
+//! ## Telemetry
+//!
+//! [`Campaign::run_vantages_instrumented`] attaches one labelled
+//! [`MetricsRegistry`] per vantage and returns each store bundled with
+//! its registry and final cache statistics as a [`VantageRun`]. The
+//! instrumentation follows the telemetry crate's determinism split:
+//! per-day cache-hit-rate series and per-wave query volumes are
+//! deterministic counters (derived from batch outcomes), while per-day
+//! scan timings and per-wave latencies are wall-clock histograms.
+//! Telemetry is purely observational — an instrumented campaign
+//! produces a byte-identical [`SnapshotStore`] to an uninstrumented
+//! one, a property pinned by this crate's tests.
 
 use crate::observation::{flags, NsCategory, Observation};
 use crate::store::{OrgId, SnapshotStore};
 use dns_wire::{DnsName, RData, RecordType, SvcbRdata};
 use ecosystem::World;
-use resolver::{Query, QueryEngine, SelectionStrategy, VantagePoint};
+use resolver::{
+    CacheStats, Query, QueryEngine, Resolution, ResolveError, SelectionStrategy, VantagePoint,
+};
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
+use std::sync::Arc;
+use std::time::Instant;
+use telemetry::MetricsRegistry;
 
 /// Campaign configuration: which days to scan and how.
 #[derive(Debug, Clone)]
@@ -94,11 +112,24 @@ impl Campaign {
     /// same order for every store, so org ids agree across vantages and
     /// stores can be diffed row-for-row.
     pub fn run_vantages(&self, world: &mut World) -> Vec<SnapshotStore> {
+        self.run_internal(world, false).into_iter().map(|run| run.store).collect()
+    }
+
+    /// Run the campaign with telemetry: identical to
+    /// [`run_vantages`](Self::run_vantages) (byte-identical stores) but
+    /// every vantage's engine carries a [`MetricsRegistry`] labelled
+    /// with the vantage name, and each result bundles the registry plus
+    /// the engine's final cache statistics.
+    pub fn run_vantages_instrumented(&self, world: &mut World) -> Vec<VantageRun> {
+        self.run_internal(world, true)
+    }
+
+    fn run_internal(&self, world: &mut World, instrument: bool) -> Vec<VantageRun> {
         let vantages = self.effective_vantages();
         // Pre-intern known orgs (identically per store) so scan
         // processing needs no interner.
         let mut org_ids: HashMap<String, OrgId> = HashMap::new();
-        let mut runs: Vec<(QueryEngine, SnapshotStore)> = vantages
+        let mut runs: Vec<(QueryEngine, SnapshotStore, Arc<MetricsRegistry>)> = vantages
             .iter()
             .map(|v| {
                 let mut store = SnapshotStore::with_vantage(&v.name);
@@ -108,18 +139,80 @@ impl Campaign {
                 }
                 let byoip = store.orgs.intern("BYOIP Customer Org");
                 org_ids.insert("BYOIP Customer Org".to_string(), byoip);
-                (v.engine(world.network.clone(), world.registry.clone()), store)
+                let metrics = Arc::new(MetricsRegistry::new(&v.name));
+                let mut engine = v.engine(world.network.clone(), world.registry.clone());
+                if instrument {
+                    engine = engine.with_metrics(metrics.clone());
+                }
+                (engine, store, metrics)
             })
             .collect();
 
         for &day in &self.sample_days {
             world.step_to_day(day);
-            for (engine, store) in runs.iter_mut() {
+            for (engine, store, metrics) in runs.iter_mut() {
+                let day_start = instrument.then(Instant::now);
+                let lookups_before =
+                    if instrument { metrics.counter_value("engine.distinct") } else { 0 };
+                let cached_before =
+                    if instrument { metrics.counter_value("engine.from_cache") } else { 0 };
                 let obs = scan_one_day(world, engine, &org_ids, self.scan_www, self.threads);
+                if let Some(start) = day_start {
+                    // Wall-clock class: how long this vantage's scan of
+                    // the day took.
+                    metrics.histogram("scan.day_us").record_duration(start.elapsed());
+                    // Deterministic class: the per-day hit-rate series
+                    // (distinct lookups and cache-served answers this
+                    // day), plus campaign totals.
+                    metrics
+                        .counter(&format!("scan.day{day:04}.lookups"))
+                        .add(metrics.counter_value("engine.distinct") - lookups_before);
+                    metrics
+                        .counter(&format!("scan.day{day:04}.from_cache"))
+                        .add(metrics.counter_value("engine.from_cache") - cached_before);
+                    metrics.counter("scan.days").inc();
+                    metrics.counter("scan.observations").add(obs.len() as u64);
+                }
                 store.push_day(day as u32, obs);
             }
         }
-        runs.into_iter().map(|(_, store)| store).collect()
+        runs.into_iter()
+            .map(|(engine, store, metrics)| VantageRun {
+                cache: engine.cache().stats(),
+                shards: engine.cache().shard_stats(),
+                store,
+                metrics,
+            })
+            .collect()
+    }
+}
+
+/// One vantage's campaign output with its telemetry: the labelled
+/// store, the vantage's metrics registry, and the engine cache's final
+/// (aggregate and per-shard) statistics.
+pub struct VantageRun {
+    /// The longitudinal dataset this vantage observed.
+    pub store: SnapshotStore,
+    /// The vantage's metrics registry (labelled with the vantage name).
+    pub metrics: Arc<MetricsRegistry>,
+    /// Final cache statistics, aggregated over shards.
+    pub cache: CacheStats,
+    /// Final per-shard cache statistics, in shard-index order.
+    pub shards: Vec<CacheStats>,
+}
+
+impl VantageRun {
+    /// Fraction of this campaign's distinct batch lookups answered from
+    /// the vantage's cache — the deterministic resolution-level
+    /// hit-rate (`None` before any lookups). TTL-clamped vantages expire
+    /// entries sooner and so sit lower on this measure.
+    pub fn resolution_hit_rate(&self) -> Option<f64> {
+        let lookups = self.metrics.counter_value("engine.distinct");
+        if lookups == 0 {
+            None
+        } else {
+            Some(self.metrics.counter_value("engine.from_cache") as f64 / lookups as f64)
+        }
     }
 }
 
@@ -205,7 +298,7 @@ pub fn scan_one_day(
     // Wave 1: HTTPS for every target.
     let https_queries: Vec<Query> =
         targets.iter().map(|t| Query::new(t.name.clone(), RecordType::Https)).collect();
-    let https_results = engine.resolve_batch(&https_queries, threads);
+    let https_results = scan_wave(engine, &https_queries, threads, "wave1_https");
 
     let mut wave2: Vec<Query> = Vec::new();
     for (t, res) in targets.iter_mut().zip(&https_results) {
@@ -253,7 +346,7 @@ pub fn scan_one_day(
     }
 
     // Wave 2: owner-A and apex-NS follow-ups.
-    let wave2_results = engine.resolve_batch(&wave2, threads);
+    let wave2_results = scan_wave(engine, &wave2, threads, "wave2_followups");
 
     let mut wave3: Vec<Query> = Vec::new();
     for t in targets.iter_mut() {
@@ -288,7 +381,7 @@ pub fn scan_one_day(
     }
 
     // Wave 3: NS-host addresses, then WHOIS attribution.
-    let wave3_results = engine.resolve_batch(&wave3, threads);
+    let wave3_results = scan_wave(engine, &wave3, threads, "wave3_nshosts");
 
     for t in targets.iter_mut() {
         if t.ns_lookup.is_none() || t.ns_host_a.is_empty() {
@@ -314,6 +407,28 @@ pub fn scan_one_day(
     let mut results: Vec<Observation> = targets.iter().map(|t| t.finish(day)).collect();
     results.sort_by_key(|o| (o.domain_id, o.is_www()));
     results
+}
+
+/// Resolve one scan wave through the engine. On an instrumented engine
+/// this also records the wave's wall-clock latency histogram and its
+/// deterministic query-volume counter; resolution itself is identical
+/// either way.
+fn scan_wave(
+    engine: &QueryEngine,
+    queries: &[Query],
+    threads: usize,
+    wave: &str,
+) -> Vec<Result<Resolution, ResolveError>> {
+    match engine.metrics() {
+        Some(metrics) => {
+            let start = Instant::now();
+            let results = engine.resolve_batch(queries, threads);
+            metrics.histogram(&format!("scan.{wave}_us")).record_duration(start.elapsed());
+            metrics.counter(&format!("scan.{wave}.queries")).add(queries.len() as u64);
+            results
+        }
+        None => engine.resolve_batch(queries, threads),
+    }
 }
 
 /// Derive record-shape flags from the HTTPS RDATA set.

@@ -15,6 +15,10 @@
 //! over the same world ([`Campaign::run_vantages`]), producing one
 //! labelled [`SnapshotStore`] per resolver view for cross-vantage
 //! diffing; [`store::combined_csv`] exports them as one dataset.
+//! [`Campaign::run_vantages_instrumented`] additionally attaches one
+//! `telemetry::MetricsRegistry` per vantage and returns [`VantageRun`]s
+//! bundling store + registry + cache statistics — byte-identical
+//! stores, telemetry only observes.
 
 #![warn(missing_docs)]
 
@@ -27,7 +31,7 @@ pub mod store;
 pub use authority::{
     authority_consistency_scan, probe_domain, AuthorityDisagreement, EndpointAnswer,
 };
-pub use daily::{scan_one_day, Campaign};
+pub use daily::{scan_one_day, Campaign, VantageRun};
 pub use observation::{flags, NsCategory, Observation};
 pub use special::{connectivity_probe, hourly_ech_scan, ConnectivityReport, EchObservation};
 pub use store::{combined_csv, OrgId, OrgInterner, SnapshotStore};

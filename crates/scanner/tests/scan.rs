@@ -214,3 +214,69 @@ fn vantage_views_disagree_on_mixed_ns_zones() {
     }
     assert!(disagreements > 0, "expected at least one cross-vantage disagreement");
 }
+
+#[test]
+fn telemetry_does_not_perturb_the_campaign() {
+    // Acceptance pin for the telemetry subsystem: a 3-day multi-vantage
+    // campaign with telemetry attached produces byte-identical
+    // SnapshotStores to one without it — instrumentation observes,
+    // never perturbs.
+    use resolver::VantagePoint;
+
+    let campaign = Campaign {
+        sample_days: vec![0, 1, 2],
+        scan_www: true,
+        threads: 3,
+        vantages: VantagePoint::presets(),
+    };
+    let mut plain_world = tiny_world();
+    let plain: Vec<String> =
+        campaign.run_vantages(&mut plain_world).iter().map(|s| s.to_csv()).collect();
+
+    let mut instrumented_world = tiny_world();
+    let runs = campaign.run_vantages_instrumented(&mut instrumented_world);
+    let instrumented: Vec<String> = runs.iter().map(|r| r.store.to_csv()).collect();
+    assert_eq!(plain, instrumented, "telemetry changed the dataset");
+
+    for run in &runs {
+        // Registries are labelled per vantage and carry the campaign's
+        // deterministic counters and per-day series.
+        assert_eq!(run.metrics.label(), run.store.vantage());
+        assert_eq!(run.metrics.counter_value("scan.days"), 3);
+        assert!(run.metrics.counter_value("engine.queries") > 0);
+        assert!(run.metrics.counter_value("scan.day0002.lookups") > 0);
+        // Three waves per day, three days.
+        assert_eq!(run.metrics.counter_value("engine.batches"), 9);
+        // Cache statistics flow out per shard and in aggregate.
+        assert_eq!(run.shards.len(), resolver::DEFAULT_SHARDS);
+        let summed = run.shards.iter().fold(resolver::CacheStats::default(), |mut acc, s| {
+            acc.merge(*s);
+            acc
+        });
+        assert_eq!(summed, run.cache, "per-shard stats must sum to the aggregate");
+        assert!(run.cache.lookups() > 0 && run.cache.insertions > 0);
+        let rate = run.resolution_hit_rate().expect("campaign performed lookups");
+        assert!((0.0..=1.0).contains(&rate), "hit rate {rate} out of range");
+    }
+
+    // The presets' expected cache-behaviour split: at daily cadence the
+    // validating vantages (google, cloudflare) re-serve DNSSEC material
+    // from cache, while the non-validating isp profile never revisits a
+    // cached key (batches dedup and the intra-day clock is frozen).
+    let by_name: HashMap<&str, &scanner::VantageRun> =
+        runs.iter().map(|r| (r.store.vantage(), r)).collect();
+    assert!(by_name["google"].cache.hits > 0);
+    assert!(by_name["cloudflare"].cache.hits > 0);
+    assert!(
+        by_name["isp"].cache.hits < by_name["google"].cache.hits,
+        "the non-validating vantage must hit its cache less than a validating one"
+    );
+
+    // The instrumented campaign repeats byte-identically, counters
+    // included (same world seed, same thread count).
+    let mut world2 = tiny_world();
+    let runs2 = campaign.run_vantages_instrumented(&mut world2);
+    for (a, b) in runs.iter().zip(&runs2) {
+        assert_eq!(a.metrics.counters_text(), b.metrics.counters_text());
+    }
+}

@@ -1,0 +1,66 @@
+//! Lock-free monotonic counters.
+//!
+//! A [`Counter`] is a single `AtomicU64` incremented with relaxed
+//! ordering: recording costs one uncontended `fetch_add` and never
+//! blocks, so counters can sit on the resolution hot path. By the
+//! crate's determinism split (see the crate docs), everything recorded
+//! into a counter must be derived from deterministic batch outcomes —
+//! a rule the *recorder* upholds; the counter itself is just a cell.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A monotonically increasing, lock-free event counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A counter starting at zero.
+    pub const fn new() -> Counter {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Increment by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Increment by `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_zero_and_accumulates() {
+        let c = Counter::new();
+        assert_eq!(c.get(), 0);
+        c.inc();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+    }
+
+    #[test]
+    fn concurrent_increments_are_not_lost() {
+        let c = std::sync::Arc::new(Counter::new());
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let c = c.clone();
+                s.spawn(move || {
+                    for _ in 0..1_000 {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 4_000);
+    }
+}

@@ -1,0 +1,102 @@
+//! Property tests for the histogram algebra: bucket boundaries tile the
+//! `u64` domain without gaps, every value lands in the bucket whose
+//! range contains it, and snapshot merging is associative and
+//! commutative with an all-zero identity — the properties that make
+//! per-worker and per-vantage snapshots safely combinable in any order.
+
+use proptest::prelude::*;
+use telemetry::histogram::{bucket_lower, bucket_upper};
+use telemetry::{Histogram, HistogramSnapshot, BUCKETS};
+
+fn snapshot_of(values: &[u64]) -> HistogramSnapshot {
+    let h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+proptest! {
+    #[test]
+    fn every_value_lands_in_a_covering_bucket(v in any::<u64>()) {
+        let s = snapshot_of(&[v]);
+        let occupied = s.occupied();
+        prop_assert_eq!(occupied.len(), 1);
+        let (lo, hi, count) = occupied[0];
+        prop_assert_eq!(count, 1);
+        prop_assert!(lo <= v && v <= hi, "value {} outside bucket {}..={}", v, lo, hi);
+    }
+
+    #[test]
+    fn merge_is_associative(
+        a in proptest::collection::vec(0u64..1_000_000, 0..40),
+        b in proptest::collection::vec(0u64..1_000_000, 0..40),
+        c in proptest::collection::vec(0u64..1_000_000, 0..40),
+    ) {
+        let (sa, sb, sc) = (snapshot_of(&a), snapshot_of(&b), snapshot_of(&c));
+
+        // (a ⊕ b) ⊕ c
+        let mut left = sa.clone();
+        left.merge(&sb);
+        left.merge(&sc);
+
+        // a ⊕ (b ⊕ c)
+        let mut bc = sb.clone();
+        bc.merge(&sc);
+        let mut right = sa.clone();
+        right.merge(&bc);
+
+        prop_assert_eq!(&left, &right);
+
+        // Merging equals recording everything into one histogram.
+        let all: Vec<u64> = a.iter().chain(&b).chain(&c).copied().collect();
+        prop_assert_eq!(&left, &snapshot_of(&all));
+    }
+
+    #[test]
+    fn merge_is_commutative_with_identity(
+        a in proptest::collection::vec(any::<u64>(), 0..40),
+        b in proptest::collection::vec(any::<u64>(), 0..40),
+    ) {
+        let (sa, sb) = (snapshot_of(&a), snapshot_of(&b));
+        let mut ab = sa.clone();
+        ab.merge(&sb);
+        let mut ba = sb.clone();
+        ba.merge(&sa);
+        prop_assert_eq!(&ab, &ba);
+
+        let mut with_identity = sa.clone();
+        with_identity.merge(&HistogramSnapshot::empty());
+        prop_assert_eq!(&with_identity, &sa);
+    }
+
+    #[test]
+    fn quantiles_are_monotone_and_bounded(
+        values in proptest::collection::vec(0u64..10_000_000, 1..60),
+    ) {
+        let s = snapshot_of(&values);
+        let p50 = s.quantile(0.5).unwrap();
+        let p90 = s.quantile(0.9).unwrap();
+        let p100 = s.quantile(1.0).unwrap();
+        prop_assert!(p50 <= p90 && p90 <= p100);
+        // The max sample is within its bucket's bounds, so p100's upper
+        // bound is at least the true maximum.
+        let max = *values.iter().max().unwrap();
+        prop_assert!(p100 >= max);
+    }
+}
+
+#[test]
+fn boundaries_tile_without_gaps() {
+    assert_eq!(bucket_lower(0), 0);
+    for i in 1..BUCKETS - 1 {
+        assert_eq!(
+            bucket_lower(i),
+            bucket_upper(i - 1) + 1,
+            "bucket {i} does not start where bucket {} ends",
+            i - 1
+        );
+        assert!(bucket_lower(i) <= bucket_upper(i));
+    }
+    assert_eq!(bucket_upper(BUCKETS - 1), u64::MAX);
+}
