@@ -139,7 +139,7 @@ pub fn tab9_chain_audit(world: &World) -> ChainAudit {
         ResolverConfig { validate: true, ..Default::default() },
     );
     let mut audit = ChainAudit::default();
-    for &id in &world.today_list().ranked {
+    for &id in world.today_list().ranked() {
         let d = world.domain(id);
         let is_cf = d.provider == well_known::CLOUDFLARE || d.provider == well_known::CF_CHINA;
 

@@ -68,6 +68,33 @@ impl DelegationRegistry {
         None
     }
 
+    /// Find the deepest delegated zone containing the name rendered as
+    /// `key` (a [`DnsName::key`] string), returning the apex as a
+    /// sub-slice of `key` (or `"."` for a root delegation).
+    ///
+    /// This is [`find_authority`](Self::find_authority) stripped to what
+    /// batch partitioning needs: every ancestor of a key-rendered name is
+    /// one of its dot-suffixes, so the walk borrows slices of the
+    /// caller's buffer instead of allocating a candidate `String` (and
+    /// cloning the endpoint set) per ancestor level.
+    pub fn authority_apex_of_key<'k>(&self, key: &'k str) -> Option<&'k str> {
+        let st = self.state.read();
+        let mut suffix = key;
+        loop {
+            if st.delegations.contains_key(suffix) {
+                return Some(suffix);
+            }
+            match suffix.split_once('.') {
+                Some((_, rest)) if !rest.is_empty() => suffix = rest,
+                _ => break,
+            }
+        }
+        if key != "." && st.delegations.contains_key(".") {
+            return Some(".");
+        }
+        None
+    }
+
     /// Find the authority for the *parent* of `apex` — where the DS
     /// record for `apex` lives.
     pub fn find_parent_authority(&self, apex: &DnsName) -> Option<(DnsName, Vec<NsEndpoint>)> {
@@ -120,6 +147,25 @@ mod tests {
 
         let (apex, _) = reg.find_authority(&name("x.org")).unwrap();
         assert_eq!(apex, DnsName::root());
+    }
+
+    #[test]
+    fn apex_of_key_agrees_with_find_authority() {
+        let reg = DelegationRegistry::new();
+        reg.delegate(&DnsName::root(), vec![ep("a.root-servers.net", "198.41.0.4")]);
+        reg.delegate(&name("com"), vec![ep("a.gtld-servers.net", "192.5.6.30")]);
+        reg.delegate(&name("a.com"), vec![ep("ns1.cloudflare.com", "173.245.58.1")]);
+
+        for n in ["www.a.com", "a.com", "b.com", "x.org", "."] {
+            let key = name(n).key();
+            let borrowed = reg.authority_apex_of_key(&key);
+            let owned = reg.find_authority(&name(n)).map(|(apex, _)| apex.key());
+            assert_eq!(borrowed.map(str::to_string), owned, "name {n}");
+        }
+
+        let empty = DelegationRegistry::new();
+        assert_eq!(empty.authority_apex_of_key("www.a.com"), None);
+        assert_eq!(empty.authority_apex_of_key("."), None);
     }
 
     #[test]

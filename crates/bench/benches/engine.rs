@@ -20,7 +20,7 @@ fn bench_world() -> World {
 /// The scanner's wave-1 shape: HTTPS + A + NS per apex, HTTPS for www.
 fn scan_queries(world: &World) -> Vec<Query> {
     let mut queries = Vec::new();
-    for &id in &world.today_list().ranked {
+    for &id in world.today_list().ranked() {
         let apex = world.domain(id).apex.clone();
         queries.push(Query::new(apex.clone(), RecordType::Https));
         queries.push(Query::new(apex.clone(), RecordType::A));

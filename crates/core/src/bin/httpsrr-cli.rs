@@ -44,7 +44,7 @@ fn main() -> ExitCode {
 const USAGE: &str = "usage:
   httpsrr-cli study  [--population N] [--list N] [--stride D] [--seed S] [--csv PATH]
   httpsrr-cli run    [--population N] [--list N] [--days D] [--threads T] [--seed S] [--metrics PATH] [--csv PATH]
-  httpsrr-cli bench  [--population N] [--list N] [--threads T] [--shards S] [--out PATH]
+  httpsrr-cli bench  [--population N] [--list N] [--threads T] [--mt-threads T] [--shards S] [--out PATH]
   httpsrr-cli matrix
   httpsrr-cli rotation [--hours H]
   httpsrr-cli audit  [--day D]
@@ -158,9 +158,91 @@ fn metrics_report(runs: &[VantageRun]) -> String {
     out
 }
 
+/// The pre-pool batch path, reconstructed faithfully as a benchmark
+/// baseline: dedup on freshly-allocated `(String, u16)` keys, a
+/// zone-affinity partition that renders a key `String` per distinct
+/// query (via `find_authority`), scoped OS threads torn down and
+/// respawned per batch, and the same input-order result assembly. The
+/// delta against `QueryEngine::resolve_batch` on the same warm engine
+/// is what the persistent worker pool plus the borrowed-key hot path
+/// buys per batch.
+fn scoped_spawn_batch(
+    engine: &httpsrr::resolver::QueryEngine,
+    queries: &[httpsrr::resolver::Query],
+    threads: usize,
+) {
+    use std::collections::HashMap;
+    fn fnv1a(key: &str) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in key.as_bytes() {
+            h ^= *b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        h
+    }
+    let resolver = engine.resolver();
+
+    let mut index_of: HashMap<(String, u16), usize> = HashMap::new();
+    let mut distinct: Vec<&httpsrr::resolver::Query> = Vec::new();
+    let mut positions: Vec<usize> = Vec::with_capacity(queries.len());
+    for q in queries {
+        let next = distinct.len();
+        let idx = *index_of.entry((q.name.key(), q.rtype.code())).or_insert_with(|| {
+            distinct.push(q);
+            next
+        });
+        positions.push(idx);
+    }
+
+    let threads = threads.clamp(1, distinct.len());
+    let mut resolved = vec![None; distinct.len()];
+    let mut assignment: Vec<Vec<usize>> = vec![Vec::new(); threads];
+    for (i, q) in distinct.iter().enumerate() {
+        let affinity = resolver
+            .registry()
+            .find_authority(&q.name)
+            .map(|(apex, _)| apex.key())
+            .unwrap_or_else(|| q.name.key());
+        assignment[(fnv1a(&affinity) % threads as u64) as usize].push(i);
+    }
+    let chunks: Vec<Vec<(usize, _)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = assignment
+            .iter()
+            .filter(|indices| !indices.is_empty())
+            .map(|indices| {
+                let distinct = &distinct;
+                scope.spawn(move || {
+                    indices
+                        .iter()
+                        .map(|&i| (i, resolver.resolve(&distinct[i].name, distinct[i].rtype)))
+                        .collect()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("scoped baseline worker")).collect()
+    });
+    for (i, result) in chunks.into_iter().flatten() {
+        resolved[i] = Some(result);
+    }
+    let mut remaining = vec![0usize; resolved.len()];
+    for &idx in &positions {
+        remaining[idx] += 1;
+    }
+    let _results: Vec<_> = positions
+        .into_iter()
+        .map(|idx| {
+            remaining[idx] -= 1;
+            let slot = &mut resolved[idx];
+            if remaining[idx] == 0 { slot.take() } else { slot.clone() }.expect("resolved")
+        })
+        .collect();
+}
+
 /// Benchmark the engine's batch path against the scanner's wave-1 query
 /// shape and emit a machine-readable JSON perf snapshot (cold-batch
-/// latency, warm throughput, hit rates, deterministic counters).
+/// latency, warm throughput at one and `--mt-threads` workers, the
+/// scoped-spawn baseline the worker pool replaced, hit rates,
+/// deterministic counters).
 fn cmd_bench(args: &[String]) -> ExitCode {
     use httpsrr::dns_wire::RecordType;
     use httpsrr::resolver::{Query, QueryEngine, ResolverConfig, SelectionStrategy};
@@ -175,7 +257,7 @@ fn cmd_bench(args: &[String]) -> ExitCode {
 
     // The scanner's wave-1 shape: HTTPS + A + NS per apex, HTTPS for www.
     let mut queries = Vec::new();
-    for &id in &world.today_list().ranked {
+    for &id in world.today_list().ranked() {
         let apex = world.domain(id).apex.clone();
         queries.push(Query::new(apex.clone(), RecordType::Https));
         queries.push(Query::new(apex.clone(), RecordType::A));
@@ -238,6 +320,35 @@ fn cmd_bench(args: &[String]) -> ExitCode {
     let warm_cache_hit_rate =
         if warm_lookups == 0 { 0.0 } else { warm_hits as f64 / warm_lookups as f64 };
 
+    // Multi-threaded fan-out comparison on one primed engine: the
+    // persistent-pool path vs the scoped-spawn-per-batch fan-out it
+    // replaced, same warm cache and work. The pool is started by the
+    // priming batch, so the measured batches pay zero spawns.
+    let mt_threads = num_flag(args, "--mt-threads", 4usize).max(2);
+    let mt_engine = engine(None);
+    let _ = mt_engine.resolve_batch(&queries, mt_threads);
+    let mt_reps = 5u32;
+    // Dedicated sequential baseline on the same primed engine: the
+    // overhead fields below must mean "fan-out vs sequential" even when
+    // `--threads` (and with it `warm_batch_ms`) is not 1.
+    let t1_start = Instant::now();
+    for _ in 0..mt_reps {
+        let _ = mt_engine.resolve_batch(&queries, 1);
+    }
+    let warm_t1_ms = t1_start.elapsed().as_secs_f64() * 1e3 / mt_reps as f64;
+    let mt_start = Instant::now();
+    for _ in 0..mt_reps {
+        let _ = mt_engine.resolve_batch(&queries, mt_threads);
+    }
+    let warm_pool_mt_ms = mt_start.elapsed().as_secs_f64() * 1e3 / mt_reps as f64;
+    let scoped_start = Instant::now();
+    for _ in 0..mt_reps {
+        scoped_spawn_batch(&mt_engine, &queries, mt_threads);
+    }
+    let warm_scoped_mt_ms = scoped_start.elapsed().as_secs_f64() * 1e3 / mt_reps as f64;
+    let pool_mt_overhead_pct = (warm_pool_mt_ms / warm_t1_ms - 1.0) * 100.0;
+    let scoped_mt_overhead_pct = (warm_scoped_mt_ms / warm_t1_ms - 1.0) * 100.0;
+
     use std::fmt::Write;
     let mut counters = String::new();
     for (i, (name, value)) in metrics.counter_snapshot().into_iter().enumerate() {
@@ -247,12 +358,18 @@ fn cmd_bench(args: &[String]) -> ExitCode {
         let _ = write!(counters, "\"{name}\": {value}");
     }
     let json = format!(
-        "{{\n  \"bench\": \"engine_batch\",\n  \"schema\": 1,\n  \"population\": {population},\n  \
+        "{{\n  \"bench\": \"engine_batch\",\n  \"schema\": 2,\n  \"population\": {population},\n  \
          \"list_size\": {list_size},\n  \"shards\": {shards},\n  \"threads\": {threads},\n  \
          \"queries_per_batch\": {},\n  \"cold_batch_ms\": {cold_batch_ms:.2},\n  \
          \"warm_batch_ms\": {warm_batch_ms:.2},\n  \"warm_kqps\": {warm_kqps:.1},\n  \
          \"warm_from_cache_rate\": {warm_from_cache_rate:.4},\n  \
          \"warm_cache_hit_rate\": {warm_cache_hit_rate:.4},\n  \
+         \"mt_threads\": {mt_threads},\n  \
+         \"warm_t1_ms\": {warm_t1_ms:.2},\n  \
+         \"warm_pool_mt_ms\": {warm_pool_mt_ms:.2},\n  \
+         \"warm_scoped_mt_ms\": {warm_scoped_mt_ms:.2},\n  \
+         \"pool_mt_overhead_pct\": {pool_mt_overhead_pct:.1},\n  \
+         \"scoped_mt_overhead_pct\": {scoped_mt_overhead_pct:.1},\n  \
          \"cache_lock_contended\": {},\n  \"counters\": {{{counters}}}\n}}\n",
         queries.len(),
         cache.lock_contended,

@@ -154,19 +154,27 @@ impl DnsName {
     /// Lowercased presentation form without trailing dot (root → `.`),
     /// convenient as a map key in higher layers.
     pub fn key(&self) -> String {
-        if self.labels.is_empty() {
-            return ".".to_string();
-        }
         let mut s = String::new();
+        self.write_key(&mut s);
+        s
+    }
+
+    /// Append [`DnsName::key`]'s rendering to `out` without allocating a
+    /// fresh `String` — hot paths (e.g. batch partitioning) reuse one
+    /// cleared buffer across many names.
+    pub fn write_key(&self, out: &mut String) {
+        if self.labels.is_empty() {
+            out.push('.');
+            return;
+        }
         for (i, label) in self.labels.iter().enumerate() {
             if i > 0 {
-                s.push('.');
+                out.push('.');
             }
             for &b in label {
-                s.push(b.to_ascii_lowercase() as char);
+                out.push(b.to_ascii_lowercase() as char);
             }
         }
-        s
     }
 
     /// Decode a (possibly compressed) name from `buf` starting at `start`.
@@ -433,6 +441,16 @@ mod tests {
     fn key_is_lowercase_no_trailing_dot() {
         assert_eq!(DnsName::parse("WWW.Example.Com.").unwrap().key(), "www.example.com");
         assert_eq!(DnsName::root().key(), ".");
+    }
+
+    #[test]
+    fn write_key_appends_and_matches_key() {
+        let mut buf = String::from("x");
+        DnsName::parse("A.Example").unwrap().write_key(&mut buf);
+        assert_eq!(buf, "xa.example");
+        buf.clear();
+        DnsName::root().write_key(&mut buf);
+        assert_eq!(buf, ".");
     }
 
     #[test]

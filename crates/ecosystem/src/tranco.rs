@@ -12,7 +12,8 @@
 use crate::config::EcosystemConfig;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
+use std::sync::OnceLock;
 
 /// Per-domain popularity state.
 #[derive(Debug, Clone)]
@@ -28,26 +29,60 @@ pub struct TrancoModel {
     seed: u64,
     list_size: usize,
     source_change_day: u64,
-    reshuffle_fraction: f64,
     pop: Vec<Popularity>,
+    /// Base weights in effect from the source-change day onward: the
+    /// reshuffled slice of the universe gets re-sampled values, everyone
+    /// else keeps their original weight. Day-invariant, so computed once
+    /// here instead of re-deriving the reshuffle RNG per domain per day.
+    post_change_weight: Vec<f64>,
 }
 
 /// One day's list: domain ids ordered by rank (index 0 = rank 1).
 #[derive(Debug, Clone)]
 pub struct DailyList {
-    /// Domain ids in rank order.
-    pub ranked: Vec<u32>,
+    /// Domain ids in rank order. Private and frozen after construction:
+    /// the first [`DailyList::rank_of`]/[`DailyList::contains`] call
+    /// snapshots this vector into the cached index below, so in-place
+    /// mutation would serve stale ranks — build a new list via
+    /// [`DailyList::new`] instead.
+    ranked: Vec<u32>,
+    /// Lazily-built id → 1-based rank index backing [`DailyList::rank_of`]
+    /// and [`DailyList::contains`]; built on first membership/rank query
+    /// and reused for the rest of the list's life.
+    index: OnceLock<HashMap<u32, u32>>,
 }
 
 impl DailyList {
+    /// Wrap a ranked id vector (index 0 = rank 1).
+    pub fn new(ranked: Vec<u32>) -> DailyList {
+        DailyList { ranked, index: OnceLock::new() }
+    }
+
+    /// Domain ids in rank order (index 0 = rank 1).
+    pub fn ranked(&self) -> &[u32] {
+        &self.ranked
+    }
+
     /// The set of included domain ids.
     pub fn id_set(&self) -> HashSet<u32> {
         self.ranked.iter().copied().collect()
     }
 
-    /// Rank (1-based) of a domain id, if listed.
+    fn rank_index(&self) -> &HashMap<u32, u32> {
+        self.index.get_or_init(|| {
+            self.ranked.iter().enumerate().map(|(i, id)| (*id, (i + 1) as u32)).collect()
+        })
+    }
+
+    /// Whether a domain id is on the list (O(1) after the first call).
+    pub fn contains(&self, id: u32) -> bool {
+        self.rank_index().contains_key(&id)
+    }
+
+    /// Rank (1-based) of a domain id, if listed (O(1) after the first
+    /// call; previously a linear scan per lookup).
     pub fn rank_of(&self, id: u32) -> Option<usize> {
-        self.ranked.iter().position(|d| *d == id).map(|p| p + 1)
+        self.rank_index().get(&id).map(|r| *r as usize)
     }
 }
 
@@ -67,12 +102,28 @@ impl TrancoModel {
                 sigma: if stable { config.stable_sigma } else { config.churn_sigma },
             });
         }
+        // Source change: a slice of the universe gets re-sampled weights
+        // from the change day onward. The re-sampled values are
+        // day-invariant, so derive them once here (same per-domain RNG
+        // stream the per-day path used to rebuild on every call).
+        let post_change_weight = pop
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                let mut reshuffle_rng = StdRng::seed_from_u64(config.seed ^ 0xC0FFEE ^ (i as u64));
+                if reshuffle_rng.gen_bool(config.source_change_reshuffle) {
+                    reshuffle_rng.gen_range(0.0..1.0) * reshuffle_rng.gen_range(0.0..0.02)
+                } else {
+                    p.base_weight
+                }
+            })
+            .collect();
         TrancoModel {
             seed: config.seed,
             list_size: config.list_size.min(config.population),
             source_change_day: config.landmarks.source_change,
-            reshuffle_fraction: config.source_change_reshuffle,
             pop,
+            post_change_weight,
         }
     }
 
@@ -83,15 +134,11 @@ impl TrancoModel {
             let mut rng = StdRng::seed_from_u64(
                 self.seed ^ day.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (i as u64) << 20,
             );
-            let mut base = p.base_weight;
-            // Source change: a slice of the universe gets re-sampled
-            // weights from the change day onward.
-            if day >= self.source_change_day {
-                let mut reshuffle_rng = StdRng::seed_from_u64(self.seed ^ 0xC0FFEE ^ (i as u64));
-                if reshuffle_rng.gen_bool(self.reshuffle_fraction) {
-                    base = reshuffle_rng.gen_range(0.0..1.0) * reshuffle_rng.gen_range(0.0..0.02);
-                }
-            }
+            let base = if day >= self.source_change_day {
+                self.post_change_weight[i]
+            } else {
+                p.base_weight
+            };
             // Mean-corrected lognormal noise (E[exp] = 1): without the
             // −σ²/2 drift term, high-σ churners' heavy upper tail
             // systematically out-scores stable domains on the days they
@@ -101,7 +148,7 @@ impl TrancoModel {
         }
         scores.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
         scores.truncate(self.list_size);
-        DailyList { ranked: scores.into_iter().map(|(_, id)| id).collect() }
+        DailyList::new(scores.into_iter().map(|(_, id)| id).collect())
     }
 
     /// Domains present every day of `[from, to]` (the paper's
@@ -109,8 +156,8 @@ impl TrancoModel {
     pub fn overlapping(&self, from: u64, to: u64) -> HashSet<u32> {
         let mut set = self.list_for_day(from).id_set();
         for day in (from + 1)..=to {
-            let today = self.list_for_day(day).id_set();
-            set.retain(|id| today.contains(id));
+            let today = self.list_for_day(day);
+            set.retain(|id| today.contains(*id));
             if set.is_empty() {
                 break;
             }
@@ -217,5 +264,57 @@ mod tests {
         // Some universe id not in the list.
         let missing = (0..500u32).find(|i| !list.id_set().contains(i)).unwrap();
         assert_eq!(list.rank_of(missing), None);
+        assert!(!list.contains(missing));
+    }
+
+    #[test]
+    fn rank_index_matches_linear_scan() {
+        // The lazily-built index agrees position-for-position with the
+        // ranked vector it replaces as the lookup path.
+        let model = TrancoModel::new(&config());
+        for day in [0u64, 85] {
+            let list = model.list_for_day(day);
+            for (i, id) in list.ranked.iter().enumerate() {
+                assert_eq!(list.rank_of(*id), Some(i + 1), "day {day} id {id}");
+                assert!(list.contains(*id));
+            }
+        }
+    }
+
+    /// FNV-1a over the ranked id vector, the fingerprint the golden pins
+    /// below are expressed in.
+    fn fingerprint(ids: &[u32]) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for id in ids {
+            for b in id.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+        }
+        h
+    }
+
+    #[test]
+    fn daily_lists_match_pre_refactor_golden_values() {
+        // Captured from the per-day reshuffle-RNG implementation before
+        // the precompute refactor: moving the source-change re-sampling
+        // into `TrancoModel::new` must keep every daily list
+        // byte-identical, on both sides of the change day.
+        let model = TrancoModel::new(&config());
+        let golden: [(u64, u64); 6] = [
+            (0, 0x1ed108cb7d8fab6f),
+            (42, 0xff40044098dbb273),
+            (84, 0x8bd73a8aabd2105c),
+            (85, 0x04dd210a08e87ef2),
+            (86, 0xf7b1bf1c63efd87a),
+            (120, 0x28ff4ff2240599b0),
+        ];
+        for (day, expected) in golden {
+            assert_eq!(
+                fingerprint(&model.list_for_day(day).ranked),
+                expected,
+                "day {day} list diverged from the pre-refactor golden fingerprint"
+            );
+        }
     }
 }

@@ -162,7 +162,7 @@ impl World {
             tranco,
             cf_ech,
             current_day: 0,
-            today: DailyList { ranked: Vec::new() },
+            today: DailyList::new(Vec::new()),
             tld_zones: ZoneSet::new(),
             web_servers: HashMap::new(),
             next_ip: 0,

@@ -12,12 +12,14 @@
 
 pub mod cache;
 pub mod engine;
+pub mod pool;
 pub mod resolver;
 pub mod selection;
 pub mod vantage;
 
 pub use cache::{CacheStats, CachedAnswer, RecordCache, DEFAULT_SHARDS};
 pub use engine::{Query, QueryEngine};
+pub use pool::WorkerPool;
 pub use resolver::{RecursiveResolver, Resolution, ResolveError, ResolverConfig};
 pub use selection::{NsSelector, SelectionStrategy};
 pub use vantage::VantagePoint;

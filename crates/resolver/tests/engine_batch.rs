@@ -54,7 +54,7 @@ fn engine(world: &World) -> QueryEngine {
 /// apex plus HTTPS for www.
 fn scan_queries(world: &World) -> Vec<Query> {
     let mut queries = Vec::new();
-    for &id in &world.today_list().ranked {
+    for &id in world.today_list().ranked() {
         let apex = world.domain(id).apex.clone();
         queries.push(Query::new(apex.clone(), RecordType::Https));
         queries.push(Query::new(apex.clone(), RecordType::A));
@@ -238,11 +238,64 @@ fn empty_batch_is_a_no_op() {
 #[test]
 fn batch_with_more_threads_than_queries() {
     // Sparse batches leave most hash-mod buckets empty; the engine must
-    // skip the dead buckets (no spawn) and still answer every position.
+    // skip the dead buckets (no job submitted) and still answer every
+    // position.
     let world = world();
     let mut queries = scan_queries(&world);
     queries.truncate(3);
     let baseline = engine(&world).resolve_batch(&queries, 1);
     let batch = engine(&world).resolve_batch(&queries, 64);
     assert_eq!(batch, baseline);
+}
+
+#[test]
+fn pool_starts_lazily_and_is_reused_across_batches() {
+    // The worker pool spins up on the first multi-threaded batch only —
+    // thread count clamps to the distinct-query count, a sequential
+    // batch never touches it — and the same workers then serve every
+    // subsequent batch (no per-batch spawn).
+    let world = world();
+    let queries = scan_queries(&world);
+    let engine = engine(&world);
+    assert_eq!(engine.pool_size(), 0, "no workers before any batch");
+
+    let _ = engine.resolve_batch(&queries, 1);
+    assert_eq!(engine.pool_size(), 0, "a sequential batch must not start workers");
+
+    let _ = engine.resolve_batch(&queries, 4);
+    assert_eq!(engine.pool_size(), 4, "first threads=4 batch starts exactly 4 workers");
+
+    let _ = engine.resolve_batch(&queries, 4);
+    let _ = engine.resolve_batch(&queries, 2);
+    assert_eq!(engine.pool_size(), 4, "later batches reuse the pool (never shrink)");
+
+    let _ = engine.resolve_batch(&queries, 6);
+    assert_eq!(engine.pool_size(), 6, "a wider batch grows the pool in place");
+}
+
+#[test]
+fn pool_reuse_across_batches_has_no_state_bleed() {
+    // A campaign runs many waves through one engine. Resolving the same
+    // wave sequence through one pooled engine must produce exactly what
+    // a fresh engine resolving the same sequence sequentially produces:
+    // worker reuse may not leak selection or cache state between
+    // batches beyond what the (shared, intended) cache itself carries.
+    let world = world();
+    let queries = scan_queries(&world);
+    let waves: Vec<&[Query]> = vec![&queries[..], &queries[..queries.len() / 2], &queries[..]];
+
+    for strategy in [SelectionStrategy::RoundRobin, SelectionStrategy::Random] {
+        let sequential_engine = engine_with(&world, strategy);
+        let pooled_engine = engine_with(&world, strategy);
+        for (w, wave) in waves.iter().enumerate() {
+            let sequential = sequential_engine.resolve_batch(wave, 1);
+            let pooled = pooled_engine.resolve_batch(wave, 4);
+            assert_eq!(sequential, pooled, "wave {w} diverged under {strategy:?}");
+        }
+        assert_eq!(
+            sequential_engine.cache().len(),
+            pooled_engine.cache().len(),
+            "cache contents diverged under {strategy:?}"
+        );
+    }
 }

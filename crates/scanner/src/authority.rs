@@ -51,7 +51,7 @@ impl AuthorityDisagreement {
 pub fn authority_consistency_scan(world: &World) -> Vec<AuthorityDisagreement> {
     let next_id = AtomicU16::new(1);
     let mut out = Vec::new();
-    for &id in &world.today_list().ranked {
+    for &id in world.today_list().ranked() {
         let d = world.domain(id);
         if let Some(report) = probe_domain(world, &d.apex, id, &next_id) {
             out.push(report);
@@ -124,7 +124,7 @@ mod tests {
         }
         let found: Vec<u32> = reports.iter().map(|r| r.domain_id).collect();
         for id in &truth {
-            if world.today_list().id_set().contains(id) {
+            if world.today_list().contains(*id) {
                 assert!(found.contains(id), "mixed domain {id} not flagged");
             }
         }

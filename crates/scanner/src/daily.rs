@@ -261,16 +261,16 @@ pub fn scan_one_day(
     threads: usize,
 ) -> Vec<Observation> {
     let list = world.today_list();
-    let ranks: HashMap<u32, u32> =
-        list.ranked.iter().enumerate().map(|(i, id)| (*id, (i + 1) as u32)).collect();
     let day = world.current_day as u32;
 
     // Build the target list: apex (and optionally www) for every listed
     // domain, in list order.
-    let mut targets: Vec<TargetScan> = Vec::with_capacity(list.ranked.len() * 2);
-    for &id in &list.ranked {
+    let mut targets: Vec<TargetScan> = Vec::with_capacity(list.ranked().len() * 2);
+    for &id in list.ranked() {
         let d = world.domain(id);
-        let rank = ranks.get(&id).copied().unwrap_or(0);
+        // The list's lazily-built id→rank index: shared with every other
+        // same-day rank lookup instead of rebuilding a local map here.
+        let rank = list.rank_of(id).unwrap_or(0) as u32;
         let mut push = |name: DnsName, is_www: bool| {
             targets.push(TargetScan {
                 domain_id: id,
