@@ -26,6 +26,7 @@ fn main() -> ExitCode {
     match command.as_str() {
         "study" => cmd_study(&args[1..]),
         "run" => cmd_run(&args[1..]),
+        "bench" if args.iter().any(|a| a == "--scale") => cmd_bench_scale(&args[1..]),
         "bench" => cmd_bench(&args[1..]),
         "matrix" => {
             println!("{}", client_side_report());
@@ -45,6 +46,7 @@ const USAGE: &str = "usage:
   httpsrr-cli study  [--population N] [--list N] [--stride D] [--seed S] [--csv PATH]
   httpsrr-cli run    [--population N] [--list N] [--days D] [--threads T] [--seed S] [--metrics PATH] [--csv PATH]
   httpsrr-cli bench  [--population N] [--list N] [--threads T] [--mt-threads T] [--shards S] [--out PATH]
+  httpsrr-cli bench  --scale [--mt-threads T] [--threads T] [--out PATH]   # 6k vs 100k scale snapshot
   httpsrr-cli matrix
   httpsrr-cli rotation [--hours H]
   httpsrr-cli audit  [--day D]
@@ -381,6 +383,167 @@ fn cmd_bench(args: &[String]) -> ExitCode {
                 return ExitCode::FAILURE;
             }
             eprintln!("wrote perf snapshot to {path}");
+        }
+        None => print!("{json}"),
+    }
+    ExitCode::SUCCESS
+}
+
+/// The ecosystem-layer scale snapshot (`bench --scale`): same-binary
+/// A/B of day-list computation (pre-refactor full-sort reference vs the
+/// chunked partial-selection scorer, sequential and multi-threaded,
+/// with byte-identical lists asserted), plus world build / dirty-set
+/// step / full-day scan timings at 6 k and 100 k domains, and the
+/// shared day-list cache's effect on an overlap window.
+fn cmd_bench_scale(args: &[String]) -> ExitCode {
+    use httpsrr::ecosystem::TrancoModel;
+    use std::fmt::Write;
+    use std::time::Instant;
+
+    let host_cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let mt_threads = num_flag(args, "--mt-threads", host_cpus).max(1);
+    let scan_threads = num_flag(args, "--threads", 1usize).max(1);
+    let ms = |secs: f64| secs * 1e3;
+
+    // ---- day-list computation A/B ----
+    // Days straddle the source change; every measured list is asserted
+    // byte-identical between the reference and both new paths.
+    let list_days: [u64; 3] = [0, 42, 86];
+    let list_rows: [(usize, usize); 3] = [(6_000, 4_000), (100_000, 10_000), (100_000, 66_000)];
+    let mut list_json = String::new();
+    for (i, &(population, list_size)) in list_rows.iter().enumerate() {
+        eprintln!("scale: day-list A/B at population {population}, list {list_size} …");
+        let config = EcosystemConfig {
+            population,
+            list_size,
+            score_threads: 1,
+            ..EcosystemConfig::default()
+        };
+        let t = Instant::now();
+        let model = TrancoModel::new(&config);
+        let model_build_ms = ms(t.elapsed().as_secs_f64());
+
+        // Small universes score in well under a millisecond; repeat them
+        // enough that scheduler noise on a shared host can't invert a
+        // sub-ms A/B.
+        let reps = (200_000 / population).clamp(3, 50) as u32;
+        let mut baseline_s = 0.0;
+        let mut seq_s = 0.0;
+        let mut mt_s = 0.0;
+        let mut identical = true;
+        for &day in &list_days {
+            let t = Instant::now();
+            let mut reference = model.list_for_day_reference(day);
+            for _ in 1..reps {
+                reference = model.list_for_day_reference(day);
+            }
+            baseline_s += t.elapsed().as_secs_f64();
+            let t = Instant::now();
+            let mut seq = model.list_for_day_with_threads(day, 1);
+            for _ in 1..reps {
+                seq = model.list_for_day_with_threads(day, 1);
+            }
+            seq_s += t.elapsed().as_secs_f64();
+            let t = Instant::now();
+            let mut mt = model.list_for_day_with_threads(day, mt_threads);
+            for _ in 1..reps {
+                mt = model.list_for_day_with_threads(day, mt_threads);
+            }
+            mt_s += t.elapsed().as_secs_f64();
+            identical &= seq.ranked() == reference.ranked() && mt.ranked() == reference.ranked();
+        }
+        let per_day = (list_days.len() as u32 * reps) as f64;
+        let (baseline, seq, mt) = (baseline_s / per_day, seq_s / per_day, mt_s / per_day);
+        // Warm cache re-access cost for one already-computed day.
+        let cached = model.day_list(0);
+        let t = Instant::now();
+        let cached_again = model.day_list(0);
+        let cached_us = t.elapsed().as_secs_f64() * 1e6;
+        identical &= std::sync::Arc::ptr_eq(&cached, &cached_again);
+        let _ = write!(
+            list_json,
+            "    {{ \"population\": {population}, \"list_size\": {list_size}, \
+             \"model_build_ms\": {model_build_ms:.2}, \
+             \"baseline_ms_per_day\": {:.3}, \"seq_ms_per_day\": {:.3}, \
+             \"mt_ms_per_day\": {:.3}, \"cached_reaccess_us\": {cached_us:.1}, \
+             \"seq_speedup\": {:.2}, \"mt_speedup\": {:.2}, \"identical\": {identical} }}{}",
+            ms(baseline),
+            ms(seq),
+            ms(mt),
+            baseline / seq,
+            baseline / mt,
+            if i + 1 < list_rows.len() { ",\n" } else { "" },
+        );
+        if !identical {
+            eprintln!("scale: BYTE-IDENTITY FAILURE at population {population}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    // ---- world build / step / scan ----
+    let world_rows: [(usize, usize); 2] = [(6_000, 4_000), (100_000, 10_000)];
+    let mut world_json = String::new();
+    for (i, &(population, list_size)) in world_rows.iter().enumerate() {
+        eprintln!("scale: world build+step+scan at population {population} …");
+        let config = EcosystemConfig { population, list_size, ..EcosystemConfig::default() };
+        let t = Instant::now();
+        let mut world = World::build(config);
+        let world_build_ms = ms(t.elapsed().as_secs_f64());
+        let step_days = 3u64;
+        let t = Instant::now();
+        world.step_to_day(step_days);
+        let step_ms_per_day = ms(t.elapsed().as_secs_f64()) / step_days as f64;
+        let campaign = Campaign {
+            sample_days: vec![step_days],
+            scan_www: true,
+            threads: scan_threads,
+            vantages: Vec::new(),
+        };
+        let t = Instant::now();
+        let store = campaign.run(&mut world);
+        let scan_s = t.elapsed().as_secs_f64();
+        let observations = store.len();
+        // The cache dedup: an overlap analysis over the stepped window
+        // re-reads four day lists that are all still cached.
+        let t = Instant::now();
+        let overlap = world.tranco.overlapping(0, step_days);
+        let overlap_ms = ms(t.elapsed().as_secs_f64());
+        let cache = world.tranco.day_cache();
+        let _ = write!(
+            world_json,
+            "    {{ \"population\": {population}, \"list_size\": {list_size}, \
+             \"world_build_ms\": {world_build_ms:.1}, \"step_ms_per_day\": {step_ms_per_day:.2}, \
+             \"scan_day_ms\": {:.1}, \"observations\": {observations}, \
+             \"obs_per_sec\": {:.0}, \"overlap_window_ms\": {overlap_ms:.3}, \
+             \"overlap_size\": {}, \"day_cache_hits\": {}, \"day_cache_misses\": {} }}{}",
+            ms(scan_s),
+            observations as f64 / scan_s,
+            overlap.len(),
+            cache.hits(),
+            cache.misses(),
+            if i + 1 < world_rows.len() { ",\n" } else { "" },
+        );
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"scale\",\n  \"schema\": 3,\n  \"host_cpus\": {host_cpus},\n  \
+         \"mt_threads\": {mt_threads},\n  \"scan_threads\": {scan_threads},\n  \
+         \"list_days\": {list_days:?},\n  \"list_rows\": [\n{list_json}\n  ],\n  \
+         \"world_rows\": [\n{world_json}\n  ],\n  \
+         \"notes\": \"speedups are same-binary A/B vs the pre-refactor full-sort scorer with \
+         byte-identical lists asserted; per-call gains are bounded by the bit-exact per-domain \
+         RNG+Box-Muller scoring floor (~50-75% of baseline cost), which only parallel chunking \
+         can divide, so seq_speedup reflects the partial-selection win and mt_speedup scales \
+         with host_cpus; cached_reaccess_us and overlap_window_ms show the day-list cache \
+         eliminating whole recomputations\"\n}}\n",
+    );
+    match flag(args, "--out") {
+        Some(path) => {
+            if let Err(e) = std::fs::write(&path, &json) {
+                eprintln!("failed to write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("wrote scale snapshot to {path}");
         }
         None => print!("{json}"),
     }

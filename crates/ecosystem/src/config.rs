@@ -131,6 +131,13 @@ pub struct EcosystemConfig {
     // ---- www subdomains ----
     /// Of apex domains with HTTPS: fraction whose www also publishes it.
     pub www_https_rate: f64,
+
+    // ---- scale knobs (wall-clock only, never simulation state) ----
+    /// Worker threads for chunked day-list scoring; 0 = one per
+    /// available CPU. Lists are bit-identical for every value.
+    pub score_threads: usize,
+    /// Capacity of the shared day-list cache (entries; clamped to ≥ 1).
+    pub day_cache_capacity: usize,
 }
 
 impl Default for EcosystemConfig {
@@ -187,6 +194,9 @@ impl Default for EcosystemConfig {
             ds_rate_noncf_https: 0.859,
 
             www_https_rate: 0.93,
+
+            score_threads: 0,
+            day_cache_capacity: crate::daylist::DEFAULT_DAY_CACHE_CAPACITY,
         }
     }
 }

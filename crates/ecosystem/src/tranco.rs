@@ -10,10 +10,11 @@
 //! composition exactly as the paper observed.
 
 use crate::config::EcosystemConfig;
+use crate::daylist::DayListCache;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::{HashMap, HashSet};
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 
 /// Per-domain popularity state.
 #[derive(Debug, Clone)]
@@ -35,6 +36,13 @@ pub struct TrancoModel {
     /// else keeps their original weight. Day-invariant, so computed once
     /// here instead of re-deriving the reshuffle RNG per domain per day.
     post_change_weight: Vec<f64>,
+    /// Worker threads for chunked day-list scoring (resolved, ≥ 1). The
+    /// per-domain score streams are index-seeded, so any chunking of the
+    /// universe yields bit-identical lists; threads only change
+    /// wall-clock time.
+    score_threads: usize,
+    /// Shared memoizing day → list cache behind [`TrancoModel::day_list`].
+    cache: DayListCache,
 }
 
 /// One day's list: domain ids ordered by rank (index 0 = rank 1).
@@ -124,11 +132,108 @@ impl TrancoModel {
             source_change_day: config.landmarks.source_change,
             pop,
             post_change_weight,
+            score_threads: resolve_score_threads(config.score_threads),
+            cache: DayListCache::new(config.day_cache_capacity),
         }
     }
 
-    /// Deterministically compute the list for `day`.
+    /// The cached list for `day`, shared as one `Arc` by every consumer
+    /// (world stepping, the scanner, overlap windows). Computes via
+    /// [`TrancoModel::list_for_day`] on a miss.
+    pub fn day_list(&self, day: u64) -> Arc<DailyList> {
+        self.cache.get_or_compute(day, || self.list_for_day(day))
+    }
+
+    /// The shared day-list cache (for hit/miss introspection).
+    pub fn day_cache(&self) -> &DayListCache {
+        &self.cache
+    }
+
+    /// Deterministically compute the list for `day` (uncached), using
+    /// the model's configured scoring thread count.
     pub fn list_for_day(&self, day: u64) -> DailyList {
+        self.list_for_day_with_threads(day, self.score_threads)
+    }
+
+    /// [`TrancoModel::list_for_day`] with an explicit thread count.
+    ///
+    /// Every domain's score is drawn from its own `(seed, day, index)`-
+    /// seeded RNG, so scoring is embarrassingly parallel and the output
+    /// is bit-identical for every `threads` value — pinned by the golden
+    /// fingerprints below and the parallel-scoring property tests. Each
+    /// chunk pre-selects its own top `list_size` candidates so the merge
+    /// touches O(threads × list_size) entries, then a partial selection
+    /// (`select_nth_unstable_by_key`) and a top-only sort replace the
+    /// historical full-population sort.
+    pub fn list_for_day_with_threads(&self, day: u64, threads: usize) -> DailyList {
+        let n = self.pop.len();
+        let k = self.list_size;
+        let threads = threads.clamp(1, n.max(1));
+        let mut candidates: Vec<(u64, u32)> = if threads <= 1 || n < 2 * PAR_CHUNK_MIN {
+            self.score_range(day, 0, n)
+        } else {
+            let chunk = n.div_ceil(threads).max(PAR_CHUNK_MIN);
+            let ranges: Vec<(usize, usize)> =
+                (0..n).step_by(chunk).map(|lo| (lo, (lo + chunk).min(n))).collect();
+            let mut chunks: Vec<Vec<(u64, u32)>> = std::thread::scope(|scope| {
+                let handles: Vec<_> = ranges
+                    .iter()
+                    .map(|&(lo, hi)| {
+                        scope.spawn(move || {
+                            let mut scored = self.score_range(day, lo, hi);
+                            // Per-chunk pre-selection: the global top k is
+                            // a subset of the union of per-chunk top ks.
+                            partial_select(&mut scored, k);
+                            scored
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("scoring worker")).collect()
+            });
+            let mut merged = chunks.pop().unwrap_or_default();
+            merged.reserve(chunks.iter().map(Vec::len).sum());
+            for chunk in chunks {
+                merged.extend(chunk);
+            }
+            merged
+        };
+        partial_select(&mut candidates, k);
+        candidates.sort_unstable();
+        DailyList::new(candidates.into_iter().map(|(_, id)| id).collect())
+    }
+
+    /// Score domains `[lo, hi)` for `day` into `(descending sort key,
+    /// id)` pairs. The key is the score's IEEE-754 bit pattern inverted
+    /// (all scores are non-negative finite, where bit order ≡ value
+    /// order), so ascending integer order reproduces the historical
+    /// stable descending `partial_cmp` sort exactly — ties in score fall
+    /// back to ascending id via the tuple's second field, which is what
+    /// a stable sort over index-ordered pushes produced.
+    fn score_range(&self, day: u64, lo: usize, hi: usize) -> Vec<(u64, u32)> {
+        let mut scores: Vec<(u64, u32)> = Vec::with_capacity(hi - lo);
+        let post_change = day >= self.source_change_day;
+        for (i, p) in self.pop[lo..hi].iter().enumerate() {
+            let i = lo + i;
+            let mut rng = StdRng::seed_from_u64(
+                self.seed ^ day.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (i as u64) << 20,
+            );
+            let base = if post_change { self.post_change_weight[i] } else { p.base_weight };
+            // Mean-corrected lognormal noise (E[exp] = 1): without the
+            // −σ²/2 drift term, high-σ churners' heavy upper tail
+            // systematically out-scores stable domains on the days they
+            // spike into the list, inverting the Fig 8 rank shape.
+            let noise: f64 = normal_sample(&mut rng) * p.sigma - p.sigma * p.sigma / 2.0;
+            scores.push((!(base * noise.exp()).to_bits(), i as u32));
+        }
+        scores
+    }
+
+    /// The pre-refactor `list_for_day`: sequential scoring into `(f64,
+    /// id)` pairs and a full stable sort of the whole population. Kept
+    /// verbatim as the same-binary A/B baseline for `bench --scale` and
+    /// the equivalence tests; not used by any production path.
+    #[doc(hidden)]
+    pub fn list_for_day_reference(&self, day: u64) -> DailyList {
         let mut scores: Vec<(f64, u32)> = Vec::with_capacity(self.pop.len());
         for (i, p) in self.pop.iter().enumerate() {
             let mut rng = StdRng::seed_from_u64(
@@ -139,10 +244,6 @@ impl TrancoModel {
             } else {
                 p.base_weight
             };
-            // Mean-corrected lognormal noise (E[exp] = 1): without the
-            // −σ²/2 drift term, high-σ churners' heavy upper tail
-            // systematically out-scores stable domains on the days they
-            // spike into the list, inverting the Fig 8 rank shape.
             let noise: f64 = normal_sample(&mut rng) * p.sigma - p.sigma * p.sigma / 2.0;
             scores.push((base * noise.exp(), i as u32));
         }
@@ -152,11 +253,15 @@ impl TrancoModel {
     }
 
     /// Domains present every day of `[from, to]` (the paper's
-    /// "overlapping" set for a phase).
+    /// "overlapping" set for a phase). Day lists come from the shared
+    /// [`DayListCache`], so a window that a campaign already stepped
+    /// through costs only membership checks, and no per-day id set is
+    /// materialized (the first day's ranked vector seeds the running
+    /// set, later days answer through their lazy rank index).
     pub fn overlapping(&self, from: u64, to: u64) -> HashSet<u32> {
-        let mut set = self.list_for_day(from).id_set();
+        let mut set: HashSet<u32> = self.day_list(from).ranked().iter().copied().collect();
         for day in (from + 1)..=to {
-            let today = self.list_for_day(day);
+            let today = self.day_list(day);
             set.retain(|id| today.contains(*id));
             if set.is_empty() {
                 break;
@@ -166,8 +271,34 @@ impl TrancoModel {
     }
 }
 
+/// Minimum per-chunk population before chunked scoring spawns threads:
+/// below this the spawn overhead dwarfs the scoring work.
+const PAR_CHUNK_MIN: usize = 4_096;
+
+/// Resolve a configured scoring thread count: 0 means "one per
+/// available CPU".
+fn resolve_score_threads(configured: usize) -> usize {
+    if configured > 0 {
+        configured
+    } else {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    }
+}
+
+/// Keep the `k` smallest entries of `scores` (by the descending-score
+/// integer key, i.e. the top `k` scores), unsorted. No-op when `scores`
+/// already fits.
+fn partial_select(scores: &mut Vec<(u64, u32)>, k: usize) {
+    if scores.len() > k {
+        if k > 0 {
+            scores.select_nth_unstable(k - 1);
+        }
+        scores.truncate(k);
+    }
+}
+
 /// Box–Muller standard normal from a uniform RNG.
-fn normal_sample(rng: &mut StdRng) -> f64 {
+pub(crate) fn normal_sample(rng: &mut StdRng) -> f64 {
     let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
     let u2: f64 = rng.gen_range(0.0..1.0);
     (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()

@@ -11,7 +11,7 @@
 use crate::config::EcosystemConfig;
 use crate::domain::{synthesize_https, DomainState, HttpsIntent, HttpsShape, SynthesisContext};
 use crate::providers::{well_known, HttpsPolicy, ProviderCatalog, ProviderId};
-use crate::tranco::{DailyList, TrancoModel};
+use crate::tranco::{normal_sample, DailyList, TrancoModel};
 use crate::whois::WhoisDb;
 use authserver::{DelegationRegistry, NsEndpoint, Zone, ZoneSet};
 use dns_wire::{DnsName, RData, Record};
@@ -118,10 +118,69 @@ pub struct World {
     pub cf_ech: CfEch,
     /// Current simulated day.
     pub current_day: u64,
-    today: DailyList,
+    today: Arc<DailyList>,
     tld_zones: ZoneSet,
     web_servers: HashMap<u32, Arc<WebServer>>,
     next_ip: u32,
+    schedule: DaySchedule,
+}
+
+/// The per-day wake-up schedule behind dirty-set world stepping: instead
+/// of sweeping every domain every day, [`World::apply_day`] visits only
+/// the domains something can actually happen to. Scheduled lifecycle
+/// events (adoptions, migrations, undelegations) are bucketed by day
+/// once at build; toggling domains wake at their period boundaries; the
+/// ECH and Cloudflare cohorts wake on rotation/landmark days; renumber
+/// completions are queued at runtime when the renumber starts.
+#[derive(Default)]
+struct DaySchedule {
+    /// Build-time event buckets: day → domain indices with a scheduled
+    /// adoption, NS migration, or undelegation on that day.
+    events: HashMap<u64, Vec<u32>>,
+    /// `(index, period)` of every periodically-toggling domain; dirty on
+    /// each period boundary (`day % period == 0`), when its proxied
+    /// parity flips.
+    toggles: Vec<(u32, u64)>,
+    /// Indices with Cloudflare-proxied intent: dirty on the h3-29 sunset
+    /// and ECH kill-switch landmark days, which force re-synthesis.
+    cf_ids: Vec<u32>,
+    /// ECH-enabled indices: dirty whenever the shared key rotated (until
+    /// the kill switch), since their record bytes change.
+    ech_ids: Vec<u32>,
+    /// Runtime wheel: day → indices whose lagging A/hint record syncs
+    /// that day. Filled when a renumber event schedules its catch-up.
+    pending: HashMap<u64, Vec<u32>>,
+    /// Domains eligible to renumber (population minus the build-time
+    /// permanent-mismatch cohort, which never renumbers). Counted once
+    /// here so the per-day sampler stays O(churn).
+    renumber_eligible: usize,
+}
+
+impl DaySchedule {
+    /// Bucket every statically-known wake-up from the populated domains.
+    fn build(domains: &[DomainState]) -> DaySchedule {
+        let mut s = DaySchedule::default();
+        for (i, d) in domains.iter().enumerate() {
+            let idx = i as u32;
+            let events = [d.adoption_day, d.migrate.map(|(day, _)| day), d.undelegate_day];
+            for day in events.into_iter().flatten() {
+                s.events.entry(day).or_default().push(idx);
+            }
+            if let Some(period) = d.toggle_period {
+                s.toggles.push((idx, period));
+            }
+            if matches!(d.intent, HttpsIntent::CfProxied(_)) {
+                s.cf_ids.push(idx);
+            }
+            if d.ech_enabled {
+                s.ech_ids.push(idx);
+            }
+            if !d.permanent_mismatch {
+                s.renumber_eligible += 1;
+            }
+        }
+        s
+    }
 }
 
 const TLD_SERVER_IP: &str = "192.5.6.30";
@@ -162,19 +221,21 @@ impl World {
             tranco,
             cf_ech,
             current_day: 0,
-            today: DailyList::new(Vec::new()),
+            today: Arc::new(DailyList::new(Vec::new())),
             tld_zones: ZoneSet::new(),
             web_servers: HashMap::new(),
             next_ip: 0,
+            schedule: DaySchedule::default(),
         };
         world.build_tld_infra();
         world.build_ns_suffix_zones();
         world.populate_domains();
+        world.schedule = DaySchedule::build(&world.domains);
         for idx in 0..world.domains.len() {
             world.sync_domain(idx);
             world.bind_web(idx);
         }
-        world.today = world.tranco.list_for_day(0);
+        world.today = world.tranco.day_list(0);
         world
     }
 
@@ -237,8 +298,18 @@ impl World {
         }
     }
 
+    /// Maximum unique addresses the 10.0.0.0/8 allocation plan yields
+    /// (256 × 250 × 250): past this the first octet computation would
+    /// wrap and start re-issuing addresses.
+    const IP_PLAN_CAPACITY: u32 = 16_000_000;
+
     fn alloc_ip(&mut self) -> Ipv4Addr {
         let n = self.next_ip;
+        assert!(
+            n < Self::IP_PLAN_CAPACITY,
+            "IPv4 allocation plan exhausted after {n} addresses; \
+             duplicate addresses would follow"
+        );
         self.next_ip += 1;
         Ipv4Addr::new(10, (n / 62_500) as u8, ((n / 250) % 250) as u8, (n % 250 + 1) as u8)
     }
@@ -590,109 +661,183 @@ impl World {
         }
     }
 
+    /// Apply one day of evolution via the dirty set: the union of the
+    /// day's scheduled events, toggle boundaries, sampled renumber
+    /// starts, queued record syncs, and the rotation/landmark cohorts.
+    /// Only those domains are visited; cost is proportional to churn,
+    /// not population.
     fn apply_day(&mut self, day: u64) {
         self.current_day = day;
         self.clock.set(Timestamp(day * 86_400));
         let rotated = self.cf_ech.refresh(self.clock.now());
         let lm = self.config.landmarks;
-        let mut dirty: Vec<usize> = Vec::new();
 
-        for idx in 0..self.domains.len() {
-            let mut changed = false;
-            let mut rebind = false;
-            {
-                let d = &mut self.domains[idx];
-
-                // Scheduled adoption.
-                if d.adoption_day == Some(day) {
-                    if let HttpsIntent::CfProxied(_) = d.intent {
-                        d.proxied = true;
-                    }
-                    changed = true;
-                }
-                // Periodic proxied toggling (§4.2.3 same-NS intermittency).
-                if let Some(period) = d.toggle_period {
-                    let on = (day / period).is_multiple_of(2);
-                    if d.proxied != on {
-                        d.proxied = on;
-                        changed = true;
-                    }
-                }
-                // NS migration (§4.2.3): provider change loses the record.
-                if let Some((md, new_provider)) = d.migrate {
-                    if md == day {
-                        d.provider = new_provider;
-                        changed = true;
-                    }
-                }
-                if d.undelegate_day == Some(day) {
-                    changed = true;
-                }
-
-                // Renumbering with lagging records (§4.3.5).
-                let rate = if day < lm.hint_fix {
-                    self.config.renumber_rate_early
-                } else {
-                    self.config.renumber_rate_late
-                };
-                let mut rng = StdRng::seed_from_u64(
-                    self.config.seed ^ 0x4E17 ^ day.wrapping_mul(0x1000_0001) ^ d.id as u64,
-                );
-                let renumber = !d.permanent_mismatch && rng.gen_bool(rate);
-                if renumber {
-                    let old = d.ip;
-                    // Allocate outside the borrow below.
-                    d.old_ip_live = if rng.gen_bool(0.8) { Some(old) } else { None };
-                    let lag =
-                        1 + rng.gen_range(0..(2.0 * self.config.hint_lag_mean_days) as u64 + 1);
-                    // Direction: 65% the A record lags (reachable only via
-                    // hints), 35% the hint lags.
-                    let a_lags = rng.gen_bool(0.65);
-                    d.pending_a_sync = a_lags.then_some(day + lag);
-                    d.pending_hint_sync = (!a_lags).then_some(day + lag);
-                    changed = true;
-                    rebind = true;
-                }
-                // Pending syncs completing today.
-                if d.pending_a_sync == Some(day) {
-                    d.pending_a_sync = None;
-                    d.a_ip = d.ip;
-                    d.old_ip_live = None;
-                    changed = true;
-                }
-                if d.pending_hint_sync == Some(day) {
-                    d.pending_hint_sync = None;
-                    d.hint_ip = d.ip;
-                    d.old_ip_live = None;
-                    changed = true;
-                }
-
-                // Landmark days force re-synthesis of Cloudflare records.
-                if (day == lm.h3_29_sunset || day == lm.ech_disable)
-                    && matches!(d.intent, HttpsIntent::CfProxied(_))
-                {
-                    changed = true;
-                }
-                // ECH rotation changes record bytes for ECH domains.
-                if rotated && d.ech_enabled && day < lm.ech_disable {
-                    changed = true;
-                }
-                // Non-CF adopters activating today.
-                if matches!(d.intent, HttpsIntent::NonCf(_)) && d.adoption_day == Some(day) {
-                    changed = true;
-                }
-            }
-            if rebind {
-                self.finish_renumber(idx);
-            }
-            if changed {
+        let mut dirty: Vec<u32> = self.schedule.events.get(&day).cloned().unwrap_or_default();
+        if let Some(mut due) = self.schedule.pending.remove(&day) {
+            dirty.append(&mut due);
+        }
+        for &(idx, period) in &self.schedule.toggles {
+            if day.is_multiple_of(period) {
                 dirty.push(idx);
             }
         }
-        for idx in dirty {
-            self.sync_domain(idx);
+        if day == lm.h3_29_sunset || day == lm.ech_disable {
+            dirty.extend_from_slice(&self.schedule.cf_ids);
+        } else if rotated && day < lm.ech_disable {
+            // ECH domains are a subset of the Cloudflare cohort, so the
+            // landmark branch above already covers them on those days.
+            dirty.extend_from_slice(&self.schedule.ech_ids);
         }
-        self.today = self.tranco.list_for_day(day);
+        let renumbers = self.sample_renumbers(day);
+        dirty.extend_from_slice(&renumbers);
+        dirty.sort_unstable();
+        dirty.dedup();
+
+        let mut resync: Vec<u32> = Vec::with_capacity(dirty.len());
+        for &idx in &dirty {
+            let renumber = renumbers.binary_search(&idx).is_ok();
+            let (changed, rebind) = self.visit_domain(idx as usize, day, rotated, renumber);
+            if rebind {
+                self.finish_renumber(idx as usize);
+            }
+            if changed {
+                resync.push(idx);
+            }
+        }
+        for idx in resync {
+            self.sync_domain(idx as usize);
+        }
+        self.today = self.tranco.day_list(day);
+    }
+
+    /// Sample the set of domains that renumber on `day` (ascending,
+    /// deduplicated). The per-day renumber volume is Poisson with mean
+    /// `population × rate` — the same expected churn as the historical
+    /// per-domain Bernoulli sweep, drawn in O(churn) instead of
+    /// O(population). Permanent-mismatch domains never renumber.
+    fn sample_renumbers(&self, day: u64) -> Vec<u32> {
+        let n = self.domains.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let rate = if day < self.config.landmarks.hint_fix {
+            self.config.renumber_rate_early
+        } else {
+            self.config.renumber_rate_late
+        };
+        let mut rng =
+            StdRng::seed_from_u64(self.config.seed ^ 0x4E17_5E1E ^ day.wrapping_mul(0x1000_0001));
+        let eligible = self.schedule.renumber_eligible;
+        let count = poisson_sample(&mut rng, rate * eligible as f64).min(eligible);
+        let mut picked: Vec<u32> = Vec::with_capacity(count);
+        while picked.len() < count {
+            let idx = rng.gen_range(0..n as u64) as u32;
+            if self.domains[idx as usize].permanent_mismatch || picked.contains(&idx) {
+                continue;
+            }
+            picked.push(idx);
+        }
+        picked.sort_unstable();
+        picked
+    }
+
+    /// Apply every day-`day` state transition to one domain; returns
+    /// `(needs re-sync, needs renumber completion)`. Mirrors the checks
+    /// the historical full sweep ran per domain — the dirty set decides
+    /// who gets visited, this decides what actually changed.
+    fn visit_domain(
+        &mut self,
+        idx: usize,
+        day: u64,
+        rotated: bool,
+        renumber: bool,
+    ) -> (bool, bool) {
+        let lm = self.config.landmarks;
+        let hint_lag_mean_days = self.config.hint_lag_mean_days;
+        let seed = self.config.seed;
+        let mut changed = false;
+        let mut rebind = false;
+        let mut pending_wake: Option<u64> = None;
+        {
+            let d = &mut self.domains[idx];
+
+            // Scheduled adoption (Cloudflare proxied enable or non-CF
+            // activation; either way the records must re-synthesize).
+            if d.adoption_day == Some(day) {
+                if let HttpsIntent::CfProxied(_) = d.intent {
+                    d.proxied = true;
+                }
+                changed = true;
+            }
+            // Periodic proxied toggling (§4.2.3 same-NS intermittency).
+            if let Some(period) = d.toggle_period {
+                let on = (day / period).is_multiple_of(2);
+                if d.proxied != on {
+                    d.proxied = on;
+                    changed = true;
+                }
+            }
+            // NS migration (§4.2.3): provider change loses the record.
+            if let Some((md, new_provider)) = d.migrate {
+                if md == day {
+                    d.provider = new_provider;
+                    changed = true;
+                }
+            }
+            if d.undelegate_day == Some(day) {
+                changed = true;
+            }
+
+            // Renumbering with lagging records (§4.3.5); membership was
+            // sampled in `sample_renumbers`, the follow-up draws (which
+            // record lags and for how long) come from the domain's own
+            // per-day stream.
+            if renumber {
+                let mut rng = StdRng::seed_from_u64(
+                    seed ^ 0x4E17 ^ day.wrapping_mul(0x1000_0001) ^ d.id as u64,
+                );
+                let old = d.ip;
+                // Allocate outside the borrow below.
+                d.old_ip_live = if rng.gen_bool(0.8) { Some(old) } else { None };
+                let lag = 1 + rng.gen_range(0..(2.0 * hint_lag_mean_days) as u64 + 1);
+                // Direction: 65% the A record lags (reachable only via
+                // hints), 35% the hint lags.
+                let a_lags = rng.gen_bool(0.65);
+                d.pending_a_sync = a_lags.then_some(day + lag);
+                d.pending_hint_sync = (!a_lags).then_some(day + lag);
+                pending_wake = Some(day + lag);
+                changed = true;
+                rebind = true;
+            }
+            // Pending syncs completing today.
+            if d.pending_a_sync == Some(day) {
+                d.pending_a_sync = None;
+                d.a_ip = d.ip;
+                d.old_ip_live = None;
+                changed = true;
+            }
+            if d.pending_hint_sync == Some(day) {
+                d.pending_hint_sync = None;
+                d.hint_ip = d.ip;
+                d.old_ip_live = None;
+                changed = true;
+            }
+
+            // Landmark days force re-synthesis of Cloudflare records.
+            if (day == lm.h3_29_sunset || day == lm.ech_disable)
+                && matches!(d.intent, HttpsIntent::CfProxied(_))
+            {
+                changed = true;
+            }
+            // ECH rotation changes record bytes for ECH domains.
+            if rotated && d.ech_enabled && day < lm.ech_disable {
+                changed = true;
+            }
+        }
+        if let Some(wake) = pending_wake {
+            self.schedule.pending.entry(wake).or_default().push(idx as u32);
+        }
+        (changed, rebind)
     }
 
     /// Complete a renumber started in `apply_day`: allocate the new
@@ -720,19 +865,14 @@ impl World {
     }
 
     /// Advance within the current day by whole hours (for the §4.4.2
-    /// hourly ECH scans), re-syncing ECH-bearing records on rotation.
+    /// hourly ECH scans), re-syncing ECH-bearing records on rotation
+    /// (the build-time ECH cohort; membership never changes).
     pub fn advance_hours(&mut self, hours: u64) {
         for _ in 0..hours {
             self.clock.advance(3_600);
             if self.cf_ech.refresh(self.clock.now()) {
-                let ech_idx: Vec<usize> = self
-                    .domains
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, d)| d.ech_enabled)
-                    .map(|(i, _)| i)
-                    .collect();
-                for idx in ech_idx {
+                for i in 0..self.schedule.ech_ids.len() {
+                    let idx = self.schedule.ech_ids[i] as usize;
                     self.sync_domain(idx);
                 }
             }
@@ -744,6 +884,13 @@ impl World {
         &self.today
     }
 
+    /// Today's Tranco list as the shared cache entry: the same `Arc` the
+    /// day-list cache and every other same-day consumer hold, so takers
+    /// keep no private copy alive.
+    pub fn today_list_shared(&self) -> Arc<DailyList> {
+        self.today.clone()
+    }
+
     /// Look up a domain by universe id.
     pub fn domain(&self, id: u32) -> &DomainState {
         &self.domains[id as usize]
@@ -752,6 +899,29 @@ impl World {
     /// The web server currently bound for a domain (if any).
     pub fn web_server_of(&self, id: u32) -> Option<&Arc<WebServer>> {
         self.web_servers.get(&id)
+    }
+}
+
+/// Deterministic Poisson(λ) sample. Knuth's product method for small λ;
+/// a clamped normal approximation for large λ (where the product method
+/// underflows and its cost grows linearly anyway). Used to draw per-day
+/// renumber volumes in O(churn) instead of per-domain Bernoulli sweeps.
+fn poisson_sample(rng: &mut StdRng, lambda: f64) -> usize {
+    if lambda <= 0.0 {
+        return 0;
+    }
+    if lambda < 64.0 {
+        let limit = (-lambda).exp();
+        let mut k = 0usize;
+        let mut product: f64 = rng.gen_range(0.0..1.0);
+        while product > limit {
+            k += 1;
+            product *= rng.gen_range(0.0..1.0);
+        }
+        k
+    } else {
+        let sampled = lambda + lambda.sqrt() * normal_sample(rng);
+        sampled.round().max(0.0) as usize
     }
 }
 
@@ -891,6 +1061,21 @@ mod tests {
         let d = &w.domains[0];
         assert!(w.network.can_connect(IpAddr::V4(d.ip), 443).is_ok());
         assert!(w.network.can_connect(IpAddr::V4(d.ip), 80).is_ok());
+    }
+
+    #[test]
+    fn poisson_sampler_tracks_mean_in_both_regimes() {
+        // Small-λ Knuth product method and large-λ normal approximation
+        // must both land near the requested mean.
+        for lambda in [0.5f64, 4.0, 40.0, 400.0, 4_000.0] {
+            let mut rng = StdRng::seed_from_u64(0xB0 ^ lambda.to_bits());
+            let reps = 400usize;
+            let total: usize = (0..reps).map(|_| poisson_sample(&mut rng, lambda)).sum();
+            let mean = total as f64 / reps as f64;
+            assert!((mean - lambda).abs() < lambda * 0.25 + 0.5, "λ {lambda}: sample mean {mean}");
+        }
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(poisson_sample(&mut rng, 0.0), 0);
     }
 
     #[test]

@@ -216,11 +216,12 @@ impl VantageRun {
     }
 }
 
-/// Per-target scan state accumulated across the waves.
+/// Per-target scan state accumulated across the waves. The target's
+/// name lives in the wave-1 query at the same index (targets and wave-1
+/// queries are built 1:1), not in a second per-target copy.
 struct TargetScan {
     domain_id: u32,
     rank: u32,
-    name: DnsName,
     is_www: bool,
     flags: u32,
     min_priority: u16,
@@ -260,12 +261,16 @@ pub fn scan_one_day(
     scan_www: bool,
     threads: usize,
 ) -> Vec<Observation> {
-    let list = world.today_list();
+    // The day's list as the shared cache entry — the same `Arc` the
+    // world and every other same-day consumer hold.
+    let list = world.today_list_shared();
     let day = world.current_day as u32;
 
-    // Build the target list: apex (and optionally www) for every listed
-    // domain, in list order.
+    // Build the target list and the wave-1 HTTPS queries together, 1:1
+    // in list order: the query owns the only copy of each target name
+    // (the per-target name clone this loop used to make is gone).
     let mut targets: Vec<TargetScan> = Vec::with_capacity(list.ranked().len() * 2);
+    let mut https_queries: Vec<Query> = Vec::with_capacity(list.ranked().len() * 2);
     for &id in list.ranked() {
         let d = world.domain(id);
         // The list's lazily-built id→rank index: shared with every other
@@ -275,7 +280,6 @@ pub fn scan_one_day(
             targets.push(TargetScan {
                 domain_id: id,
                 rank,
-                name,
                 is_www,
                 flags: if is_www { flags::IS_WWW } else { 0 },
                 min_priority: u16::MAX,
@@ -286,6 +290,7 @@ pub fn scan_one_day(
                 ns_lookup: None,
                 ns_host_a: Vec::new(),
             });
+            https_queries.push(Query::new(name, RecordType::Https));
         };
         push(d.apex.clone(), false);
         if scan_www {
@@ -296,12 +301,10 @@ pub fn scan_one_day(
     }
 
     // Wave 1: HTTPS for every target.
-    let https_queries: Vec<Query> =
-        targets.iter().map(|t| Query::new(t.name.clone(), RecordType::Https)).collect();
     let https_results = scan_wave(engine, &https_queries, threads, "wave1_https");
 
     let mut wave2: Vec<Query> = Vec::new();
-    for (t, res) in targets.iter_mut().zip(&https_results) {
+    for (i, (t, res)) in targets.iter_mut().zip(&https_results).enumerate() {
         match res {
             Ok(res) => {
                 if !res.chain.is_empty() {
@@ -341,7 +344,7 @@ pub fn scan_one_day(
         // tracks providers whether or not the HTTPS record is active).
         if !t.is_www && t.flags & flags::RESOLUTION_FAILED == 0 {
             t.ns_lookup = Some(wave2.len());
-            wave2.push(Query::new(t.name.clone(), RecordType::Ns));
+            wave2.push(Query::new(https_queries[i].name.clone(), RecordType::Ns));
         }
     }
 
