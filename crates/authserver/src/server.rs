@@ -4,7 +4,7 @@
 //! semantics.
 
 use crate::zone::{LookupResult, Zone};
-use dns_wire::{DnsName, Message, Rcode, RecordType};
+use dns_wire::{DnsName, Message, MessageView, NameView, Opcode, Rcode, RecordType};
 use netsim::{DatagramService, NetError, Timestamp};
 use parking_lot::RwLock;
 use std::collections::HashMap;
@@ -39,7 +39,14 @@ impl ZoneSet {
     /// Run `f` over the zone with the given apex, if present.
     pub fn with_zone<R>(&self, apex: &DnsName, f: impl FnOnce(&mut Zone) -> R) -> Option<R> {
         let mut zones = self.zones.write();
-        zones.get_mut(&apex.key()).map(f)
+        zones.get_mut(&apex.key()).map(|zone| {
+            let out = f(zone);
+            // The closure had `&mut Zone`: assume it mutated and drop the
+            // precompiled answers (the zone's own mutators also do this,
+            // but a closure can touch fields directly).
+            zone.invalidate_compiled();
+            out
+        })
     }
 
     /// Run `f` over a snapshot of the zone (read-only).
@@ -59,6 +66,38 @@ impl ZoneSet {
             candidate = c.parent();
         }
         None
+    }
+
+    /// Serve a query from the deepest matching zone's precompiled cache.
+    /// `qname_key` is the lowercase dotted form [`DnsName::key`] uses as
+    /// the zones-map key; the suffix walk mirrors [`ZoneSet::find_zone_for`]
+    /// without materializing a `DnsName`. A miss in the deepest zone is a
+    /// miss outright — shallower zones are shadowed.
+    #[allow(clippy::too_many_arguments)]
+    fn compiled_for(
+        &self,
+        qname_key: &str,
+        qname_wire: &[u8],
+        qtype: u16,
+        qclass: u16,
+        rd: bool,
+        edns: bool,
+        do_bit: bool,
+    ) -> Option<Arc<[u8]>> {
+        let zones = self.zones.read();
+        let mut key = qname_key;
+        loop {
+            if let Some(zone) = zones.get(key) {
+                return zone.compiled_lookup(qname_wire, qtype, qclass, rd, edns, do_bit);
+            }
+            if key == "." {
+                return None;
+            }
+            key = match key.split_once('.') {
+                Some((_, rest)) if !rest.is_empty() => rest,
+                _ => ".",
+            };
+        }
     }
 
     /// Number of zones.
@@ -159,10 +198,110 @@ impl AuthoritativeServer {
             resp.authorities.push(soa);
         }
     }
+
+    /// Try the precompiled fast path: parse the datagram as a borrowed
+    /// view, and if the query's shape is compilable, look it up in the
+    /// owning zone's cache. On a hit the response is the cached bytes
+    /// with only the transaction ID patched.
+    fn serve_precompiled(&self, view: &MessageView<'_>) -> Option<Vec<u8>> {
+        if !compilable_shape(view) {
+            return None;
+        }
+        let q = view.question()?;
+        let name = q.name();
+        let mut qname_wire = Vec::with_capacity(64);
+        name.write_canonical_wire(&mut qname_wire);
+        let mut qname_key = String::with_capacity(qname_wire.len());
+        name.write_key(&mut qname_key);
+        let cached = self.zones.compiled_for(
+            &qname_key,
+            &qname_wire,
+            q.qtype().code(),
+            q.qclass().code(),
+            view.flags().rd,
+            view.edns().is_some(),
+            view.dnssec_ok(),
+        )?;
+        let mut bytes = cached.to_vec();
+        bytes[0..2].copy_from_slice(&view.as_bytes()[0..2]);
+        Some(bytes)
+    }
+
+    /// If the decoded query is compilable, capture the owning zone's apex
+    /// and cache generation *before* the answer is rendered, so a zone
+    /// mutation in between makes the later insert a no-op.
+    fn compile_context(&self, query: &Message) -> Option<(DnsName, u64)> {
+        if query.opcode != Opcode::Query
+            || query.questions.len() != 1
+            || !query.answers.is_empty()
+            || !query.authorities.is_empty()
+            || !query.additionals.is_empty()
+        {
+            return None;
+        }
+        let q = &query.questions[0];
+        if !q.name.labels().iter().all(|l| l.iter().all(|&b| plain_lowercase_byte(b))) {
+            return None;
+        }
+        let apex = self.zones.find_zone_for(&q.name)?;
+        let generation = self.zones.read_zone(&apex, |z| z.compiled_generation())?;
+        Some((apex, generation))
+    }
+
+    /// Remember a rendered response in the owning zone's compiled cache.
+    fn compile(&self, query: &Message, apex: &DnsName, generation: u64, wire: &[u8]) {
+        let q = &query.questions[0];
+        self.zones.read_zone(apex, |z| {
+            z.compiled_insert(
+                generation,
+                &q.name.canonical_wire(),
+                q.qtype.code(),
+                q.qclass.code(),
+                query.flags.rd,
+                query.edns.is_some(),
+                query.dnssec_ok(),
+                wire.into(),
+            );
+        });
+    }
+}
+
+/// Whether a query's response bytes depend only on the compiled-key
+/// fields (plus the patched ID): opcode QUERY, exactly one question, no
+/// records beyond an optional OPT, and a qname that round-trips through
+/// the lowercase dotted zone key unchanged.
+fn compilable_shape(view: &MessageView<'_>) -> bool {
+    view.opcode() == Opcode::Query
+        && view.question_count() == 1
+        && view.answer_count() == 0
+        && view.authority_count() == 0
+        && view.additionals().next().is_none()
+        && view.question().is_some_and(|q| plain_lowercase_name(&q.name()))
+}
+
+/// Labels restricted to the hostname-ish charset that [`DnsName::key`]
+/// renders verbatim (no dots, escapes, or uppercase); anything else
+/// skips the precompiled path and takes the reference path instead.
+fn plain_lowercase_name(name: &NameView<'_>) -> bool {
+    name.labels().all(|l| l.iter().all(|&b| plain_lowercase_byte(b)))
+}
+
+fn plain_lowercase_byte(b: u8) -> bool {
+    matches!(b, b'a'..=b'z' | b'0'..=b'9' | b'-' | b'_')
 }
 
 impl DatagramService for AuthoritativeServer {
     fn handle(&self, request: &[u8], _now: Timestamp) -> Result<Vec<u8>, NetError> {
+        // Fast path: lookup + memcpy + 2-byte ID patch, no record
+        // decoding or wire assembly.
+        if let Ok(view) = MessageView::parse(request) {
+            if let Some(bytes) = self.serve_precompiled(&view) {
+                return Ok(bytes);
+            }
+        }
+        // Reference path: full decode, answer assembly, encode. Also
+        // compiles the rendered bytes so the next identical query shape
+        // is served from cache.
         let query = match Message::decode(request) {
             Ok(m) => m,
             Err(_) => {
@@ -172,7 +311,12 @@ impl DatagramService for AuthoritativeServer {
                 return Err(NetError::Reset);
             }
         };
-        Ok(self.answer(&query).encode())
+        let compile_ctx = self.compile_context(&query);
+        let wire = self.answer(&query).encode();
+        if let Some((apex, generation)) = compile_ctx {
+            self.compile(&query, &apex, generation, &wire);
+        }
+        Ok(wire)
     }
 }
 
@@ -317,6 +461,82 @@ mod tests {
         let resp = s.answer(&q);
         assert!(resp.answers.is_empty());
         assert_eq!(resp.rcode, Rcode::NoError);
+    }
+
+    #[test]
+    fn precompiled_serve_matches_reference_bytes() {
+        let s = server_with_zone();
+        let q = Message::query(21, name("a.com"), RecordType::Https).encode();
+        let first = s.handle(&q, Timestamp(0)).unwrap(); // reference path, compiles
+        let cached = s.handle(&q, Timestamp(0)).unwrap(); // precompiled path
+        assert_eq!(first, cached);
+        // A different ID serves the same bytes with only the ID patched.
+        let q2 = Message::query(0x55AA, name("a.com"), RecordType::Https).encode();
+        let served = s.handle(&q2, Timestamp(0)).unwrap();
+        assert_eq!(served[0..2], 0x55AAu16.to_be_bytes());
+        assert_eq!(served[2..], first[2..]);
+    }
+
+    #[test]
+    fn do_bit_selects_separate_precompiled_variant() {
+        let s = server_with_zone();
+        s.zones()
+            .with_zone(&name("a.com"), |z| {
+                z.enable_signing(ZoneKeys::derive(&name("a.com"), 0), 0, u32::MAX - 1)
+            })
+            .unwrap();
+        let plain = Message::query(31, name("a.com"), RecordType::Https).encode();
+        let signed = Message::query_dnssec(31, name("a.com"), RecordType::Https).encode();
+        for q in [&plain, &signed, &plain, &signed] {
+            let _ = s.handle(q, Timestamp(0)).unwrap();
+        }
+        let plain_resp = Message::decode(&s.handle(&plain, Timestamp(0)).unwrap()).unwrap();
+        assert!(plain_resp.answers_of(RecordType::Rrsig).is_empty());
+        let signed_resp = Message::decode(&s.handle(&signed, Timestamp(0)).unwrap()).unwrap();
+        assert_eq!(signed_resp.answers_of(RecordType::Rrsig).len(), 1);
+    }
+
+    #[test]
+    fn zone_mutation_invalidates_precompiled() {
+        let s = server_with_zone();
+        let q = Message::query(22, name("a.com"), RecordType::Https).encode();
+        let before = s.handle(&q, Timestamp(0)).unwrap();
+        let _ = s.handle(&q, Timestamp(0)).unwrap(); // now served from cache
+        s.zones()
+            .with_zone(&name("a.com"), |z| {
+                z.remove(&name("a.com"), RecordType::Https);
+            })
+            .unwrap();
+        let after = s.handle(&q, Timestamp(0)).unwrap();
+        assert_ne!(before, after);
+        assert!(Message::decode(&after).unwrap().answers.is_empty());
+    }
+
+    #[test]
+    fn uppercase_qname_bypasses_precompiled_and_echoes_case() {
+        let s = server_with_zone();
+        // Warm the cache with the lowercase shape first.
+        let warm = Message::query(23, name("a.com"), RecordType::A).encode();
+        let _ = s.handle(&warm, Timestamp(0)).unwrap();
+        let _ = s.handle(&warm, Timestamp(0)).unwrap();
+        let mixed = Message::query(24, DnsName::parse("A.com").unwrap(), RecordType::A).encode();
+        let out = s.handle(&mixed, Timestamp(0)).unwrap();
+        // The echoed question must keep the query's original case, which
+        // the lowercase-keyed cache could not have produced.
+        assert!(out.windows(6).any(|w| w == [1, b'A', 3, b'c', b'o', b'm']));
+        assert_eq!(Message::decode(&out).unwrap().answers_of(RecordType::A).len(), 1);
+    }
+
+    #[test]
+    fn compiled_cache_counts_entries() {
+        let s = server_with_zone();
+        assert_eq!(s.zones().read_zone(&name("a.com"), |z| z.compiled_len()).unwrap(), 0);
+        let q = Message::query(25, name("a.com"), RecordType::A).encode();
+        let _ = s.handle(&q, Timestamp(0)).unwrap();
+        assert_eq!(s.zones().read_zone(&name("a.com"), |z| z.compiled_len()).unwrap(), 1);
+        // Same shape again hits the cache rather than growing it.
+        let _ = s.handle(&q, Timestamp(0)).unwrap();
+        assert_eq!(s.zones().read_zone(&name("a.com"), |z| z.compiled_len()).unwrap(), 1);
     }
 
     #[test]

@@ -5,7 +5,10 @@
 use dns_wire::record::RrsigRdata;
 use dns_wire::{DnsName, RData, Record, RecordType, SoaRdata};
 use dnssec::ZoneKeys;
-use std::collections::BTreeMap;
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::sync::Arc;
 
 /// Outcome of a lookup inside a single zone.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -32,8 +35,88 @@ pub enum LookupResult {
     NxDomain,
 }
 
+/// Upper bound on precompiled responses retained per zone; beyond this
+/// the cache stops admitting new entries until the next invalidation.
+const COMPILED_CACHE_MAX: usize = 4096;
+
+/// Full identity of a precompiled response: every query attribute the
+/// response bytes depend on besides the transaction ID (which is patched
+/// at serve time) and the question-name case (only all-lowercase names
+/// are compiled).
+struct CompiledKey {
+    /// Canonical (lowercase, uncompressed) wire form of the qname.
+    qname_wire: Box<[u8]>,
+    qtype: u16,
+    qclass: u16,
+    /// Query RD flag (echoed into the response header).
+    rd: bool,
+    /// Whether the query carried an OPT record at all.
+    edns: bool,
+    /// EDNS DO bit (selects the DNSSEC variant of the answer).
+    do_bit: bool,
+}
+
+impl CompiledKey {
+    fn matches(
+        &self,
+        qname_wire: &[u8],
+        qtype: u16,
+        qclass: u16,
+        rd: bool,
+        edns: bool,
+        do_bit: bool,
+    ) -> bool {
+        self.qtype == qtype
+            && self.qclass == qclass
+            && self.rd == rd
+            && self.edns == edns
+            && self.do_bit == do_bit
+            && *self.qname_wire == *qname_wire
+    }
+}
+
+/// Hash-then-verify map of precompiled responses. Keys are hashed with
+/// FNV-1a over borrowed fields so a lookup never allocates; the bucket
+/// scan verifies full equality before a hit is declared.
+type CompiledBucket = Vec<(CompiledKey, Arc<[u8]>)>;
+
+#[derive(Default)]
+struct CompiledCache {
+    map: HashMap<u64, CompiledBucket>,
+    len: usize,
+    /// Bumped on every invalidation; inserts carry the generation they
+    /// were rendered under and are dropped if it has moved on, so a
+    /// response rendered against pre-mutation zone state can never be
+    /// cached after the mutation's invalidation ran.
+    generation: u64,
+}
+
+fn fnv_step(h: u64, b: u8) -> u64 {
+    (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3)
+}
+
+fn compiled_hash(
+    qname_wire: &[u8],
+    qtype: u16,
+    qclass: u16,
+    rd: bool,
+    edns: bool,
+    do_bit: bool,
+) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in qname_wire {
+        h = fnv_step(h, b);
+    }
+    for b in qtype.to_be_bytes() {
+        h = fnv_step(h, b);
+    }
+    for b in qclass.to_be_bytes() {
+        h = fnv_step(h, b);
+    }
+    fnv_step(h, (rd as u8) | ((edns as u8) << 1) | ((do_bit as u8) << 2))
+}
+
 /// A single authoritative zone.
-#[derive(Debug, Clone)]
 pub struct Zone {
     /// Apex name of the zone.
     pub apex: DnsName,
@@ -42,6 +125,32 @@ pub struct Zone {
     keys: Option<ZoneKeys>,
     /// Signature validity window applied to generated RRSIGs.
     sig_window: (u32, u32),
+    /// Precompiled wire-format responses, invalidated on any mutation.
+    compiled: Mutex<CompiledCache>,
+}
+
+impl Clone for Zone {
+    fn clone(&self) -> Zone {
+        // The compiled cache is a derived artifact; clones start cold.
+        Zone {
+            apex: self.apex.clone(),
+            rrsets: self.rrsets.clone(),
+            keys: self.keys.clone(),
+            sig_window: self.sig_window,
+            compiled: Mutex::new(CompiledCache::default()),
+        }
+    }
+}
+
+impl fmt::Debug for Zone {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Zone")
+            .field("apex", &self.apex)
+            .field("rrsets", &self.rrsets)
+            .field("keys", &self.keys)
+            .field("sig_window", &self.sig_window)
+            .finish_non_exhaustive()
+    }
 }
 
 impl Zone {
@@ -60,8 +169,13 @@ impl Zone {
                 minimum: 300,
             }),
         );
-        let mut zone =
-            Zone { apex, rrsets: BTreeMap::new(), keys: None, sig_window: (0, u32::MAX - 1) };
+        let mut zone = Zone {
+            apex,
+            rrsets: BTreeMap::new(),
+            keys: None,
+            sig_window: (0, u32::MAX - 1),
+            compiled: Mutex::new(CompiledCache::default()),
+        };
         zone.add(soa);
         zone
     }
@@ -70,11 +184,13 @@ impl Zone {
     pub fn enable_signing(&mut self, keys: ZoneKeys, inception: u32, expiration: u32) {
         self.keys = Some(keys);
         self.sig_window = (inception, expiration);
+        self.invalidate_compiled();
     }
 
     /// Disable DNSSEC signing.
     pub fn disable_signing(&mut self) {
         self.keys = None;
+        self.invalidate_compiled();
     }
 
     /// Whether the zone is signed.
@@ -96,6 +212,7 @@ impl Zone {
             self.apex
         );
         self.rrsets.entry((record.name.clone(), record.rtype.code())).or_default().push(record);
+        self.invalidate_compiled();
     }
 
     /// Replace the whole RRset at (name, type).
@@ -105,11 +222,16 @@ impl Zone {
         } else {
             self.rrsets.insert((name, rtype.code()), records);
         }
+        self.invalidate_compiled();
     }
 
     /// Remove the RRset at (name, type); returns whether it existed.
     pub fn remove(&mut self, name: &DnsName, rtype: RecordType) -> bool {
-        self.rrsets.remove(&(name.clone(), rtype.code())).is_some()
+        let removed = self.rrsets.remove(&(name.clone(), rtype.code())).is_some();
+        if removed {
+            self.invalidate_compiled();
+        }
+        removed
     }
 
     /// Fetch the RRset at (name, type) if present.
@@ -204,6 +326,84 @@ impl Zone {
         } else {
             LookupResult::NxDomain
         }
+    }
+}
+
+/// Precompiled-response cache plumbing. Responses are rendered once by
+/// the reference path and then served as `lookup + clone + ID patch`
+/// until the zone mutates.
+impl Zone {
+    /// Fetch the precompiled response for a query shape, if cached.
+    /// `qname_wire` must be the canonical (lowercase) wire form of the
+    /// question name.
+    pub fn compiled_lookup(
+        &self,
+        qname_wire: &[u8],
+        qtype: u16,
+        qclass: u16,
+        rd: bool,
+        edns: bool,
+        do_bit: bool,
+    ) -> Option<Arc<[u8]>> {
+        let h = compiled_hash(qname_wire, qtype, qclass, rd, edns, do_bit);
+        let cache = self.compiled.lock();
+        cache
+            .map
+            .get(&h)?
+            .iter()
+            .find(|(k, _)| k.matches(qname_wire, qtype, qclass, rd, edns, do_bit))
+            .map(|(_, bytes)| bytes.clone())
+    }
+
+    /// The cache generation a response must be rendered under for
+    /// [`Zone::compiled_insert`] to accept it.
+    pub fn compiled_generation(&self) -> u64 {
+        self.compiled.lock().generation
+    }
+
+    /// Remember a rendered response for a query shape. No-op once the
+    /// per-zone cap is reached (until the next invalidation), or when the
+    /// cache generation moved past `generation` since the response was
+    /// rendered.
+    #[allow(clippy::too_many_arguments)]
+    pub fn compiled_insert(
+        &self,
+        generation: u64,
+        qname_wire: &[u8],
+        qtype: u16,
+        qclass: u16,
+        rd: bool,
+        edns: bool,
+        do_bit: bool,
+        bytes: Arc<[u8]>,
+    ) {
+        let h = compiled_hash(qname_wire, qtype, qclass, rd, edns, do_bit);
+        let mut cache = self.compiled.lock();
+        if cache.generation != generation || cache.len >= COMPILED_CACHE_MAX {
+            return;
+        }
+        let bucket = cache.map.entry(h).or_default();
+        if bucket.iter().any(|(k, _)| k.matches(qname_wire, qtype, qclass, rd, edns, do_bit)) {
+            return;
+        }
+        bucket.push((
+            CompiledKey { qname_wire: qname_wire.into(), qtype, qclass, rd, edns, do_bit },
+            bytes,
+        ));
+        cache.len += 1;
+    }
+
+    /// Number of precompiled responses currently cached.
+    pub fn compiled_len(&self) -> usize {
+        self.compiled.lock().len
+    }
+
+    /// Drop every precompiled response (zone content changed).
+    pub(crate) fn invalidate_compiled(&self) {
+        let mut cache = self.compiled.lock();
+        cache.map.clear();
+        cache.len = 0;
+        cache.generation += 1;
     }
 }
 

@@ -195,7 +195,8 @@ impl Browser {
 
         let mut https_record = select_https_record(&https_answers);
         if let Some(rd) = https_record {
-            if self.profile.ignores_record_without_alpn && !rd.is_alias() && rd.alpn().is_none() {
+            if self.profile.ignores_record_without_alpn && !rd.is_alias() && rd.alpn_ids().is_none()
+            {
                 https_record = None;
             }
         }
@@ -304,7 +305,8 @@ impl Browser {
         let alpn: Vec<String> = match record.alpn() {
             Some(ids) => ids
                 .into_iter()
-                .filter(|p| self.profile.supported_alpn.contains(&p.as_str()))
+                .filter(|p| self.profile.supported_alpn.contains(&p.as_ref()))
+                .map(|p| p.into_owned())
                 .collect(),
             None => vec!["h2".to_string(), "http/1.1".to_string()],
         };

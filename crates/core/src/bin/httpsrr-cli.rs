@@ -27,6 +27,7 @@ fn main() -> ExitCode {
         "study" => cmd_study(&args[1..]),
         "run" => cmd_run(&args[1..]),
         "bench" if args.iter().any(|a| a == "--scale") => cmd_bench_scale(&args[1..]),
+        "bench" if args.iter().any(|a| a == "--wire") => cmd_bench_wire(&args[1..]),
         "bench" => cmd_bench(&args[1..]),
         "matrix" => {
             println!("{}", client_side_report());
@@ -47,6 +48,7 @@ const USAGE: &str = "usage:
   httpsrr-cli run    [--population N] [--list N] [--days D] [--threads T] [--seed S] [--metrics PATH] [--csv PATH]
   httpsrr-cli bench  [--population N] [--list N] [--threads T] [--mt-threads T] [--shards S] [--out PATH]
   httpsrr-cli bench  --scale [--mt-threads T] [--threads T] [--out PATH]   # 6k vs 100k scale snapshot
+  httpsrr-cli bench  --wire [--zones Z] [--reps R] [--out PATH]            # owned vs precompiled wire path A/B
   httpsrr-cli matrix
   httpsrr-cli rotation [--hours H]
   httpsrr-cli audit  [--day D]
@@ -544,6 +546,141 @@ fn cmd_bench_scale(args: &[String]) -> ExitCode {
                 return ExitCode::FAILURE;
             }
             eprintln!("wrote scale snapshot to {path}");
+        }
+        None => print!("{json}"),
+    }
+    ExitCode::SUCCESS
+}
+
+/// The wire-path snapshot (`bench --wire`): same-binary A/B of the
+/// authoritative serve path. The owned reference path decodes every
+/// query into a [`Message`], assembles the answer, and encodes it; the
+/// precompiled path parses a borrowed [`MessageView`] and serves cached
+/// response bytes with only the transaction ID patched. Every response
+/// is asserted byte-identical between the two paths (hard failure).
+fn cmd_bench_wire(args: &[String]) -> ExitCode {
+    use httpsrr::authserver::{AuthoritativeServer, Zone, ZoneSet};
+    use httpsrr::dns_wire::{DnsName, Message, RData, Record, RecordType, SvcParam, SvcbRdata};
+    use httpsrr::dnssec::ZoneKeys;
+    use httpsrr::netsim::{DatagramService, Timestamp};
+    use std::net::Ipv4Addr;
+    use std::time::Instant;
+
+    let zones_n: usize = num_flag(args, "--zones", 400usize).max(1);
+    let reps: u32 = num_flag(args, "--reps", 5u32).max(1);
+    let ms = |secs: f64| secs * 1e3;
+
+    eprintln!("wire: building {zones_n} zones (every 4th signed) …");
+    let zones = ZoneSet::new();
+    let mut apexes = Vec::with_capacity(zones_n);
+    for i in 0..zones_n {
+        let apex = DnsName::parse(&format!("d{i}.example")).unwrap();
+        let mut z = Zone::new(apex.clone());
+        z.add(Record::new(
+            apex.clone(),
+            300,
+            RData::A(Ipv4Addr::new(192, 0, 2, (i % 250 + 1) as u8)),
+        ));
+        z.add(Record::new(
+            apex.clone(),
+            300,
+            RData::Https(SvcbRdata::service_self(vec![
+                SvcParam::Alpn(vec![b"h2".to_vec(), b"h3".to_vec()]),
+                SvcParam::Ipv4Hint(vec![Ipv4Addr::new(203, 0, 113, 7)]),
+            ])),
+        ));
+        z.add(Record::new(apex.prepend("www").unwrap(), 300, RData::Cname(apex.clone())));
+        if i % 4 == 0 {
+            z.enable_signing(ZoneKeys::derive(&apex, i as u32), 0, u32::MAX - 1);
+        }
+        zones.insert(z);
+        apexes.push(apex);
+    }
+    let server = AuthoritativeServer::new(zones);
+
+    // Query workload: per zone, four shapes exercising plain answers,
+    // DO-bit DNSSEC variants, in-zone CNAME chasing, and NXDOMAIN+SOA.
+    let mut queries: Vec<Vec<u8>> = Vec::with_capacity(zones_n * 4);
+    for apex in &apexes {
+        queries.push(Message::query(1, apex.clone(), RecordType::Https).encode());
+        queries.push(Message::query_dnssec(2, apex.clone(), RecordType::Https).encode());
+        queries.push(Message::query(3, apex.prepend("www").unwrap(), RecordType::A).encode());
+        queries.push(Message::query(4, apex.prepend("missing").unwrap(), RecordType::A).encode());
+    }
+
+    // Owned reference path: full decode + answer assembly + encode per
+    // message — the pre-change `handle()` body.
+    let owned_once = |wire: &[u8]| -> Vec<u8> {
+        let q = Message::decode(wire).expect("bench query decodes");
+        server.answer(&q).encode()
+    };
+
+    eprintln!("wire: owned reference path ({} msgs × {reps} reps) …", queries.len());
+    let t = Instant::now();
+    let reference: Vec<Vec<u8>> = queries.iter().map(|w| owned_once(w)).collect();
+    let owned_cold_batch_ms = ms(t.elapsed().as_secs_f64());
+    let t = Instant::now();
+    for _ in 0..reps {
+        for wire in &queries {
+            let _ = owned_once(wire);
+        }
+    }
+    let owned_s = t.elapsed().as_secs_f64();
+    let owned_msgs_per_sec = (reps as usize * queries.len()) as f64 / owned_s;
+
+    // Precompiled path: the first pass renders through the reference
+    // machinery and compiles; every later pass is lookup + memcpy + ID
+    // patch off a borrowed view.
+    eprintln!("wire: precompiled path (cold compile pass, then {reps} serve reps) …");
+    let t = Instant::now();
+    let served_cold: Vec<Vec<u8>> =
+        queries.iter().map(|w| server.handle(w, Timestamp(0)).expect("serve")).collect();
+    let precompiled_cold_batch_ms = ms(t.elapsed().as_secs_f64());
+    let t = Instant::now();
+    for _ in 0..reps {
+        for wire in &queries {
+            let _ = server.handle(wire, Timestamp(0)).expect("serve");
+        }
+    }
+    let serve_s = t.elapsed().as_secs_f64();
+    let precompiled_msgs_per_sec = (reps as usize * queries.len()) as f64 / serve_s;
+    let speedup = precompiled_msgs_per_sec / owned_msgs_per_sec;
+
+    // Byte-identity between the paths, on both the cold (compile) pass
+    // and a final cached pass. Any divergence is a hard failure.
+    let mut identical = true;
+    for (i, wire) in queries.iter().enumerate() {
+        let cached = server.handle(wire, Timestamp(0)).expect("serve");
+        if served_cold[i] != reference[i] || cached != reference[i] {
+            eprintln!("wire: BYTE-IDENTITY FAILURE on query {i}");
+            identical = false;
+        }
+    }
+    assert!(identical, "precompiled responses must be byte-identical to the reference path");
+
+    let json = format!(
+        "{{\n  \"bench\": \"wire\",\n  \"schema\": 4,\n  \"zones\": {zones_n},\n  \
+         \"queries_per_pass\": {},\n  \"reps\": {reps},\n  \
+         \"owned_cold_batch_ms\": {owned_cold_batch_ms:.2},\n  \
+         \"precompiled_cold_batch_ms\": {precompiled_cold_batch_ms:.2},\n  \
+         \"owned_msgs_per_sec\": {owned_msgs_per_sec:.0},\n  \
+         \"precompiled_msgs_per_sec\": {precompiled_msgs_per_sec:.0},\n  \
+         \"speedup\": {speedup:.2},\n  \"byte_identical\": {identical},\n  \
+         \"notes\": \"same-binary A/B over one AuthoritativeServer: owned = Message::decode + \
+         answer() + encode per datagram (the pre-change handle body); precompiled = \
+         MessageView parse + per-zone compiled-answer lookup + 2-byte ID patch, compiled \
+         lazily by the first reference render of each query shape and invalidated on zone \
+         mutation; every response byte-identical between paths (asserted), DNSSEC variants \
+         cached separately per DO bit\"\n}}\n",
+        queries.len(),
+    );
+    match flag(args, "--out") {
+        Some(path) => {
+            if let Err(e) = std::fs::write(&path, &json) {
+                eprintln!("failed to write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("wrote wire snapshot to {path}");
         }
         None => print!("{json}"),
     }

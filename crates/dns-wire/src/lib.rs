@@ -28,6 +28,7 @@ pub mod name;
 pub mod presentation;
 pub mod record;
 pub mod svcb;
+pub mod view;
 pub mod wire;
 
 pub use error::{ParseError, WireError};
@@ -37,6 +38,7 @@ pub use record::{
     DnsClass, DnskeyRdata, DsRdata, RData, Record, RecordType, RrsigRdata, SoaRdata, SrvRdata,
 };
 pub use svcb::{SvcParam, SvcbRdata};
+pub use view::{MessageView, NameView, QuestionView, RecordView};
 
 #[cfg(test)]
 mod proptests {
@@ -173,6 +175,78 @@ mod proptests {
             let _ = Message::decode(&bytes);
             let _ = SvcbRdata::decode(&bytes);
             let _ = DnsName::decode_at(&bytes, 0);
+        }
+
+        #[test]
+        fn message_view_parity_with_owned_decode(
+            id in any::<u16>(),
+            qname in arb_name(),
+            answers in proptest::collection::vec(arb_record(), 0..6),
+            authorities in proptest::collection::vec(arb_record(), 0..3),
+            additionals in proptest::collection::vec(arb_record(), 0..3),
+            rcode in (0u8..6).prop_map(Rcode::from_code),
+            with_edns in any::<bool>(),
+        ) {
+            let msg = Message {
+                id,
+                opcode: Opcode::Query,
+                flags: Flags { qr: true, ra: true, ..Default::default() },
+                rcode,
+                questions: vec![crate::message::Question::new(qname, RecordType::Https)],
+                answers,
+                authorities,
+                additionals,
+                edns: with_edns.then(crate::message::Edns::dnssec),
+            };
+            let buf = msg.encode();
+            let view = crate::view::MessageView::parse(&buf).unwrap();
+            let owned = Message::decode(&buf).unwrap();
+            prop_assert_eq!(view.id(), owned.id);
+            prop_assert_eq!(view.rcode(), owned.rcode);
+            prop_assert_eq!(view.edns(), owned.edns);
+            prop_assert_eq!(view.answer_count(), owned.answers.len());
+            prop_assert_eq!(view.to_message().unwrap(), owned);
+        }
+
+        #[test]
+        fn decode_encode_byte_identity(
+            id in any::<u16>(),
+            qname in arb_name(),
+            answers in proptest::collection::vec(arb_record(), 0..6),
+            authorities in proptest::collection::vec(arb_record(), 0..3),
+        ) {
+            let msg = Message {
+                id,
+                opcode: Opcode::Query,
+                flags: Flags { qr: true, ra: true, ..Default::default() },
+                rcode: Rcode::NoError,
+                questions: vec![crate::message::Question::new(qname, RecordType::Https)],
+                answers,
+                authorities,
+                additionals: Vec::new(),
+                edns: Some(crate::message::Edns::dnssec()),
+            };
+            let wire = msg.encode();
+            // decode → re-encode reproduces the exact bytes, and so does
+            // the borrowed view's escape hatch.
+            prop_assert_eq!(Message::decode(&wire).unwrap().encode(), wire.clone());
+            let view = crate::view::MessageView::parse(&wire).unwrap();
+            prop_assert_eq!(view.to_message().unwrap().encode(), wire);
+        }
+
+        #[test]
+        fn message_view_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+            if let Ok(view) = crate::view::MessageView::parse(&bytes) {
+                for q in view.questions() {
+                    let _ = q.name().labels().count();
+                    let _ = q.to_owned();
+                }
+                for r in view.answers().chain(view.authorities()).chain(view.additionals()) {
+                    let _ = r.name().labels().count();
+                    let _ = r.rdata();
+                }
+                let _ = view.to_message();
+            }
         }
 
         #[test]

@@ -12,7 +12,7 @@ pub const MAX_NAME_WIRE_LEN: usize = 255;
 /// Maximum length of a single label.
 pub const MAX_LABEL_LEN: usize = 63;
 /// Budget of compression pointers followed before declaring a loop.
-const MAX_POINTER_HOPS: usize = 64;
+pub(crate) const MAX_POINTER_HOPS: usize = 64;
 
 /// A fully-qualified DNS domain name.
 ///
@@ -173,6 +173,61 @@ impl DnsName {
             }
             for &b in label {
                 out.push(b.to_ascii_lowercase() as char);
+            }
+        }
+    }
+
+    /// Validate a (possibly compressed) name at `start` without building
+    /// the label vector, returning the offset at which sequential reading
+    /// resumes. Applies the same structural rules as [`DnsName::decode_at`]
+    /// (backward-only pointers, hop budget, label and name length limits),
+    /// so a buffer that passes `skip_at` decodes without error.
+    pub fn skip_at(buf: &[u8], start: usize) -> Result<usize, WireError> {
+        let mut pos = start;
+        let mut resume: Option<usize> = None;
+        let mut hops = 0usize;
+        let mut wire_len = 1usize; // root octet
+
+        loop {
+            let len_byte =
+                *buf.get(pos).ok_or(WireError::Truncated { context: "name label length" })?;
+            match len_byte & 0xC0 {
+                0x00 => {
+                    let n = len_byte as usize;
+                    if n == 0 {
+                        return Ok(resume.unwrap_or(pos + 1));
+                    }
+                    if n > MAX_LABEL_LEN {
+                        return Err(WireError::LabelTooLong(n));
+                    }
+                    let end = pos + 1 + n;
+                    if end > buf.len() {
+                        return Err(WireError::Truncated { context: "name label" });
+                    }
+                    wire_len += n + 1;
+                    if wire_len > MAX_NAME_WIRE_LEN {
+                        return Err(WireError::NameTooLong(wire_len));
+                    }
+                    pos = end;
+                }
+                0xC0 => {
+                    let second = *buf
+                        .get(pos + 1)
+                        .ok_or(WireError::Truncated { context: "compression pointer" })?;
+                    let target = (((len_byte & 0x3F) as usize) << 8) | second as usize;
+                    if target >= pos {
+                        return Err(WireError::BadCompressionPointer { at: pos });
+                    }
+                    hops += 1;
+                    if hops > MAX_POINTER_HOPS {
+                        return Err(WireError::BadCompressionPointer { at: pos });
+                    }
+                    if resume.is_none() {
+                        resume = Some(pos + 2);
+                    }
+                    pos = target;
+                }
+                other => return Err(WireError::UnsupportedLabelType(other)),
             }
         }
     }

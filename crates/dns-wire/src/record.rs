@@ -588,56 +588,85 @@ impl RData {
 
     /// Presentation form of the RDATA.
     pub fn to_presentation(&self) -> String {
+        let mut out = String::new();
+        self.write_presentation(&mut out);
+        out
+    }
+
+    /// Append the presentation form to `out` without intermediate
+    /// per-field or per-byte allocations — bulk rendering paths reuse one
+    /// cleared buffer across many records.
+    pub fn write_presentation(&self, out: &mut String) {
+        use fmt::Write as _;
         match self {
-            RData::A(a) => a.to_string(),
-            RData::Aaaa(a) => a.to_string(),
-            RData::Cname(n) | RData::Dname(n) | RData::Ns(n) | RData::Ptr(n) => n.to_string(),
-            RData::Mx(pref, host) => format!("{pref} {host}"),
-            RData::Txt(strings) => strings
-                .iter()
-                .map(|s| format!("\"{}\"", String::from_utf8_lossy(s)))
-                .collect::<Vec<_>>()
-                .join(" "),
-            RData::Soa(s) => format!(
-                "{} {} {} {} {} {} {}",
-                s.mname, s.rname, s.serial, s.refresh, s.retry, s.expire, s.minimum
-            ),
-            RData::Srv(s) => format!("{} {} {} {}", s.priority, s.weight, s.port, s.target),
-            RData::Svcb(rd) | RData::Https(rd) => rd.to_presentation(),
-            RData::Rrsig(sig) => format!(
-                "{} {} {} {} {} {} {} {} {}",
-                sig.type_covered,
-                sig.algorithm,
-                sig.labels,
-                sig.original_ttl,
-                sig.expiration,
-                sig.inception,
-                sig.key_tag,
-                sig.signer,
-                crate::svcb::base64ish(&sig.signature)
-            ),
-            RData::Dnskey(k) => format!(
-                "{} {} {} {}",
-                k.flags,
-                k.protocol,
-                k.algorithm,
-                crate::svcb::base64ish(&k.public_key)
-            ),
-            RData::Ds(d) => format!(
-                "{} {} {} {}",
-                d.key_tag,
-                d.algorithm,
-                d.digest_type,
-                d.digest.iter().map(|b| format!("{b:02X}")).collect::<String>()
-            ),
+            RData::A(a) => {
+                let _ = write!(out, "{a}");
+            }
+            RData::Aaaa(a) => {
+                let _ = write!(out, "{a}");
+            }
+            RData::Cname(n) | RData::Dname(n) | RData::Ns(n) | RData::Ptr(n) => {
+                let _ = write!(out, "{n}");
+            }
+            RData::Mx(pref, host) => {
+                let _ = write!(out, "{pref} {host}");
+            }
+            RData::Txt(strings) => {
+                for (i, s) in strings.iter().enumerate() {
+                    if i > 0 {
+                        out.push(' ');
+                    }
+                    let _ = write!(out, "\"{}\"", String::from_utf8_lossy(s));
+                }
+            }
+            RData::Soa(s) => {
+                let _ = write!(
+                    out,
+                    "{} {} {} {} {} {} {}",
+                    s.mname, s.rname, s.serial, s.refresh, s.retry, s.expire, s.minimum
+                );
+            }
+            RData::Srv(s) => {
+                let _ = write!(out, "{} {} {} {}", s.priority, s.weight, s.port, s.target);
+            }
+            RData::Svcb(rd) | RData::Https(rd) => rd.write_presentation(out),
+            RData::Rrsig(sig) => {
+                let _ = write!(
+                    out,
+                    "{} {} {} {} {} {} {} {} ",
+                    sig.type_covered,
+                    sig.algorithm,
+                    sig.labels,
+                    sig.original_ttl,
+                    sig.expiration,
+                    sig.inception,
+                    sig.key_tag,
+                    sig.signer,
+                );
+                crate::svcb::base64ish_into(out, &sig.signature);
+            }
+            RData::Dnskey(k) => {
+                let _ = write!(out, "{} {} {} ", k.flags, k.protocol, k.algorithm);
+                crate::svcb::base64ish_into(out, &k.public_key);
+            }
+            RData::Ds(d) => {
+                let _ = write!(out, "{} {} {} ", d.key_tag, d.algorithm, d.digest_type);
+                push_hex(out, &d.digest, b"0123456789ABCDEF");
+            }
             RData::Opt(bytes) | RData::Unknown(bytes) => {
-                format!(
-                    "\\# {} {}",
-                    bytes.len(),
-                    bytes.iter().map(|b| format!("{b:02x}")).collect::<String>()
-                )
+                let _ = write!(out, "\\# {} ", bytes.len());
+                push_hex(out, bytes, b"0123456789abcdef");
             }
         }
+    }
+}
+
+/// Append the hex rendering of `bytes` using the given 16-entry alphabet.
+fn push_hex(out: &mut String, bytes: &[u8], alphabet: &[u8; 16]) {
+    out.reserve(bytes.len() * 2);
+    for &b in bytes {
+        out.push(alphabet[(b >> 4) as usize] as char);
+        out.push(alphabet[(b & 0x0F) as usize] as char);
     }
 }
 
@@ -701,14 +730,17 @@ impl Record {
 
     /// Zone-file presentation line.
     pub fn to_presentation(&self) -> String {
-        format!(
-            "{} {} {} {} {}",
-            self.name,
-            self.ttl,
-            self.class,
-            self.rtype,
-            self.rdata.to_presentation()
-        )
+        let mut out = String::new();
+        self.write_presentation(&mut out);
+        out
+    }
+
+    /// Append the zone-file presentation line to `out` (see
+    /// [`RData::write_presentation`] for the allocation contract).
+    pub fn write_presentation(&self, out: &mut String) {
+        use fmt::Write as _;
+        let _ = write!(out, "{} {} {} {} ", self.name, self.ttl, self.class, self.rtype);
+        self.rdata.write_presentation(out);
     }
 }
 

@@ -7,6 +7,7 @@
 use crate::error::{ParseError, WireError};
 use crate::name::DnsName;
 use crate::wire::{WireReader, WireWriter};
+use std::borrow::Cow;
 use std::fmt;
 use std::net::{Ipv4Addr, Ipv6Addr};
 
@@ -71,8 +72,9 @@ impl SvcParam {
         }
     }
 
-    /// Presentation-format key mnemonic.
-    pub fn key_name(&self) -> String {
+    /// Presentation-format key mnemonic. Borrowed (`'static`) for the
+    /// seven registered keys; allocates only for `keyNNNNN` fallbacks.
+    pub fn key_name(&self) -> Cow<'static, str> {
         key_to_name(self.key())
     }
 
@@ -221,17 +223,18 @@ impl SvcParam {
     }
 }
 
-/// Convert a numeric key to its presentation mnemonic.
-pub fn key_to_name(k: u16) -> String {
+/// Convert a numeric key to its presentation mnemonic. Registered keys
+/// return a borrowed `'static` string; only `keyNNNNN` fallbacks allocate.
+pub fn key_to_name(k: u16) -> Cow<'static, str> {
     match k {
-        key::MANDATORY => "mandatory".to_string(),
-        key::ALPN => "alpn".to_string(),
-        key::NO_DEFAULT_ALPN => "no-default-alpn".to_string(),
-        key::PORT => "port".to_string(),
-        key::IPV4HINT => "ipv4hint".to_string(),
-        key::ECH => "ech".to_string(),
-        key::IPV6HINT => "ipv6hint".to_string(),
-        other => format!("key{other}"),
+        key::MANDATORY => Cow::Borrowed("mandatory"),
+        key::ALPN => Cow::Borrowed("alpn"),
+        key::NO_DEFAULT_ALPN => Cow::Borrowed("no-default-alpn"),
+        key::PORT => Cow::Borrowed("port"),
+        key::IPV4HINT => Cow::Borrowed("ipv4hint"),
+        key::ECH => Cow::Borrowed("ech"),
+        key::IPV6HINT => Cow::Borrowed("ipv6hint"),
+        other => Cow::Owned(format!("key{other}")),
     }
 }
 
@@ -308,8 +311,17 @@ impl fmt::Display for SvcParam {
 
 /// Standard base64 (with padding) used for the `ech` presentation value.
 pub fn base64ish(data: &[u8]) -> String {
-    const ALPHA: &[u8; 64] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
     let mut out = String::with_capacity(data.len().div_ceil(3) * 4);
+    base64ish_into(&mut out, data);
+    out
+}
+
+/// Append the [`base64ish`] rendering of `data` to `out`, so bulk
+/// presentation paths can reuse one cleared buffer instead of allocating
+/// a fresh `String` per value.
+pub fn base64ish_into(out: &mut String, data: &[u8]) {
+    const ALPHA: &[u8; 64] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+    out.reserve(data.len().div_ceil(3) * 4);
     for chunk in data.chunks(3) {
         let b0 = chunk[0] as u32;
         let b1 = *chunk.get(1).unwrap_or(&0) as u32;
@@ -320,7 +332,6 @@ pub fn base64ish(data: &[u8]) -> String {
         out.push(if chunk.len() > 1 { ALPHA[(n >> 6) as usize & 63] as char } else { '=' });
         out.push(if chunk.len() > 2 { ALPHA[n as usize & 63] as char } else { '=' });
     }
-    out
 }
 
 /// Inverse of [`base64ish`]. Returns `None` on any non-alphabet character
@@ -402,12 +413,23 @@ impl SvcbRdata {
         self.params.iter().find(|p| p.key() == key)
     }
 
-    /// ALPN identifiers advertised, if any.
-    pub fn alpn(&self) -> Option<Vec<String>> {
+    /// ALPN identifiers advertised, if any. Identifiers borrow from the
+    /// record when they are valid UTF-8 (the overwhelmingly common case),
+    /// so scan paths pay no per-call `String` allocations.
+    pub fn alpn(&self) -> Option<Vec<Cow<'_, str>>> {
         match self.param(key::ALPN) {
             Some(SvcParam::Alpn(ids)) => {
-                Some(ids.iter().map(|i| String::from_utf8_lossy(i).into_owned()).collect())
+                Some(ids.iter().map(|i| String::from_utf8_lossy(i)).collect())
             }
+            _ => None,
+        }
+    }
+
+    /// Raw ALPN identifier bytes, if any — fully borrowed, for callers
+    /// that only test membership.
+    pub fn alpn_ids(&self) -> Option<&[Vec<u8>]> {
+        match self.param(key::ALPN) {
+            Some(SvcParam::Alpn(ids)) => Some(ids),
             _ => None,
         }
     }
@@ -513,14 +535,21 @@ impl SvcbRdata {
 
     /// Presentation form of the RDATA, e.g. `1 . alpn=h2,h3 ipv4hint=1.2.3.4`.
     pub fn to_presentation(&self) -> String {
-        let mut s = format!("{} {}", self.priority, self.target);
+        let mut out = String::new();
+        self.write_presentation(&mut out);
+        out
+    }
+
+    /// Append the presentation form to `out` without the per-param
+    /// `String` round-trips of the naive rendering.
+    pub fn write_presentation(&self, out: &mut String) {
+        use fmt::Write as _;
+        let _ = write!(out, "{} {}", self.priority, self.target);
         let mut params: Vec<&SvcParam> = self.params.iter().collect();
         params.sort_by_key(|p| p.key());
         for p in params {
-            s.push(' ');
-            s.push_str(&p.to_string());
+            let _ = write!(out, " {p}");
         }
-        s
     }
 
     /// Parse presentation-format RDATA tokens (after the type mnemonic).

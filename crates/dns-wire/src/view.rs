@@ -1,0 +1,703 @@
+//! Borrowed message views: one validation pass over a datagram, then
+//! lazy, zero-copy access to names and RDATA.
+//!
+//! [`MessageView`] is the borrowed counterpart of
+//! [`Message::decode`](crate::Message::decode). Parsing locates the
+//! header fields and the offsets of every question and resource record
+//! in a single pass — names are *validated* (same structural rules as
+//! [`DnsName::decode_at`]) but never materialized into `Vec<Vec<u8>>`,
+//! and RDATA is left as an `RDLENGTH`-delimited subrange of the buffer.
+//! Callers then read what they need:
+//!
+//! - [`NameView`] exposes a compression-aware label iterator plus
+//!   comparison/rendering helpers that work straight off the wire;
+//! - [`RecordView::rdata`] decodes typed [`RData`] on demand from the
+//!   record's subrange;
+//! - `to_owned()` escape hatches ([`NameView::to_owned`],
+//!   [`RecordView::to_owned`], [`MessageView::to_message`]) produce the
+//!   owned types so existing `Message` consumers can migrate
+//!   incrementally.
+//!
+//! On any buffer where [`MessageView::parse`] and
+//! [`MessageView::to_message`] both succeed, the resulting [`Message`]
+//! equals `Message::decode` of the same bytes (pinned by proptest).
+
+use crate::error::WireError;
+use crate::message::{Edns, Flags, Message, Opcode, Question, Rcode};
+use crate::name::{DnsName, MAX_POINTER_HOPS};
+use crate::record::{DnsClass, RData, Record, RecordType};
+use std::fmt;
+
+/// Borrowed view of one (possibly compressed) domain name inside a
+/// message buffer. Copyable; holds only the buffer reference and the
+/// offset where the name starts.
+#[derive(Debug, Clone, Copy)]
+pub struct NameView<'a> {
+    buf: &'a [u8],
+    start: usize,
+}
+
+impl<'a> NameView<'a> {
+    /// Iterate the raw labels (most-specific first), following
+    /// compression pointers without allocating.
+    pub fn labels(&self) -> LabelIter<'a> {
+        LabelIter { buf: self.buf, pos: self.start, hops: 0 }
+    }
+
+    /// Number of labels (the root name has zero).
+    pub fn label_count(&self) -> usize {
+        self.labels().count()
+    }
+
+    /// True for the root name.
+    pub fn is_root(&self) -> bool {
+        self.labels().next().is_none()
+    }
+
+    /// Whether every label byte is free of uppercase ASCII (so the
+    /// lowercased canonical form equals the wire form byte-for-byte).
+    pub fn is_ascii_lowercase(&self) -> bool {
+        self.labels().all(|l| !l.iter().any(u8::is_ascii_uppercase))
+    }
+
+    /// Case-insensitive comparison against an owned [`DnsName`].
+    pub fn eq_name(&self, other: &DnsName) -> bool {
+        let mut it = self.labels();
+        for expected in other.labels() {
+            match it.next() {
+                Some(l)
+                    if l.len() == expected.len()
+                        && l.iter()
+                            .zip(expected.iter())
+                            .all(|(a, b)| a.eq_ignore_ascii_case(b)) => {}
+                _ => return false,
+            }
+        }
+        it.next().is_none()
+    }
+
+    /// Append the canonical (lowercased, uncompressed) wire form to
+    /// `out` — length-prefixed labels plus the root octet.
+    pub fn write_canonical_wire(&self, out: &mut Vec<u8>) {
+        for label in self.labels() {
+            out.push(label.len() as u8);
+            out.extend(label.iter().map(|b| b.to_ascii_lowercase()));
+        }
+        out.push(0);
+    }
+
+    /// Append the lowercased dotted form (no trailing dot; root → `.`)
+    /// to `out`, matching [`DnsName::key`].
+    pub fn write_key(&self, out: &mut String) {
+        let mut any = false;
+        for label in self.labels() {
+            if any {
+                out.push('.');
+            }
+            any = true;
+            for &b in label {
+                out.push(b.to_ascii_lowercase() as char);
+            }
+        }
+        if !any {
+            out.push('.');
+        }
+    }
+
+    /// Materialize an owned [`DnsName`]. Views are only handed out for
+    /// names that already passed structural validation, so this cannot
+    /// fail; a defensive fallback yields the root name.
+    pub fn to_owned(&self) -> DnsName {
+        DnsName::decode_at(self.buf, self.start)
+            .map(|(name, _)| name)
+            .unwrap_or_else(|_| DnsName::root())
+    }
+}
+
+impl fmt::Display for NameView<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut any = false;
+        for label in self.labels() {
+            any = true;
+            for &b in label {
+                if b == b'.' || b == b'\\' {
+                    write!(f, "\\{}", b as char)?;
+                } else if b.is_ascii_graphic() {
+                    write!(f, "{}", b as char)?;
+                } else {
+                    write!(f, "\\{:03}", b)?;
+                }
+            }
+            write!(f, ".")?;
+        }
+        if !any {
+            write!(f, ".")?;
+        }
+        Ok(())
+    }
+}
+
+/// Compression-aware iterator over the labels of a [`NameView`].
+///
+/// Malformed structure (which parsing already rejects) terminates the
+/// iteration instead of panicking.
+#[derive(Debug, Clone)]
+pub struct LabelIter<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    hops: usize,
+}
+
+impl<'a> Iterator for LabelIter<'a> {
+    type Item = &'a [u8];
+
+    fn next(&mut self) -> Option<&'a [u8]> {
+        loop {
+            let len_byte = *self.buf.get(self.pos)?;
+            match len_byte & 0xC0 {
+                0x00 => {
+                    if len_byte == 0 {
+                        return None;
+                    }
+                    let start = self.pos + 1;
+                    let end = start + len_byte as usize;
+                    let label = self.buf.get(start..end)?;
+                    self.pos = end;
+                    return Some(label);
+                }
+                0xC0 => {
+                    let second = *self.buf.get(self.pos + 1)?;
+                    let target = (((len_byte & 0x3F) as usize) << 8) | second as usize;
+                    if target >= self.pos || self.hops >= MAX_POINTER_HOPS {
+                        return None;
+                    }
+                    self.hops += 1;
+                    self.pos = target;
+                }
+                _ => return None,
+            }
+        }
+    }
+}
+
+/// Per-question metadata recorded by the parse pass.
+#[derive(Debug, Clone, Copy)]
+struct QuestionMeta {
+    name_off: usize,
+    qtype: u16,
+    qclass: u16,
+}
+
+/// Per-record metadata recorded by the parse pass: where the owner name
+/// starts and where the RDATA subrange lies.
+#[derive(Debug, Clone, Copy)]
+struct RecordMeta {
+    name_off: usize,
+    rtype: u16,
+    class: u16,
+    ttl: u32,
+    rd_start: usize,
+    rd_end: usize,
+}
+
+/// Borrowed view of one question-section entry.
+#[derive(Debug, Clone, Copy)]
+pub struct QuestionView<'a> {
+    buf: &'a [u8],
+    meta: QuestionMeta,
+}
+
+impl<'a> QuestionView<'a> {
+    /// The queried name, borrowed.
+    pub fn name(&self) -> NameView<'a> {
+        NameView { buf: self.buf, start: self.meta.name_off }
+    }
+
+    /// The queried type.
+    pub fn qtype(&self) -> RecordType {
+        RecordType::from_code(self.meta.qtype)
+    }
+
+    /// The queried class.
+    pub fn qclass(&self) -> DnsClass {
+        DnsClass::from_code(self.meta.qclass)
+    }
+
+    /// Materialize an owned [`Question`].
+    pub fn to_owned(&self) -> Question {
+        Question { name: self.name().to_owned(), qtype: self.qtype(), qclass: self.qclass() }
+    }
+}
+
+/// Borrowed view of one resource record. The RDATA stays in the buffer
+/// until [`RecordView::rdata`] decodes it.
+#[derive(Debug, Clone, Copy)]
+pub struct RecordView<'a> {
+    buf: &'a [u8],
+    meta: RecordMeta,
+}
+
+impl<'a> RecordView<'a> {
+    /// The owner name, borrowed.
+    pub fn name(&self) -> NameView<'a> {
+        NameView { buf: self.buf, start: self.meta.name_off }
+    }
+
+    /// The record type.
+    pub fn rtype(&self) -> RecordType {
+        RecordType::from_code(self.meta.rtype)
+    }
+
+    /// The record class.
+    pub fn class(&self) -> DnsClass {
+        DnsClass::from_code(self.meta.class)
+    }
+
+    /// Time to live, seconds.
+    pub fn ttl(&self) -> u32 {
+        self.meta.ttl
+    }
+
+    /// The raw `RDLENGTH`-delimited RDATA bytes (undecoded; names inside
+    /// may point elsewhere in the message).
+    pub fn rdata_bytes(&self) -> &'a [u8] {
+        &self.buf[self.meta.rd_start..self.meta.rd_end]
+    }
+
+    /// Decode the typed [`RData`] on demand. This is where malformed
+    /// RDATA surfaces: the parse pass only validated the subrange
+    /// boundaries, not the contents.
+    pub fn rdata(&self) -> Result<RData, WireError> {
+        RData::decode(self.rtype(), (self.meta.rd_start, self.meta.rd_end), self.buf)
+    }
+
+    /// Materialize an owned [`Record`], decoding name and RDATA.
+    pub fn to_owned(&self) -> Result<Record, WireError> {
+        Ok(Record {
+            name: self.name().to_owned(),
+            rtype: self.rtype(),
+            class: self.class(),
+            ttl: self.meta.ttl,
+            rdata: self.rdata()?,
+        })
+    }
+}
+
+/// A lazily-decoded borrowed view over an encoded DNS message.
+///
+/// ```
+/// use dns_wire::{DnsName, Message, MessageView, RecordType};
+///
+/// let query = Message::query(7, DnsName::parse("example.com").unwrap(), RecordType::Https);
+/// let bytes = query.encode();
+/// let view = MessageView::parse(&bytes).unwrap();
+/// assert_eq!(view.id(), 7);
+/// let q = view.question().unwrap();
+/// assert_eq!(q.qtype(), RecordType::Https);
+/// assert!(q.name().eq_name(&DnsName::parse("EXAMPLE.com").unwrap()));
+/// assert_eq!(view.to_message().unwrap(), Message::decode(&bytes).unwrap());
+/// ```
+#[derive(Debug, Clone)]
+pub struct MessageView<'a> {
+    buf: &'a [u8],
+    id: u16,
+    opcode: Opcode,
+    flags: Flags,
+    rcode: Rcode,
+    questions: Vec<QuestionMeta>,
+    /// Answers, authorities and additionals, in wire order.
+    records: Vec<RecordMeta>,
+    ancount: usize,
+    nscount: usize,
+    edns: Option<Edns>,
+}
+
+fn read_u16_at(buf: &[u8], at: usize, context: &'static str) -> Result<u16, WireError> {
+    match buf.get(at..at + 2) {
+        Some(b) => Ok(u16::from_be_bytes([b[0], b[1]])),
+        None => Err(WireError::Truncated { context }),
+    }
+}
+
+fn read_u32_at(buf: &[u8], at: usize, context: &'static str) -> Result<u32, WireError> {
+    match buf.get(at..at + 4) {
+        Some(b) => Ok(u32::from_be_bytes([b[0], b[1], b[2], b[3]])),
+        None => Err(WireError::Truncated { context }),
+    }
+}
+
+impl<'a> MessageView<'a> {
+    /// Parse the message structure in one pass: header fields, question
+    /// and record offsets, EDNS extraction (extended RCODE merged as in
+    /// [`Message::decode`]). Names are validated but not materialized;
+    /// RDATA contents are not inspected. Rejects trailing bytes.
+    pub fn parse(buf: &'a [u8]) -> Result<MessageView<'a>, WireError> {
+        if buf.len() < 12 {
+            return Err(WireError::Truncated { context: "header" });
+        }
+        let id = u16::from_be_bytes([buf[0], buf[1]]);
+        let b2 = buf[2];
+        let b3 = buf[3];
+        let flags = Flags {
+            qr: b2 & 0x80 != 0,
+            aa: b2 & 0x04 != 0,
+            tc: b2 & 0x02 != 0,
+            rd: b2 & 0x01 != 0,
+            ra: b3 & 0x80 != 0,
+            ad: b3 & 0x20 != 0,
+            cd: b3 & 0x10 != 0,
+        };
+        let opcode = Opcode::from_code((b2 >> 3) & 0x0F);
+        let mut rcode = Rcode::from_code(b3 & 0x0F);
+        let qdcount = u16::from_be_bytes([buf[4], buf[5]]) as usize;
+        let ancount = u16::from_be_bytes([buf[6], buf[7]]) as usize;
+        let nscount = u16::from_be_bytes([buf[8], buf[9]]) as usize;
+        let arcount = u16::from_be_bytes([buf[10], buf[11]]) as usize;
+
+        let mut pos = 12;
+        let mut questions = Vec::with_capacity(qdcount);
+        for _ in 0..qdcount {
+            let name_off = pos;
+            pos = DnsName::skip_at(buf, pos)?;
+            let qtype = read_u16_at(buf, pos, "question type")?;
+            let qclass = read_u16_at(buf, pos + 2, "question class")?;
+            pos += 4;
+            questions.push(QuestionMeta { name_off, qtype, qclass });
+        }
+
+        let total = ancount + nscount + arcount;
+        let mut records = Vec::with_capacity(total);
+        let mut edns = None;
+        for i in 0..total {
+            let name_off = pos;
+            pos = DnsName::skip_at(buf, pos)?;
+            let rtype = read_u16_at(buf, pos, "record type")?;
+            let class = read_u16_at(buf, pos + 2, "record class")?;
+            let ttl = read_u32_at(buf, pos + 4, "record ttl")?;
+            let rdlen = read_u16_at(buf, pos + 8, "rdlength")? as usize;
+            pos += 10;
+            let rd_start = pos;
+            let rd_end = rd_start + rdlen;
+            if rd_end > buf.len() {
+                return Err(WireError::Truncated { context: "rdata" });
+            }
+            pos = rd_end;
+            // OPT pseudo-records in the additional section become EDNS
+            // state, exactly as in `Message::decode` (last one wins; a
+            // non-zero extended RCODE merges with the header RCODE).
+            if i >= ancount + nscount && rtype == RecordType::Opt.code() {
+                let e = Edns {
+                    udp_payload_size: class,
+                    version: ((ttl >> 16) & 0xFF) as u8,
+                    dnssec_ok: ttl & 0x8000 != 0,
+                    extended_rcode: ((ttl >> 24) & 0xFF) as u8,
+                };
+                if e.extended_rcode != 0 {
+                    let full = ((e.extended_rcode as u16) << 4) | (rcode.code() as u16);
+                    rcode = Rcode::from_code((full & 0xFF) as u8);
+                }
+                edns = Some(e);
+            }
+            records.push(RecordMeta { name_off, rtype, class, ttl, rd_start, rd_end });
+        }
+        if pos != buf.len() {
+            return Err(WireError::TrailingBytes(buf.len() - pos));
+        }
+        Ok(MessageView {
+            buf,
+            id,
+            opcode,
+            flags,
+            rcode,
+            questions,
+            records,
+            ancount,
+            nscount,
+            edns,
+        })
+    }
+
+    /// Transaction id.
+    pub fn id(&self) -> u16 {
+        self.id
+    }
+
+    /// Operation.
+    pub fn opcode(&self) -> Opcode {
+        self.opcode
+    }
+
+    /// Header flags.
+    pub fn flags(&self) -> Flags {
+        self.flags
+    }
+
+    /// Response code, with any EDNS extended RCODE already merged.
+    pub fn rcode(&self) -> Rcode {
+        self.rcode
+    }
+
+    /// EDNS(0) state from the OPT pseudo-record, if present.
+    pub fn edns(&self) -> Option<Edns> {
+        self.edns
+    }
+
+    /// Whether the EDNS DO bit is set.
+    pub fn dnssec_ok(&self) -> bool {
+        self.edns.map(|e| e.dnssec_ok).unwrap_or(false)
+    }
+
+    /// The underlying datagram bytes.
+    pub fn as_bytes(&self) -> &'a [u8] {
+        self.buf
+    }
+
+    /// Number of question-section entries.
+    pub fn question_count(&self) -> usize {
+        self.questions.len()
+    }
+
+    /// Number of answer-section records.
+    pub fn answer_count(&self) -> usize {
+        self.ancount
+    }
+
+    /// Number of authority-section records.
+    pub fn authority_count(&self) -> usize {
+        self.nscount
+    }
+
+    /// First question, if present.
+    pub fn question(&self) -> Option<QuestionView<'a>> {
+        self.questions.first().map(|m| QuestionView { buf: self.buf, meta: *m })
+    }
+
+    /// Iterate the question section.
+    pub fn questions(&self) -> impl Iterator<Item = QuestionView<'a>> + '_ {
+        self.questions.iter().map(|m| QuestionView { buf: self.buf, meta: *m })
+    }
+
+    /// Iterate the answer section.
+    pub fn answers(&self) -> impl Iterator<Item = RecordView<'a>> + '_ {
+        self.records[..self.ancount].iter().map(|m| RecordView { buf: self.buf, meta: *m })
+    }
+
+    /// Iterate the authority section.
+    pub fn authorities(&self) -> impl Iterator<Item = RecordView<'a>> + '_ {
+        self.records[self.ancount..self.ancount + self.nscount]
+            .iter()
+            .map(|m| RecordView { buf: self.buf, meta: *m })
+    }
+
+    /// Iterate the additional section, excluding OPT pseudo-records
+    /// (their contents are exposed via [`MessageView::edns`]).
+    pub fn additionals(&self) -> impl Iterator<Item = RecordView<'a>> + '_ {
+        self.records[self.ancount + self.nscount..]
+            .iter()
+            .filter(|m| m.rtype != RecordType::Opt.code())
+            .map(|m| RecordView { buf: self.buf, meta: *m })
+    }
+
+    /// Materialize an owned [`Message`], decoding every name and RDATA.
+    /// Equal to [`Message::decode`] of the same buffer whenever both
+    /// succeed; fails only on RDATA that `Message::decode` would also
+    /// reject (the structure was validated by [`MessageView::parse`]).
+    pub fn to_message(&self) -> Result<Message, WireError> {
+        let mut questions = Vec::with_capacity(self.questions.len());
+        for q in self.questions() {
+            questions.push(q.to_owned());
+        }
+        let mut answers = Vec::with_capacity(self.ancount);
+        for r in self.answers() {
+            answers.push(r.to_owned()?);
+        }
+        let mut authorities = Vec::with_capacity(self.nscount);
+        for r in self.authorities() {
+            authorities.push(r.to_owned()?);
+        }
+        let mut additionals = Vec::new();
+        for r in self.additionals() {
+            additionals.push(r.to_owned()?);
+        }
+        Ok(Message {
+            id: self.id,
+            opcode: self.opcode,
+            flags: self.flags,
+            rcode: self.rcode,
+            questions,
+            answers,
+            authorities,
+            additionals,
+            edns: self.edns,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::{Edns, Message};
+    use crate::record::{RData, Record, SoaRdata};
+    use std::net::Ipv4Addr;
+
+    fn name(s: &str) -> DnsName {
+        DnsName::parse(s).unwrap()
+    }
+
+    fn sample_response() -> Message {
+        let q = Message::query_dnssec(0x4242, name("www.Example.com"), RecordType::Https);
+        let mut resp = q.response();
+        resp.answers.push(Record::new(
+            name("www.example.com"),
+            300,
+            RData::Cname(name("example.com")),
+        ));
+        resp.answers.push(Record::new(
+            name("example.com"),
+            60,
+            RData::A(Ipv4Addr::new(1, 2, 3, 4)),
+        ));
+        resp.authorities.push(Record::new(
+            name("example.com"),
+            3600,
+            RData::Soa(SoaRdata {
+                mname: name("ns1.example.com"),
+                rname: name("hostmaster.example.com"),
+                serial: 1,
+                refresh: 2,
+                retry: 3,
+                expire: 4,
+                minimum: 60,
+            }),
+        ));
+        resp.additionals.push(Record::new(
+            name("ns1.example.com"),
+            300,
+            RData::A(Ipv4Addr::new(5, 6, 7, 8)),
+        ));
+        resp
+    }
+
+    #[test]
+    fn view_matches_owned_decode() {
+        let buf = sample_response().encode();
+        let view = MessageView::parse(&buf).unwrap();
+        assert_eq!(view.to_message().unwrap(), Message::decode(&buf).unwrap());
+    }
+
+    #[test]
+    fn header_fields_without_decoding() {
+        let buf = sample_response().encode();
+        let view = MessageView::parse(&buf).unwrap();
+        assert_eq!(view.id(), 0x4242);
+        assert!(view.flags().qr);
+        assert_eq!(view.rcode(), Rcode::NoError);
+        assert!(view.dnssec_ok());
+        assert_eq!(view.question_count(), 1);
+        assert_eq!(view.answer_count(), 2);
+        assert_eq!(view.authority_count(), 1);
+        assert_eq!(view.additionals().count(), 1);
+    }
+
+    #[test]
+    fn name_view_labels_follow_compression() {
+        let buf = sample_response().encode();
+        let view = MessageView::parse(&buf).unwrap();
+        // Second answer's owner was compressed against the question name.
+        let second = view.answers().nth(1).unwrap();
+        let labels: Vec<&[u8]> = second.name().labels().collect();
+        assert_eq!(labels, vec![&b"Example"[..], &b"com"[..]]);
+        assert!(second.name().eq_name(&name("example.COM")));
+        assert!(!second.name().eq_name(&name("example.org")));
+        assert!(!second.name().eq_name(&name("www.example.com")));
+        assert_eq!(second.name().to_owned(), name("example.com"));
+    }
+
+    #[test]
+    fn rdata_decoded_on_demand() {
+        let buf = sample_response().encode();
+        let view = MessageView::parse(&buf).unwrap();
+        let first = view.answers().next().unwrap();
+        assert_eq!(first.rtype(), RecordType::Cname);
+        assert_eq!(first.rdata().unwrap(), RData::Cname(name("example.com")));
+        let soa = view.authorities().next().unwrap();
+        match soa.rdata().unwrap() {
+            RData::Soa(s) => assert_eq!(s.minimum, 60),
+            other => panic!("expected SOA, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_rdata_surfaces_lazily() {
+        // An A record with 3-byte RDATA: structurally fine (the range is
+        // in bounds) but semantically invalid.
+        let mut q = Message::query(1, name("x.com"), RecordType::A);
+        q.edns = None; // keep the appended answer the only record
+        let mut buf = q.encode();
+        // Append a hand-built answer record and bump ANCOUNT.
+        buf[7] = 1;
+        buf.extend_from_slice(&[0xC0, 12]); // name: pointer to the question
+        buf.extend_from_slice(&1u16.to_be_bytes()); // type A
+        buf.extend_from_slice(&1u16.to_be_bytes()); // class IN
+        buf.extend_from_slice(&60u32.to_be_bytes()); // ttl
+        buf.extend_from_slice(&3u16.to_be_bytes()); // rdlength
+        buf.extend_from_slice(&[1, 2, 3]);
+        let view = MessageView::parse(&buf).unwrap();
+        let rec = view.answers().next().unwrap();
+        assert!(rec.rdata().is_err());
+        assert!(view.to_message().is_err());
+        assert!(Message::decode(&buf).is_err());
+    }
+
+    #[test]
+    fn structural_errors_rejected_at_parse() {
+        let buf = sample_response().encode();
+        for cut in 0..buf.len() {
+            assert!(MessageView::parse(&buf[..cut]).is_err(), "cut at {cut}");
+        }
+        let mut trailing = buf.clone();
+        trailing.push(0);
+        assert_eq!(MessageView::parse(&trailing).unwrap_err(), WireError::TrailingBytes(1));
+    }
+
+    #[test]
+    fn name_view_renders_key_and_canonical_wire() {
+        let buf = sample_response().encode();
+        let view = MessageView::parse(&buf).unwrap();
+        let qname = view.question().unwrap().name();
+        let mut key = String::new();
+        qname.write_key(&mut key);
+        assert_eq!(key, "www.example.com");
+        assert!(!qname.is_ascii_lowercase());
+        let mut wire = Vec::new();
+        qname.write_canonical_wire(&mut wire);
+        assert_eq!(wire, name("www.example.com").canonical_wire());
+        assert_eq!(qname.to_string(), "www.Example.com.");
+    }
+
+    #[test]
+    fn edns_extended_rcode_merged() {
+        let q = Message::query(9, name("a.com"), RecordType::A);
+        let mut resp = q.response();
+        resp.rcode = Rcode::Other(5);
+        resp.edns = Some(Edns { extended_rcode: 1, ..Default::default() });
+        let buf = resp.encode();
+        let view = MessageView::parse(&buf).unwrap();
+        assert_eq!(view.rcode(), Message::decode(&buf).unwrap().rcode);
+        assert_eq!(view.rcode(), Rcode::from_code(0x15));
+    }
+
+    #[test]
+    fn root_name_view() {
+        let q = Message::query(3, DnsName::root(), RecordType::Ns);
+        let buf = q.encode();
+        let view = MessageView::parse(&buf).unwrap();
+        let qname = view.question().unwrap().name();
+        assert!(qname.is_root());
+        assert_eq!(qname.label_count(), 0);
+        let mut key = String::new();
+        qname.write_key(&mut key);
+        assert_eq!(key, ".");
+        assert_eq!(qname.to_string(), ".");
+    }
+}

@@ -101,11 +101,16 @@ pub struct WireWriter {
     buf: Vec<u8>,
     /// Maps a name suffix (canonical lowercase wire form) to the offset of
     /// its first occurrence, for compression-pointer emission. Offsets must
-    /// fit in 14 bits per RFC 1035.
-    compress: HashMap<Vec<u8>, u16>,
+    /// fit in 14 bits per RFC 1035. Lookups borrow subslices of `scratch`,
+    /// so only genuinely new suffixes allocate a key.
+    compress: HashMap<Box<[u8]>, u16>,
     /// When false, names are written uncompressed (required inside RDATA of
     /// newer record types such as SVCB/HTTPS, RFC 9460 §2.2).
     compression_enabled: bool,
+    /// Reused canonical rendering of the name currently being written.
+    scratch: Vec<u8>,
+    /// Start offset of each label suffix inside `scratch`.
+    scratch_offs: Vec<usize>,
 }
 
 impl WireWriter {
@@ -115,6 +120,8 @@ impl WireWriter {
             buf: Vec::with_capacity(512),
             compress: HashMap::new(),
             compression_enabled: true,
+            scratch: Vec::new(),
+            scratch_offs: Vec::new(),
         }
     }
 
@@ -167,27 +174,51 @@ impl WireWriter {
 
     /// Append a domain name, emitting a compression pointer when a suffix of
     /// the name was already written and compression is allowed.
+    ///
+    /// The canonical (lowercased) wire form is rendered once into a reused
+    /// scratch buffer; dictionary lookups borrow suffix subslices of it, so
+    /// a fully-compressed or already-known name allocates nothing.
     pub fn put_name(&mut self, name: &DnsName) {
         let labels = name.labels();
-        let mut idx = 0;
-        while idx < labels.len() {
-            let suffix_key = DnsName::from_labels(labels[idx..].to_vec()).canonical_wire();
-            if self.compression_enabled {
-                if let Some(&off) = self.compress.get(&suffix_key) {
-                    self.put_u16(0xC000 | off);
-                    return;
-                }
-                if self.buf.len() <= 0x3FFF {
-                    self.compress.insert(suffix_key, self.buf.len() as u16);
-                }
+        if !self.compression_enabled || labels.is_empty() {
+            for label in labels {
+                debug_assert!(label.len() <= 63);
+                self.buf.push(label.len() as u8);
+                self.buf.extend_from_slice(label);
             }
-            let label = &labels[idx];
-            debug_assert!(label.len() <= 63);
-            self.put_u8(label.len() as u8);
-            self.put_bytes(label);
-            idx += 1;
+            self.buf.push(0); // root label
+            return;
         }
-        self.put_u8(0); // root label
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let mut offs = std::mem::take(&mut self.scratch_offs);
+        scratch.clear();
+        offs.clear();
+        for label in labels {
+            offs.push(scratch.len());
+            scratch.push(label.len() as u8);
+            scratch.extend(label.iter().map(|b| b.to_ascii_lowercase()));
+        }
+        scratch.push(0);
+        let mut emitted_pointer = false;
+        for (idx, label) in labels.iter().enumerate() {
+            let suffix: &[u8] = &scratch[offs[idx]..];
+            if let Some(&off) = self.compress.get(suffix) {
+                self.put_u16(0xC000 | off);
+                emitted_pointer = true;
+                break;
+            }
+            if self.buf.len() <= 0x3FFF {
+                self.compress.insert(suffix.into(), self.buf.len() as u16);
+            }
+            debug_assert!(label.len() <= 63);
+            self.buf.push(label.len() as u8);
+            self.buf.extend_from_slice(label);
+        }
+        if !emitted_pointer {
+            self.buf.push(0); // root label
+        }
+        self.scratch = scratch;
+        self.scratch_offs = offs;
     }
 
     /// Append a domain name without compression (RFC 9460 requires

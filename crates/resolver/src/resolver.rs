@@ -12,7 +12,7 @@ use crate::cache::{CachedAnswer, RecordCache};
 use crate::selection::{NsSelector, SelectionStrategy};
 use authserver::DelegationRegistry;
 use dns_wire::record::{DnskeyRdata, DsRdata, RrsigRdata};
-use dns_wire::{DnsName, Message, RData, Rcode, Record, RecordType};
+use dns_wire::{DnsName, Message, MessageView, RData, Rcode, Record, RecordType};
 use dnssec::{ChainSource, ValidationState, Validator};
 use netsim::{DatagramService, NetError, Network, Timestamp};
 use std::fmt;
@@ -185,7 +185,7 @@ impl RecursiveResolver {
             match resp.rcode {
                 Rcode::NoError => {}
                 Rcode::NxDomain => {
-                    let ttl = negative_ttl(&resp, self.config.default_negative_ttl);
+                    let ttl = resp.negative_ttl(self.config.default_negative_ttl);
                     self.cache.insert_negative(&current, rtype, Rcode::NxDomain, ttl, now);
                     return Ok(Resolution {
                         chain,
@@ -210,11 +210,11 @@ impl RecursiveResolver {
 
             // Cache every RRset in the answer section (covers the case
             // where the authority chased a CNAME for us).
-            self.cache_answer_sections(&resp, now);
+            self.cache_answer_sections(&resp.answers, now);
 
-            let records = extract_rrset(&resp, &current, rtype);
+            let records = extract_rrset(&resp.answers, &current, rtype);
             if !records.is_empty() {
-                let rrsigs = extract_rrsigs(&resp, &current, rtype);
+                let rrsigs = extract_rrsigs(&resp.answers, &current, rtype);
                 return Ok(self.finish(
                     chain,
                     CachedAnswer::Positive { records, rrsigs },
@@ -233,7 +233,7 @@ impl RecursiveResolver {
                 }
             }
             // NODATA.
-            let ttl = negative_ttl(&resp, self.config.default_negative_ttl);
+            let ttl = resp.negative_ttl(self.config.default_negative_ttl);
             self.cache.insert_negative(&current, rtype, Rcode::NoError, ttl, now);
             return Ok(Resolution {
                 chain,
@@ -276,7 +276,11 @@ impl RecursiveResolver {
 
     /// One authoritative round: select endpoints for the deepest zone and
     /// try them in fallback order.
-    fn query_authority(&self, name: &DnsName, rtype: RecordType) -> Result<Message, ResolveError> {
+    fn query_authority(
+        &self,
+        name: &DnsName,
+        rtype: RecordType,
+    ) -> Result<AuthorityReply, ResolveError> {
         let (apex, endpoints) = self
             .registry
             .find_authority(name)
@@ -291,13 +295,13 @@ impl RecursiveResolver {
         let mut last_err = ResolveError::Lame(apex.clone());
         for ep in order {
             match self.network.send_datagram(ep.ip, 53, &wire) {
-                Ok(bytes) => match Message::decode(&bytes) {
-                    Ok(resp) if resp.rcode == Rcode::Refused => {
+                Ok(bytes) => match AuthorityReply::parse(&bytes) {
+                    Some(resp) if resp.rcode == Rcode::Refused => {
                         last_err = ResolveError::Lame(apex.clone());
                         continue;
                     }
-                    Ok(resp) => return Ok(resp),
-                    Err(_) => {
+                    Some(resp) => return Ok(resp),
+                    None => {
                         last_err = ResolveError::Malformed;
                         continue;
                     }
@@ -311,10 +315,10 @@ impl RecursiveResolver {
         Err(last_err)
     }
 
-    fn cache_answer_sections(&self, resp: &Message, now: Timestamp) {
+    fn cache_answer_sections(&self, answers: &[Record], now: Timestamp) {
         use std::collections::HashMap;
         let mut sets: HashMap<(String, u16), Vec<Record>> = HashMap::new();
-        for rec in &resp.answers {
+        for rec in answers {
             if rec.rtype == RecordType::Rrsig {
                 continue;
             }
@@ -323,8 +327,7 @@ impl RecursiveResolver {
         for ((_, tcode), records) in sets {
             let name = records[0].name.clone();
             let rtype = RecordType::from_code(tcode);
-            let rrsigs: Vec<RrsigRdata> = resp
-                .answers
+            let rrsigs: Vec<RrsigRdata> = answers
                 .iter()
                 .filter(|r| r.rtype == RecordType::Rrsig && r.name == name)
                 .filter_map(|r| match &r.rdata {
@@ -362,14 +365,14 @@ impl ChainSource for ResolverChainSource<'_> {
             Some(CachedAnswer::Negative { .. }) => return None,
             None => {
                 let resp = r.query_authority(zone, RecordType::Dnskey).ok()?;
-                r.cache_answer_sections(&resp, now);
-                let records = extract_rrset(&resp, zone, RecordType::Dnskey);
+                r.cache_answer_sections(&resp.answers, now);
+                let records = extract_rrset(&resp.answers, zone, RecordType::Dnskey);
                 if records.is_empty() {
-                    let ttl = negative_ttl(&resp, r.config.default_negative_ttl);
+                    let ttl = resp.negative_ttl(r.config.default_negative_ttl);
                     r.cache.insert_negative(zone, RecordType::Dnskey, resp.rcode, ttl, now);
                     return None;
                 }
-                let rrsigs = extract_rrsigs(&resp, zone, RecordType::Dnskey);
+                let rrsigs = extract_rrsigs(&resp.answers, zone, RecordType::Dnskey);
                 (records, rrsigs)
             }
         };
@@ -400,10 +403,10 @@ impl ChainSource for ResolverChainSource<'_> {
                 let id = r.next_id.fetch_add(1, Ordering::Relaxed);
                 let query = Message::query_dnssec(id, zone.clone(), RecordType::Ds);
                 let wire = query.encode();
-                let mut found: Option<Message> = None;
+                let mut found: Option<AuthorityReply> = None;
                 for ep in order {
                     if let Ok(bytes) = r.network.send_datagram(ep.ip, 53, &wire) {
-                        if let Ok(resp) = Message::decode(&bytes) {
+                        if let Some(resp) = AuthorityReply::parse(&bytes) {
                             if resp.rcode != Rcode::Refused {
                                 found = Some(resp);
                                 break;
@@ -412,13 +415,13 @@ impl ChainSource for ResolverChainSource<'_> {
                     }
                 }
                 let resp = found?;
-                let records = extract_rrset(&resp, zone, RecordType::Ds);
+                let records = extract_rrset(&resp.answers, zone, RecordType::Ds);
                 if records.is_empty() {
-                    let ttl = negative_ttl(&resp, r.config.default_negative_ttl);
+                    let ttl = resp.negative_ttl(r.config.default_negative_ttl);
                     r.cache.insert_negative(zone, RecordType::Ds, resp.rcode, ttl, now);
                     return None;
                 }
-                let rrsigs = extract_rrsigs(&resp, zone, RecordType::Ds);
+                let rrsigs = extract_rrsigs(&resp.answers, zone, RecordType::Ds);
                 r.cache.insert_positive(zone, RecordType::Ds, records.clone(), rrsigs, now);
                 records
             }
@@ -477,12 +480,53 @@ impl DatagramService for RecursiveResolver {
     }
 }
 
-fn extract_rrset(resp: &Message, name: &DnsName, rtype: RecordType) -> Vec<Record> {
-    resp.answers.iter().filter(|r| r.rtype == rtype && r.name == *name).cloned().collect()
+/// The slice of an authority response the resolver actually consumes,
+/// lifted off a borrowed [`MessageView`]. Only answer-section records
+/// are materialized (they feed the [`RecordCache`]); the authority
+/// section is scanned lazily for the first SOA's negative TTL, and
+/// additional-section rdata is never decoded at all.
+struct AuthorityReply {
+    rcode: Rcode,
+    answers: Vec<Record>,
+    /// `min(SOA minimum, SOA TTL)` from the authority section, if any.
+    soa_negative_ttl: Option<u32>,
 }
 
-fn extract_rrsigs(resp: &Message, name: &DnsName, rtype: RecordType) -> Vec<RrsigRdata> {
-    resp.answers
+impl AuthorityReply {
+    /// Parse a response datagram. `None` means malformed: a structural
+    /// error anywhere, or undecodable rdata in a record we consume.
+    fn parse(bytes: &[u8]) -> Option<AuthorityReply> {
+        let view = MessageView::parse(bytes).ok()?;
+        let mut answers = Vec::with_capacity(view.answer_count());
+        for rec in view.answers() {
+            answers.push(rec.to_owned().ok()?);
+        }
+        let mut soa_negative_ttl = None;
+        for rec in view.authorities() {
+            if rec.rtype() == RecordType::Soa {
+                match rec.rdata().ok()? {
+                    RData::Soa(soa) => {
+                        soa_negative_ttl = Some(soa.minimum.min(rec.ttl()));
+                        break;
+                    }
+                    _ => continue,
+                }
+            }
+        }
+        Some(AuthorityReply { rcode: view.rcode(), answers, soa_negative_ttl })
+    }
+
+    fn negative_ttl(&self, default: u32) -> u32 {
+        self.soa_negative_ttl.unwrap_or(default)
+    }
+}
+
+fn extract_rrset(answers: &[Record], name: &DnsName, rtype: RecordType) -> Vec<Record> {
+    answers.iter().filter(|r| r.rtype == rtype && r.name == *name).cloned().collect()
+}
+
+fn extract_rrsigs(answers: &[Record], name: &DnsName, rtype: RecordType) -> Vec<RrsigRdata> {
+    answers
         .iter()
         .filter(|r| r.rtype == RecordType::Rrsig && r.name == *name)
         .filter_map(|r| match &r.rdata {
@@ -490,14 +534,4 @@ fn extract_rrsigs(resp: &Message, name: &DnsName, rtype: RecordType) -> Vec<Rrsi
             _ => None,
         })
         .collect()
-}
-
-fn negative_ttl(resp: &Message, default: u32) -> u32 {
-    resp.authorities
-        .iter()
-        .find_map(|r| match &r.rdata {
-            RData::Soa(soa) => Some(soa.minimum.min(r.ttl)),
-            _ => None,
-        })
-        .unwrap_or(default)
 }

@@ -4,7 +4,7 @@
 //! about the HTTPS record — the root cause of resolver-dependent
 //! intermittent records.
 
-use dns_wire::{DnsName, Message, RecordType};
+use dns_wire::{DnsName, Message, MessageView, RecordType};
 use ecosystem::World;
 use std::sync::atomic::{AtomicU16, Ordering};
 
@@ -76,10 +76,15 @@ pub fn probe_domain(
         let qid = next_id.fetch_add(1, Ordering::Relaxed);
         let query = Message::query(qid, apex.clone(), RecordType::Https);
         let answer = match world.network.send_datagram(ep.ip, 53, &query.encode()) {
-            Ok(bytes) => match Message::decode(&bytes) {
+            // Only the answer-section HTTPS count matters here, so a
+            // borrowed view suffices: no rdata is ever decoded.
+            Ok(bytes) => match MessageView::parse(&bytes) {
                 Ok(resp) => EndpointAnswer {
                     ns_name: ep.name.key(),
-                    https_records: resp.answers_of(RecordType::Https).len(),
+                    https_records: resp
+                        .answers()
+                        .filter(|r| r.rtype() == RecordType::Https)
+                        .count(),
                     responded: true,
                 },
                 Err(_) => {

@@ -465,15 +465,15 @@ fn classify_rdatas(rdatas: &[&SvcbRdata]) -> u32 {
     if chosen.ipv6hint().is_some() {
         f |= flags::IPV6HINT;
     }
-    match chosen.alpn() {
+    match chosen.alpn_ids() {
         Some(ids) => {
             for id in ids {
-                match id.as_str() {
-                    "http/1.1" => f |= flags::ALPN_H1,
-                    "h2" => f |= flags::ALPN_H2,
-                    "h3" => f |= flags::ALPN_H3,
-                    "h3-29" => f |= flags::ALPN_H3_29,
-                    "h3-27" => f |= flags::ALPN_H3_27,
+                match id.as_slice() {
+                    b"http/1.1" => f |= flags::ALPN_H1,
+                    b"h2" => f |= flags::ALPN_H2,
+                    b"h3" => f |= flags::ALPN_H3,
+                    b"h3-29" => f |= flags::ALPN_H3_29,
+                    b"h3-27" => f |= flags::ALPN_H3_27,
                     _ => {}
                 }
             }
@@ -496,9 +496,9 @@ fn is_cf_default(rd: &SvcbRdata) -> bool {
     if rd.priority != 1 || !rd.target.is_root() {
         return false;
     }
-    let Some(alpn) = rd.alpn() else { return false };
-    alpn.iter().any(|p| p == "h2")
-        && alpn.iter().any(|p| p == "h3")
+    let Some(alpn) = rd.alpn_ids() else { return false };
+    alpn.iter().any(|p| p.as_slice() == b"h2")
+        && alpn.iter().any(|p| p.as_slice() == b"h3")
         && rd.ipv4hint().is_some()
         && rd.ipv6hint().is_some()
         && rd.port().is_none()

@@ -66,7 +66,7 @@ fn main() {
     let alpn = rd.alpn().expect("record advertises alpn");
     let hint = rd.ipv4hint().expect("record has hints")[0];
     println!("connecting to {hint}:443 offering {alpn:?} …");
-    let hello = ClientHello::plain("example.com", vec![alpn[0].clone()]);
+    let hello = ClientHello::plain("example.com", vec![alpn[0].clone().into_owned()]);
     let resp =
         network.stream_exchange(IpAddr::V4(hint), 443, &hello.encode()).expect("server reachable");
     match ServerResponse::decode(&resp).expect("valid handshake reply") {
