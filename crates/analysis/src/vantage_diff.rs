@@ -45,6 +45,14 @@ pub struct VantageSummary {
     /// campaign, sourced from the telemetry registries
     /// ([`vantage_diff_runs`]); `None` when diffing bare stores.
     pub cache_hit_rate: Option<f64>,
+    /// Total rows whose resolution failed outright
+    /// ([`scanner::flags::RESOLUTION_FAILED`]) over the common days.
+    pub resolution_failures: usize,
+    /// Subset of [`Self::resolution_failures`] that were timeout-shaped
+    /// ([`scanner::flags::RESOLUTION_TIMEOUT`]): the query went out but
+    /// ran out the retransmit budget — loss/lameness as seen from this
+    /// vantage, as opposed to NXDOMAIN-shaped failures.
+    pub timeouts: usize,
 }
 
 /// The full cross-vantage diff report.
@@ -87,6 +95,9 @@ impl std::fmt::Display for VantageDiffReport {
                 s.mean_positive,
                 100.0 * s.flapping_rate
             )?;
+            if s.resolution_failures > 0 {
+                write!(f, "   failed {} (timeout {})", s.resolution_failures, s.timeouts)?;
+            }
             match s.cache_hit_rate {
                 Some(rate) => writeln!(f, "   cache-hit {:5.2}%", 100.0 * rate)?,
                 None => writeln!(f)?,
@@ -186,10 +197,23 @@ fn diff_stores(stores: &[&SnapshotStore]) -> VantageDiffReport {
     let summaries = stores
         .iter()
         .map(|s| {
-            // Mean daily HTTPS-positive apex count over the common days.
+            // Mean daily HTTPS-positive apex count over the common days,
+            // plus the failure/timeout tallies for the loss view.
             let mut positives = 0usize;
+            let mut resolution_failures = 0usize;
+            let mut timeouts = 0usize;
             for &day in &days {
-                positives += s.day(day).iter().filter(|o| !o.is_www() && o.https()).count();
+                for o in s.day(day) {
+                    if !o.is_www() && o.https() {
+                        positives += 1;
+                    }
+                    if o.has(scanner::flags::RESOLUTION_FAILED) {
+                        resolution_failures += 1;
+                        if o.has(scanner::flags::RESOLUTION_TIMEOUT) {
+                            timeouts += 1;
+                        }
+                    }
+                }
             }
             let mean_positive =
                 if days.is_empty() { 0.0 } else { positives as f64 / days.len() as f64 };
@@ -213,6 +237,8 @@ fn diff_stores(stores: &[&SnapshotStore]) -> VantageDiffReport {
                 mean_positive,
                 flapping_rate,
                 cache_hit_rate: None,
+                resolution_failures,
+                timeouts,
             }
         })
         .collect();
@@ -315,6 +341,23 @@ mod tests {
         let report = vantage_diff(&[a, b]);
         assert_eq!(report.days, vec![0]);
         assert!(!report.has_disagreements());
+    }
+
+    #[test]
+    fn failure_and_timeout_tallies_are_counted_per_vantage() {
+        let mut failed = obs(0, 2, false);
+        failed.flags |= flags::RESOLUTION_FAILED;
+        let mut timed_out = obs(0, 3, false);
+        timed_out.flags |= flags::RESOLUTION_FAILED | flags::RESOLUTION_TIMEOUT;
+        let a = store("lossy", &[(0, vec![obs(0, 1, true), failed, timed_out])]);
+        let b = store("clean", &[(0, vec![obs(0, 1, true), obs(0, 2, true), obs(0, 3, true)])]);
+        let report = vantage_diff(&[a, b]);
+        assert_eq!(report.summaries[0].resolution_failures, 2);
+        assert_eq!(report.summaries[0].timeouts, 1);
+        assert_eq!(report.summaries[1].resolution_failures, 0);
+        assert_eq!(report.summaries[1].timeouts, 0);
+        let text = report.to_string();
+        assert!(text.contains("failed 2 (timeout 1)"));
     }
 
     #[test]

@@ -28,6 +28,7 @@ fn main() -> ExitCode {
         "run" => cmd_run(&args[1..]),
         "bench" if args.iter().any(|a| a == "--scale") => cmd_bench_scale(&args[1..]),
         "bench" if args.iter().any(|a| a == "--wire") => cmd_bench_wire(&args[1..]),
+        "bench" if args.iter().any(|a| a == "--async") => cmd_bench_async(&args[1..]),
         "bench" => cmd_bench(&args[1..]),
         "matrix" => {
             println!("{}", client_side_report());
@@ -49,6 +50,7 @@ const USAGE: &str = "usage:
   httpsrr-cli bench  [--population N] [--list N] [--threads T] [--mt-threads T] [--shards S] [--out PATH]
   httpsrr-cli bench  --scale [--mt-threads T] [--threads T] [--out PATH]   # 6k vs 100k scale snapshot
   httpsrr-cli bench  --wire [--zones Z] [--reps R] [--out PATH]            # owned vs precompiled wire path A/B
+  httpsrr-cli bench  --async [--population N] [--list N] [--reps R] [--out PATH]  # event-loop vs pooled at RTT 0/20/100 ms
   httpsrr-cli matrix
   httpsrr-cli rotation [--hours H]
   httpsrr-cli audit  [--day D]
@@ -681,6 +683,136 @@ fn cmd_bench_wire(args: &[String]) -> ExitCode {
                 return ExitCode::FAILURE;
             }
             eprintln!("wrote wire snapshot to {path}");
+        }
+        None => print!("{json}"),
+    }
+    ExitCode::SUCCESS
+}
+
+/// The virtual-time snapshot (`bench --async`): event-loop vs pooled
+/// backends on the same warm wave-1 workload, at link RTTs of 0, 20,
+/// and 100 ms (1% loss on the lossy rows). The pooled backend runs the
+/// synchronous zero-latency path regardless of the installed model, so
+/// it is the wall-clock baseline; the event loop additionally reports
+/// what only virtual time can express — the batch's virtual duration,
+/// peak in-flight concurrency on its one worker, and the deterministic
+/// timeout/retransmit/drop/fallback counters.
+fn cmd_bench_async(args: &[String]) -> ExitCode {
+    use httpsrr::dns_wire::RecordType;
+    use httpsrr::netsim::LinkModel;
+    use httpsrr::resolver::{EngineBackend, Query, QueryEngine, ResolverConfig, SelectionStrategy};
+    use std::fmt::Write;
+    use std::time::Instant;
+
+    let population = num_flag(args, "--population", 1_500usize);
+    let list_size = num_flag(args, "--list", 1_200usize);
+    let reps = num_flag(args, "--reps", 3u32).max(1);
+    let ms = |secs: f64| secs * 1e3;
+
+    // One world per (rtt, backend) cell: each engine needs its own clock
+    // (the event loop advances it) and a cold cache for the cold row.
+    let build_world =
+        || World::build(EcosystemConfig { population, list_size, ..EcosystemConfig::tiny() });
+    // The scanner's wave-1 shape minus www: HTTPS + A + NS per apex, so
+    // every query's zone is its own apex and the in-flight population is
+    // the full list.
+    let queries_of = |world: &World| -> Vec<Query> {
+        let mut queries = Vec::new();
+        for &id in world.today_list().ranked() {
+            let apex = world.domain(id).apex.clone();
+            queries.push(Query::new(apex.clone(), RecordType::Https));
+            queries.push(Query::new(apex.clone(), RecordType::A));
+            queries.push(Query::new(apex, RecordType::Ns));
+        }
+        queries
+    };
+    let engine_on = |world: &World, backend: EngineBackend| {
+        QueryEngine::new(
+            world.network.clone(),
+            world.registry.clone(),
+            ResolverConfig {
+                validate: true,
+                strategy: SelectionStrategy::RoundRobin,
+                backend,
+                ..Default::default()
+            },
+        )
+    };
+
+    let mut rows = String::new();
+    for (i, rtt_ms) in [0u64, 20, 100].into_iter().enumerate() {
+        let loss_permille: u16 = if rtt_ms == 0 { 0 } else { 10 };
+        let model = LinkModel::new(0xA57).with_rtt_ms(rtt_ms).with_loss_permille(loss_permille);
+        eprintln!("async: rtt {rtt_ms} ms, loss {loss_permille}‰ …");
+
+        // Event-loop backend: cold batch (full authority path, peak
+        // concurrency), then warm reps.
+        let world = build_world();
+        world.network.set_latency_model(model.clone());
+        let queries = queries_of(&world);
+        let engine = engine_on(&world, EngineBackend::EventLoop);
+        let t = Instant::now();
+        let (_, timing) = engine.resolve_batch_timed(&queries, 1);
+        let event_cold_wall_ms = ms(t.elapsed().as_secs_f64());
+        let timing = timing.expect("event backend reports timing");
+        let t = Instant::now();
+        for _ in 0..reps {
+            let _ = engine.resolve_batch(&queries, 1);
+        }
+        let event_warm_wall_ms = ms(t.elapsed().as_secs_f64()) / reps as f64;
+
+        // Pooled backend on its own identical world: the synchronous
+        // zero-latency baseline (the model does not apply to it).
+        let world = build_world();
+        world.network.set_latency_model(model);
+        let queries = queries_of(&world);
+        let engine = engine_on(&world, EngineBackend::Pooled);
+        let t = Instant::now();
+        let _ = engine.resolve_batch(&queries, 4);
+        let pooled_cold_wall_ms = ms(t.elapsed().as_secs_f64());
+        let t = Instant::now();
+        for _ in 0..reps {
+            let _ = engine.resolve_batch(&queries, 4);
+        }
+        let pooled_warm_wall_ms = ms(t.elapsed().as_secs_f64()) / reps as f64;
+
+        let _ = write!(
+            rows,
+            "    {{ \"rtt_ms\": {rtt_ms}, \"loss_permille\": {loss_permille}, \
+             \"queries\": {}, \"max_in_flight\": {}, \"virtual_batch_ms\": {}, \
+             \"event_cold_wall_ms\": {event_cold_wall_ms:.1}, \
+             \"event_warm_wall_ms\": {event_warm_wall_ms:.1}, \
+             \"pooled_cold_wall_ms\": {pooled_cold_wall_ms:.1}, \
+             \"pooled_warm_wall_ms\": {pooled_warm_wall_ms:.1}, \
+             \"timeouts\": {}, \"retransmits\": {}, \"drops\": {}, \"ns_fallbacks\": {} }}{}",
+            queries.len(),
+            timing.max_in_flight,
+            timing.finished_ms - timing.started_ms,
+            timing.stats.timeouts,
+            timing.stats.retransmits,
+            timing.stats.drops,
+            timing.stats.ns_fallbacks,
+            if i < 2 { ",\n" } else { "" },
+        );
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"async\",\n  \"schema\": 5,\n  \"population\": {population},\n  \
+         \"list_size\": {list_size},\n  \"reps\": {reps},\n  \"rows\": [\n{rows}\n  ],\n  \
+         \"notes\": \"event-loop vs pooled resolve_batch on the same cold/warm wave-1 workload; \
+         the pooled backend always runs the synchronous zero-latency path (the link model only \
+         binds on the scheduled path), so its wall times are flat across rows while the event \
+         loop pays real scheduling work to simulate the RTT; virtual_batch_ms, max_in_flight \
+         (one worker), and the timeout/retransmit/drop/fallback counters are deterministic \
+         functions of the model seed and identical for every thread setting\"\n}}\n",
+    );
+    match flag(args, "--out") {
+        Some(path) => {
+            if let Err(e) = std::fs::write(&path, &json) {
+                eprintln!("failed to write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("wrote async snapshot to {path}");
         }
         None => print!("{json}"),
     }

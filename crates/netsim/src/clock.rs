@@ -7,6 +7,11 @@ use std::fmt;
 use std::sync::Arc;
 
 /// Seconds of simulated time since the simulation epoch.
+///
+/// This is the coarse, calendar-facing unit (TTLs, scan days, signature
+/// validity windows). Sub-second effects — RTTs, retransmit timers —
+/// use [`TimeMs`]; the clock itself keeps millisecond state internally,
+/// so seconds are always a floor of the true virtual time.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Timestamp(pub u64);
 
@@ -30,16 +35,57 @@ impl Timestamp {
     pub fn hour(self) -> u64 {
         self.0 / 3_600
     }
+
+    /// This instant at millisecond resolution.
+    pub fn as_millis(self) -> TimeMs {
+        TimeMs(self.0 * 1_000)
+    }
+}
+
+/// Milliseconds of simulated time since the simulation epoch — the
+/// fine-grained counterpart of [`Timestamp`], so sub-second RTTs and
+/// retransmit deadlines are representable in virtual time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct TimeMs(pub u64);
+
+impl TimeMs {
+    /// Add milliseconds.
+    pub fn plus(self, ms: u64) -> TimeMs {
+        TimeMs(self.0 + ms)
+    }
+
+    /// Milliseconds elapsed since `earlier` (saturating).
+    pub fn since(self, earlier: TimeMs) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+
+    /// Whole seconds since the epoch (floor).
+    pub fn as_secs(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// The enclosing coarse [`Timestamp`] (floor to whole seconds).
+    pub fn to_timestamp(self) -> Timestamp {
+        Timestamp(self.as_secs())
+    }
+}
+
+impl From<Timestamp> for TimeMs {
+    fn from(t: Timestamp) -> TimeMs {
+        t.as_millis()
+    }
 }
 
 /// A shared, manually advanced simulation clock.
 ///
 /// All components (resolver caches, ECH rotation, scanners) read the same
 /// clock; tests advance it explicitly, making every timing effect
-/// deterministic and instant.
+/// deterministic and instant. State is kept in milliseconds so the
+/// event-loop resolution backend can advance virtual time by sub-second
+/// RTT steps; the seconds-facing API floors.
 #[derive(Debug, Clone, Default)]
 pub struct SimClock {
-    now: Arc<Mutex<Timestamp>>,
+    now_ms: Arc<Mutex<TimeMs>>,
 }
 
 impl SimClock {
@@ -50,18 +96,30 @@ impl SimClock {
 
     /// A clock starting at an arbitrary timestamp.
     pub fn starting_at(t: Timestamp) -> Self {
-        SimClock { now: Arc::new(Mutex::new(t)) }
+        SimClock { now_ms: Arc::new(Mutex::new(t.as_millis())) }
     }
 
-    /// Current simulated time.
+    /// Current simulated time (whole seconds, floored).
     pub fn now(&self) -> Timestamp {
-        *self.now.lock()
+        self.now_ms.lock().to_timestamp()
+    }
+
+    /// Current simulated time at millisecond resolution.
+    pub fn now_ms(&self) -> TimeMs {
+        *self.now_ms.lock()
     }
 
     /// Advance by `secs` seconds and return the new time.
     pub fn advance(&self, secs: u64) -> Timestamp {
-        let mut t = self.now.lock();
-        *t = t.plus(secs);
+        let mut t = self.now_ms.lock();
+        *t = t.plus(secs * 1_000);
+        t.to_timestamp()
+    }
+
+    /// Advance by `ms` milliseconds and return the new fine-grained time.
+    pub fn advance_ms(&self, ms: u64) -> TimeMs {
+        let mut t = self.now_ms.lock();
+        *t = t.plus(ms);
         *t
     }
 
@@ -71,9 +129,17 @@ impl SimClock {
     }
 
     /// Jump to an absolute time; panics if it would move backwards
-    /// (virtual time is monotonic by construction).
+    /// (virtual time is monotonic by construction). The guard is at
+    /// millisecond granularity: setting to the current whole second
+    /// after sub-second time has elapsed within it is rejected too.
     pub fn set(&self, t: Timestamp) {
-        let mut now = self.now.lock();
+        self.set_ms(t.as_millis());
+    }
+
+    /// Jump to an absolute millisecond time; panics if it would move
+    /// backwards. Setting to the current instant is a no-op.
+    pub fn set_ms(&self, t: TimeMs) {
+        let mut now = self.now_ms.lock();
         assert!(t >= *now, "SimClock cannot move backwards ({:?} -> {:?})", *now, t);
         *now = t;
     }
@@ -203,6 +269,51 @@ mod tests {
         let c = SimClock::new();
         c.advance(100);
         c.set(Timestamp(50));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot move backwards")]
+    fn clock_rejects_backwards_set_ms() {
+        let c = SimClock::new();
+        c.advance_ms(1_500);
+        c.set_ms(TimeMs(1_499));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot move backwards")]
+    fn clock_rejects_subsecond_rewind_via_seconds_set() {
+        // 2.3 s of virtual time have elapsed; jumping to "second 2"
+        // would silently lose 300 ms, so the ms-granularity guard trips
+        // even though the seconds-facing `now()` also reads 2.
+        let c = SimClock::new();
+        c.advance_ms(2_300);
+        assert_eq!(c.now(), Timestamp(2));
+        c.set(Timestamp(2));
+    }
+
+    #[test]
+    fn millisecond_path_floors_to_seconds() {
+        let c = SimClock::new();
+        c.advance_ms(2_999);
+        assert_eq!(c.now(), Timestamp(2));
+        assert_eq!(c.now_ms(), TimeMs(2_999));
+        c.advance(1);
+        assert_eq!(c.now_ms(), TimeMs(3_999));
+        c.set_ms(TimeMs(3_999)); // setting to "now" is a no-op
+        c.set_ms(TimeMs(10_000));
+        assert_eq!(c.now(), Timestamp(10));
+    }
+
+    #[test]
+    fn timems_conversions() {
+        let t = Timestamp(7);
+        assert_eq!(t.as_millis(), TimeMs(7_000));
+        assert_eq!(TimeMs::from(t), TimeMs(7_000));
+        assert_eq!(TimeMs(7_450).as_secs(), 7);
+        assert_eq!(TimeMs(7_450).to_timestamp(), Timestamp(7));
+        assert_eq!(TimeMs(100).plus(20), TimeMs(120));
+        assert_eq!(TimeMs(120).since(TimeMs(100)), 20);
+        assert_eq!(TimeMs(100).since(TimeMs(120)), 0);
     }
 
     #[test]

@@ -13,11 +13,22 @@
 //! from a seed. Concurrency in higher layers (the scanner) uses scoped
 //! threads over this shared handle; all interior state is behind
 //! `parking_lot` locks.
+//!
+//! Virtual time extends this without breaking it: a [`LinkModel`] gives
+//! links seeded RTT/loss behaviour, and
+//! [`Network::send_datagram_scheduled`] turns a send into a *scheduled
+//! delivery* (the reply is computed eagerly but time-stamped at
+//! `now + rtt`). The default model is [`LinkModel::zero`], so every
+//! existing synchronous caller is untouched.
 
 #![warn(missing_docs)]
 
 pub mod clock;
+pub mod latency;
 pub mod network;
 
-pub use clock::{Calendar, CivilDate, SimClock, Timestamp};
-pub use network::{DatagramService, NetError, Network, StreamService, TrafficStats};
+pub use clock::{Calendar, CivilDate, SimClock, TimeMs, Timestamp};
+pub use latency::{EndpointOverride, LinkFate, LinkModel};
+pub use network::{
+    DatagramService, NetError, Network, ScheduledDelivery, StreamService, TrafficStats,
+};

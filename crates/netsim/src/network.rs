@@ -7,7 +7,8 @@
 //! address each other by IP, exactly as the paper's testbed components
 //! address each other over AWS.
 
-use crate::clock::{SimClock, Timestamp};
+use crate::clock::{SimClock, TimeMs, Timestamp};
+use crate::latency::{LinkFate, LinkModel};
 use parking_lot::RwLock;
 use std::collections::{HashMap, HashSet};
 use std::fmt;
@@ -70,6 +71,7 @@ struct NetworkState {
 struct TrafficCounters {
     datagrams_sent: AtomicU64,
     datagrams_answered: AtomicU64,
+    datagrams_dropped: AtomicU64,
     streams_opened: AtomicU64,
     streams_completed: AtomicU64,
     connect_failures: AtomicU64,
@@ -80,6 +82,7 @@ impl TrafficCounters {
         TrafficStats {
             datagrams_sent: self.datagrams_sent.load(Ordering::Relaxed),
             datagrams_answered: self.datagrams_answered.load(Ordering::Relaxed),
+            datagrams_dropped: self.datagrams_dropped.load(Ordering::Relaxed),
             streams_opened: self.streams_opened.load(Ordering::Relaxed),
             streams_completed: self.streams_completed.load(Ordering::Relaxed),
             connect_failures: self.connect_failures.load(Ordering::Relaxed),
@@ -89,6 +92,7 @@ impl TrafficCounters {
     fn reset(&self) {
         self.datagrams_sent.store(0, Ordering::Relaxed);
         self.datagrams_answered.store(0, Ordering::Relaxed);
+        self.datagrams_dropped.store(0, Ordering::Relaxed);
         self.streams_opened.store(0, Ordering::Relaxed);
         self.streams_completed.store(0, Ordering::Relaxed);
         self.connect_failures.store(0, Ordering::Relaxed);
@@ -104,6 +108,9 @@ pub struct TrafficStats {
     pub datagrams_sent: u64,
     /// Datagram requests that produced a response.
     pub datagrams_answered: u64,
+    /// Datagram exchanges lost in flight by the link model (scheduled
+    /// path only; the synchronous path never drops).
+    pub datagrams_dropped: u64,
     /// Stream exchanges attempted.
     pub streams_opened: u64,
     /// Stream exchanges that succeeded.
@@ -112,11 +119,31 @@ pub struct TrafficStats {
     pub connect_failures: u64,
 }
 
+/// The outcome of a scheduled (virtual-time) datagram send: the network
+/// decides everything at send time, but the reply only becomes *visible*
+/// to the caller at the delivery instant — the caller's event loop owns
+/// the timer queue.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScheduledDelivery {
+    /// The exchange succeeds; `bytes` arrive at virtual time `at`.
+    Reply {
+        /// Virtual delivery instant (send time + round-trip draw).
+        at: TimeMs,
+        /// The response datagram.
+        bytes: Vec<u8>,
+    },
+    /// The request or reply was lost; nothing will ever arrive.
+    Dropped,
+    /// Immediate failure (unreachable, refused, or the service errored).
+    Failed(NetError),
+}
+
 /// Handle to the shared simulated network.
 #[derive(Clone)]
 pub struct Network {
     state: Arc<RwLock<NetworkState>>,
     stats: Arc<TrafficCounters>,
+    latency: Arc<RwLock<Arc<LinkModel>>>,
     clock: SimClock,
 }
 
@@ -126,8 +153,21 @@ impl Network {
         Network {
             state: Arc::new(RwLock::new(NetworkState::default())),
             stats: Arc::new(TrafficCounters::default()),
+            latency: Arc::new(RwLock::new(Arc::new(LinkModel::zero()))),
             clock,
         }
+    }
+
+    /// Install a latency/loss model. Only the scheduled datagram path
+    /// consults it; [`send_datagram`](Self::send_datagram) stays
+    /// synchronous and lossless regardless.
+    pub fn set_latency_model(&self, model: LinkModel) {
+        *self.latency.write() = Arc::new(model);
+    }
+
+    /// The currently installed latency/loss model.
+    pub fn latency_model(&self) -> Arc<LinkModel> {
+        Arc::clone(&self.latency.read())
     }
 
     /// The clock driving this network.
@@ -199,6 +239,56 @@ impl Network {
         let resp = svc.handle(payload, now)?;
         self.stats.datagrams_answered.fetch_add(1, Ordering::Relaxed);
         Ok(resp)
+    }
+
+    /// Send one datagram through the installed [`LinkModel`], returning
+    /// *when* (in virtual time) the reply arrives rather than blocking.
+    ///
+    /// Because simulated services are pure synchronous functions, the
+    /// response can be computed eagerly and merely time-stamped for
+    /// delivery; the caller (the event-loop resolution backend) must not
+    /// look at the bytes before advancing its clock to `at`. `attempt`
+    /// distinguishes retransmissions of the same payload so each one
+    /// re-draws fate and RTT.
+    pub fn send_datagram_scheduled(
+        &self,
+        dst: IpAddr,
+        port: u16,
+        payload: &[u8],
+        attempt: u32,
+    ) -> ScheduledDelivery {
+        self.stats.datagrams_sent.fetch_add(1, Ordering::Relaxed);
+        let svc = {
+            let st = self.state.read();
+            if st.unreachable.contains(&dst) {
+                self.stats.connect_failures.fetch_add(1, Ordering::Relaxed);
+                return ScheduledDelivery::Failed(NetError::Unreachable(dst));
+            }
+            match st.datagram.get(&(dst, port)) {
+                Some(svc) => Arc::clone(svc),
+                None => {
+                    self.stats.connect_failures.fetch_add(1, Ordering::Relaxed);
+                    return ScheduledDelivery::Failed(NetError::ConnectionRefused(dst, port));
+                }
+            }
+        };
+        let model = self.latency_model();
+        match model.fate(dst, payload, attempt) {
+            LinkFate::Drop => {
+                self.stats.datagrams_dropped.fetch_add(1, Ordering::Relaxed);
+                ScheduledDelivery::Dropped
+            }
+            LinkFate::Deliver { rtt_ms } => {
+                let now = self.clock.now();
+                match svc.handle(payload, now) {
+                    Ok(bytes) => {
+                        self.stats.datagrams_answered.fetch_add(1, Ordering::Relaxed);
+                        ScheduledDelivery::Reply { at: self.clock.now_ms().plus(rtt_ms), bytes }
+                    }
+                    Err(e) => ScheduledDelivery::Failed(e),
+                }
+            }
+        }
     }
 
     /// Open a stream to `dst:port` and perform one message exchange.
@@ -342,5 +432,47 @@ mod tests {
         let net = Network::new(clock.clone());
         clock.advance(42);
         assert_eq!(net.clock().now(), Timestamp(42));
+    }
+
+    #[test]
+    fn scheduled_send_with_zero_model_matches_sync_path() {
+        let net = Network::new(SimClock::new());
+        net.bind_datagram(ip("10.0.0.1"), 53, Arc::new(Echo));
+        let sched = net.send_datagram_scheduled(ip("10.0.0.1"), 53, b"abc", 0);
+        assert_eq!(sched, ScheduledDelivery::Reply { at: TimeMs(0), bytes: b"cba".to_vec() });
+        assert_eq!(
+            net.send_datagram_scheduled(ip("10.0.0.2"), 53, b"abc", 0),
+            ScheduledDelivery::Failed(NetError::ConnectionRefused(ip("10.0.0.2"), 53))
+        );
+        let stats = net.stats();
+        assert_eq!(stats.datagrams_sent, 2);
+        assert_eq!(stats.datagrams_answered, 1);
+        assert_eq!(stats.datagrams_dropped, 0);
+        assert_eq!(stats.connect_failures, 1);
+    }
+
+    #[test]
+    fn scheduled_send_applies_latency_and_loss() {
+        let clock = SimClock::new();
+        clock.advance_ms(500);
+        let net = Network::new(clock);
+        net.bind_datagram(ip("10.0.0.1"), 53, Arc::new(Echo));
+        net.bind_datagram(ip("10.0.0.7"), 53, Arc::new(Echo));
+        net.set_latency_model(LinkModel::new(9).with_rtt_ms(20).with_lame_endpoint(ip("10.0.0.7")));
+        match net.send_datagram_scheduled(ip("10.0.0.1"), 53, b"abc", 0) {
+            ScheduledDelivery::Reply { at, bytes } => {
+                assert_eq!(at, TimeMs(520), "delivery = send instant + RTT");
+                assert_eq!(bytes, b"cba");
+            }
+            other => panic!("expected a scheduled reply, got {other:?}"),
+        }
+        assert_eq!(
+            net.send_datagram_scheduled(ip("10.0.0.7"), 53, b"abc", 0),
+            ScheduledDelivery::Dropped
+        );
+        assert_eq!(net.stats().datagrams_dropped, 1);
+        // The synchronous path ignores the model entirely: the lame
+        // endpoint still answers instantly there.
+        assert_eq!(net.send_datagram(ip("10.0.0.7"), 53, b"abc").unwrap(), b"cba");
     }
 }

@@ -97,6 +97,7 @@
 //!   wall-clock/scheduling observations for perf work only.
 
 use crate::cache::{fnv1a, RecordCache};
+use crate::eventloop::{self, EventLoopStats};
 use crate::pool::WorkerPool;
 use crate::resolver::{RecursiveResolver, Resolution, ResolveError, ResolverConfig};
 use authserver::DelegationRegistry;
@@ -128,6 +129,41 @@ impl Query {
     }
 }
 
+/// Which machinery `resolve_batch` uses for the distinct queries. Both
+/// backends honour the same determinism contract and return identical
+/// results on the zero-latency network model (pinned by the
+/// `event_backend` suite); they differ in what they can express.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum EngineBackend {
+    /// The persistent [`WorkerPool`]: `threads` OS workers with
+    /// zone-affinity FIFO queues. Real parallelism, but each query is a
+    /// synchronous call — the network must be zero-latency.
+    #[default]
+    Pooled,
+    /// The virtual-time event loop ([`crate::eventloop`]): one worker
+    /// drives every query as a state machine over the timer queue, so
+    /// latency/loss models, timeouts, retransmits, and NS fallback all
+    /// work — and `threads` is ignored (determinism by construction).
+    EventLoop,
+}
+
+/// Virtual-time accounting for one event-loop batch (`None` from the
+/// pooled backend, which does not run in virtual time).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchTiming {
+    /// Virtual ms when the batch started.
+    pub started_ms: u64,
+    /// Virtual ms when the last query completed.
+    pub finished_ms: u64,
+    /// Peak number of concurrently in-flight queries.
+    pub max_in_flight: usize,
+    /// Aggregated timeout/retransmit/drop/fallback counters.
+    pub stats: EventLoopStats,
+    /// Per input query: virtual `(start, completion)` instants in ms
+    /// (duplicates share their distinct query's span).
+    pub per_query_ms: Vec<(u64, u64)>,
+}
+
 /// Instrument handles for the single-query path, resolved from the
 /// registry once at attach time so each `resolve()` records through
 /// held `Arc`s instead of re-locking the registry's name maps.
@@ -141,6 +177,7 @@ struct SingleQueryMetrics {
 /// The shared, batch-capable resolution engine.
 pub struct QueryEngine {
     resolver: Arc<RecursiveResolver>,
+    backend: EngineBackend,
     metrics: Option<Arc<MetricsRegistry>>,
     single: Option<SingleQueryMetrics>,
     /// The persistent batch workers (module docs): empty until the first
@@ -169,13 +206,27 @@ impl QueryEngine {
     /// Wrap an existing shared resolver (e.g. one also bound to the
     /// network as a public-resolver datagram service).
     pub fn from_resolver(resolver: Arc<RecursiveResolver>) -> QueryEngine {
+        let backend = resolver.config().backend;
         QueryEngine {
             resolver,
+            backend,
             metrics: None,
             single: None,
             pool: Mutex::new(WorkerPool::new()),
             interned: Mutex::new(HashSet::new()),
         }
+    }
+
+    /// Select the batch backend (builder style), overriding whatever the
+    /// resolver config chose.
+    pub fn with_backend(mut self, backend: EngineBackend) -> QueryEngine {
+        self.backend = backend;
+        self
+    }
+
+    /// The batch backend this engine dispatches to.
+    pub fn backend(&self) -> EngineBackend {
+        self.backend
     }
 
     /// Number of live pool workers (0 until the first multi-threaded
@@ -236,16 +287,29 @@ impl QueryEngine {
 
     /// Resolve a batch of queries with `threads` workers, returning one
     /// result per query in input order. See the module docs for the
-    /// determinism contract.
+    /// determinism contract. On the [`EngineBackend::EventLoop`] backend
+    /// `threads` is ignored (one worker drives everything in virtual
+    /// time and is thread-count invariant by construction).
     pub fn resolve_batch(
         &self,
         queries: &[Query],
         threads: usize,
     ) -> Vec<Result<Resolution, ResolveError>> {
+        self.resolve_batch_timed(queries, threads).0
+    }
+
+    /// [`resolve_batch`](Self::resolve_batch), additionally returning
+    /// the batch's virtual-time accounting when the event-loop backend
+    /// ran it (`None` from the pooled backend).
+    pub fn resolve_batch_timed(
+        &self,
+        queries: &[Query],
+        threads: usize,
+    ) -> (Vec<Result<Resolution, ResolveError>>, Option<BatchTiming>) {
         // An empty batch does no work: no assignment maps, no thread
         // scaffolding, no metrics traffic.
         if queries.is_empty() {
-            return Vec::new();
+            return (Vec::new(), None);
         }
         let batch_start = self.metrics.as_ref().map(|_| Instant::now());
         let datagrams_before = self.metrics.as_ref().map(|_| self.network().stats().datagrams_sent);
@@ -270,8 +334,58 @@ impl QueryEngine {
         let threads = threads.clamp(1, distinct.len());
         let mut resolved: Vec<Option<Result<Resolution, ResolveError>>> =
             vec![None; distinct.len()];
+        let mut timing: Option<BatchTiming> = None;
 
-        if threads == 1 {
+        if self.backend == EngineBackend::EventLoop {
+            // Per-zone serialization groups: the same partition key the
+            // pooled path buckets on (authoritative apex of each name),
+            // interned to dense ids in first-appearance order.
+            let registry = self.resolver.registry();
+            let mut zone_ids: HashMap<String, usize> = HashMap::new();
+            let mut zone_index = Vec::with_capacity(distinct.len());
+            let mut key_buf = String::new();
+            for q in &distinct {
+                key_buf.clear();
+                q.name.write_key(&mut key_buf);
+                let apex = registry.authority_apex_of_key(&key_buf).unwrap_or(key_buf.as_str());
+                let next = zone_ids.len();
+                let id = match zone_ids.get(apex) {
+                    Some(&id) => id,
+                    None => {
+                        zone_ids.insert(apex.to_string(), next);
+                        next
+                    }
+                };
+                zone_index.push(id);
+            }
+            let zone_count = zone_ids.len();
+            let outcome = eventloop::drive(&self.resolver, &distinct, &zone_index, zone_count);
+            if let Some(m) = &self.metrics {
+                // All four counters and the virtual-time latency
+                // histogram are outcome-derived (seeded virtual time),
+                // so they live on the byte-identical side of the
+                // determinism split alongside the batch counters.
+                m.counter("engine.timeouts").add(outcome.stats.timeouts);
+                m.counter("engine.retransmits").add(outcome.stats.retransmits);
+                m.counter("engine.drops").add(outcome.stats.drops);
+                m.counter("engine.ns_fallbacks").add(outcome.stats.ns_fallbacks);
+                let vt = m.det_histogram("engine.vt_query_ms");
+                for &(start, end) in &outcome.spans {
+                    vt.record(end - start);
+                }
+                m.histogram("engine.queue_depth").record(distinct.len() as u64);
+            }
+            timing = Some(BatchTiming {
+                started_ms: outcome.started_ms,
+                finished_ms: outcome.finished_ms,
+                max_in_flight: outcome.max_in_flight,
+                stats: outcome.stats,
+                per_query_ms: positions.iter().map(|&i| outcome.spans[i]).collect(),
+            });
+            for (slot, result) in outcome.results.into_iter().enumerate() {
+                resolved[slot] = Some(result);
+            }
+        } else if threads == 1 {
             if let Some(m) = &self.metrics {
                 m.histogram("engine.queue_depth").record(distinct.len() as u64);
             }
@@ -374,7 +488,7 @@ impl QueryEngine {
         for &idx in &positions {
             remaining[idx] += 1;
         }
-        positions
+        let results = positions
             .into_iter()
             .map(|idx| {
                 remaining[idx] -= 1;
@@ -382,7 +496,8 @@ impl QueryEngine {
                 if remaining[idx] == 0 { slot.take() } else { slot.clone() }
                     .expect("every distinct query resolved")
             })
-            .collect()
+            .collect();
+        (results, timing)
     }
 
     /// Record the deterministic counter class for one finished batch.

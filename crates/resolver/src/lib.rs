@@ -12,13 +12,15 @@
 
 pub mod cache;
 pub mod engine;
+pub mod eventloop;
 pub mod pool;
 pub mod resolver;
 pub mod selection;
 pub mod vantage;
 
 pub use cache::{CacheStats, CachedAnswer, RecordCache, DEFAULT_SHARDS};
-pub use engine::{Query, QueryEngine};
+pub use engine::{BatchTiming, EngineBackend, Query, QueryEngine};
+pub use eventloop::EventLoopStats;
 pub use pool::WorkerPool;
 pub use resolver::{RecursiveResolver, Resolution, ResolveError, ResolverConfig};
 pub use selection::{NsSelector, SelectionStrategy};

@@ -35,6 +35,16 @@ pub struct ResolverConfig {
     pub default_negative_ttl: u32,
     /// Shard count for the record cache (see [`crate::cache`]).
     pub cache_shards: usize,
+    /// Which batch backend [`crate::QueryEngine::resolve_batch`] uses
+    /// (the synchronous worker pool, or the virtual-time event loop).
+    pub backend: crate::engine::EngineBackend,
+    /// Virtual milliseconds the event-loop backend waits for a reply
+    /// before declaring one attempt timed out.
+    pub attempt_timeout_ms: u64,
+    /// Retransmissions per endpoint after the first attempt times out
+    /// (so each endpoint is tried `retransmits + 1` times) before the
+    /// event-loop backend falls back to the next NS.
+    pub retransmits: u32,
 }
 
 impl Default for ResolverConfig {
@@ -47,6 +57,9 @@ impl Default for ResolverConfig {
             ttl_clamp: None,
             default_negative_ttl: 300,
             cache_shards: crate::cache::DEFAULT_SHARDS,
+            backend: crate::engine::EngineBackend::default(),
+            attempt_timeout_ms: 500,
+            retransmits: 2,
         }
     }
 }
@@ -64,6 +77,16 @@ pub enum ResolveError {
     ChainTooLong,
     /// The authority's response could not be decoded.
     Malformed,
+    /// Every attempt against every endpoint of the zone ran out the
+    /// retransmit budget without a reply (loss or a slow/mute server) —
+    /// distinct from [`ResolveError::Network`] so stored observations
+    /// can tell timeout-shaped loss apart from NXDOMAIN-shaped failure.
+    Timeout {
+        /// The zone whose endpoints never answered in time.
+        zone: DnsName,
+        /// Total attempts (including retransmissions) that timed out.
+        attempts: u32,
+    },
 }
 
 impl fmt::Display for ResolveError {
@@ -74,7 +97,19 @@ impl fmt::Display for ResolveError {
             ResolveError::Lame(n) => write!(f, "lame delegation for {n}"),
             ResolveError::ChainTooLong => write!(f, "CNAME chain too long"),
             ResolveError::Malformed => write!(f, "malformed authority response"),
+            ResolveError::Timeout { zone, attempts } => {
+                write!(f, "timed out after {attempts} attempts against {zone}")
+            }
         }
+    }
+}
+
+impl ResolveError {
+    /// Whether this failure is timeout-shaped: the query was sent but no
+    /// reply arrived within budget (packet loss, slow or mute servers) —
+    /// as opposed to a negative or structurally failed resolution.
+    pub fn is_timeout(&self) -> bool {
+        matches!(self, ResolveError::Timeout { .. } | ResolveError::Network(NetError::Timeout))
     }
 }
 
@@ -150,6 +185,22 @@ impl RecursiveResolver {
     /// The delegation registry this resolver consults.
     pub fn registry(&self) -> &DelegationRegistry {
         &self.registry
+    }
+
+    /// The NS selector (shared with the event-loop backend so both
+    /// resolution paths consume one per-zone selection-state stream).
+    pub(crate) fn selector(&self) -> &NsSelector {
+        &self.selector
+    }
+
+    /// This resolver's configuration.
+    pub(crate) fn config(&self) -> &ResolverConfig {
+        &self.config
+    }
+
+    /// Allocate the next DNS transaction id.
+    pub(crate) fn next_query_id(&self) -> u16 {
+        self.next_id.fetch_add(1, Ordering::Relaxed)
     }
 
     /// Resolve `(name, rtype)` at the current simulated time.
@@ -247,7 +298,7 @@ impl RecursiveResolver {
         Err(ResolveError::ChainTooLong)
     }
 
-    fn finish(
+    pub(crate) fn finish(
         &self,
         chain: Vec<Record>,
         ans: CachedAnswer,
@@ -315,7 +366,7 @@ impl RecursiveResolver {
         Err(last_err)
     }
 
-    fn cache_answer_sections(&self, answers: &[Record], now: Timestamp) {
+    pub(crate) fn cache_answer_sections(&self, answers: &[Record], now: Timestamp) {
         use std::collections::HashMap;
         let mut sets: HashMap<(String, u16), Vec<Record>> = HashMap::new();
         for rec in answers {
@@ -485,9 +536,9 @@ impl DatagramService for RecursiveResolver {
 /// are materialized (they feed the [`RecordCache`]); the authority
 /// section is scanned lazily for the first SOA's negative TTL, and
 /// additional-section rdata is never decoded at all.
-struct AuthorityReply {
-    rcode: Rcode,
-    answers: Vec<Record>,
+pub(crate) struct AuthorityReply {
+    pub(crate) rcode: Rcode,
+    pub(crate) answers: Vec<Record>,
     /// `min(SOA minimum, SOA TTL)` from the authority section, if any.
     soa_negative_ttl: Option<u32>,
 }
@@ -495,7 +546,7 @@ struct AuthorityReply {
 impl AuthorityReply {
     /// Parse a response datagram. `None` means malformed: a structural
     /// error anywhere, or undecodable rdata in a record we consume.
-    fn parse(bytes: &[u8]) -> Option<AuthorityReply> {
+    pub(crate) fn parse(bytes: &[u8]) -> Option<AuthorityReply> {
         let view = MessageView::parse(bytes).ok()?;
         let mut answers = Vec::with_capacity(view.answer_count());
         for rec in view.answers() {
@@ -516,16 +567,20 @@ impl AuthorityReply {
         Some(AuthorityReply { rcode: view.rcode(), answers, soa_negative_ttl })
     }
 
-    fn negative_ttl(&self, default: u32) -> u32 {
+    pub(crate) fn negative_ttl(&self, default: u32) -> u32 {
         self.soa_negative_ttl.unwrap_or(default)
     }
 }
 
-fn extract_rrset(answers: &[Record], name: &DnsName, rtype: RecordType) -> Vec<Record> {
+pub(crate) fn extract_rrset(answers: &[Record], name: &DnsName, rtype: RecordType) -> Vec<Record> {
     answers.iter().filter(|r| r.rtype == rtype && r.name == *name).cloned().collect()
 }
 
-fn extract_rrsigs(answers: &[Record], name: &DnsName, rtype: RecordType) -> Vec<RrsigRdata> {
+pub(crate) fn extract_rrsigs(
+    answers: &[Record],
+    name: &DnsName,
+    rtype: RecordType,
+) -> Vec<RrsigRdata> {
     answers
         .iter()
         .filter(|r| r.rtype == RecordType::Rrsig && r.name == *name)

@@ -18,7 +18,7 @@
 //! [`crate::selection`]), so a multi-vantage scan produces byte-identical
 //! per-vantage datasets for any worker thread count.
 
-use crate::engine::QueryEngine;
+use crate::engine::{EngineBackend, QueryEngine};
 use crate::resolver::ResolverConfig;
 use crate::selection::SelectionStrategy;
 use authserver::DelegationRegistry;
@@ -39,6 +39,10 @@ pub struct VantagePoint {
     pub ttl_clamp: Option<u32>,
     /// Negative-cache TTL when the response carries no SOA.
     pub default_negative_ttl: u32,
+    /// Batch backend this vantage's engine resolves with (the pooled
+    /// workers by default; the virtual-time event loop when the campaign
+    /// models latency/loss).
+    pub backend: EngineBackend,
 }
 
 impl VantagePoint {
@@ -52,6 +56,7 @@ impl VantagePoint {
             seed: 0,
             ttl_clamp: None,
             default_negative_ttl: 300,
+            backend: EngineBackend::Pooled,
         }
     }
 
@@ -65,6 +70,7 @@ impl VantagePoint {
             seed: 0x600_61E,
             ttl_clamp: Some(21_600),
             default_negative_ttl: 300,
+            backend: EngineBackend::Pooled,
         }
     }
 
@@ -78,6 +84,7 @@ impl VantagePoint {
             seed: 0x1111,
             ttl_clamp: Some(3_600),
             default_negative_ttl: 300,
+            backend: EngineBackend::Pooled,
         }
     }
 
@@ -91,6 +98,7 @@ impl VantagePoint {
             seed: 0x15B_0BAD,
             ttl_clamp: None,
             default_negative_ttl: 900,
+            backend: EngineBackend::Pooled,
         }
     }
 
@@ -112,6 +120,12 @@ impl VantagePoint {
         self
     }
 
+    /// Select the batch backend (builder style).
+    pub fn with_backend(mut self, backend: EngineBackend) -> VantagePoint {
+        self.backend = backend;
+        self
+    }
+
     /// The [`ResolverConfig`] this profile resolves with.
     pub fn resolver_config(&self) -> ResolverConfig {
         ResolverConfig {
@@ -120,6 +134,7 @@ impl VantagePoint {
             seed: self.seed,
             ttl_clamp: self.ttl_clamp,
             default_negative_ttl: self.default_negative_ttl,
+            backend: self.backend,
             ..Default::default()
         }
     }

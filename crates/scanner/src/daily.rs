@@ -336,8 +336,11 @@ pub fn scan_one_day(
                     wave2.push(Query::new(res.records[0].name.clone(), RecordType::A));
                 }
             }
-            Err(_) => {
+            Err(e) => {
                 t.flags |= flags::RESOLUTION_FAILED;
+                if e.is_timeout() {
+                    t.flags |= flags::RESOLUTION_TIMEOUT;
+                }
             }
         }
         // NS follow-up for every apex observation (the paper's NS dataset

@@ -49,6 +49,13 @@ pub mod flags {
     pub const IP_LITERAL_TARGET: u32 = 1 << 19;
     /// The domain returned NXDOMAIN / had no delegation.
     pub const RESOLUTION_FAILED: u32 = 1 << 20;
+    /// The resolution failure was timeout-shaped: the query was sent but
+    /// every attempt ran out the retransmit budget (packet loss, slow or
+    /// mute authoritatives). Always set together with
+    /// [`RESOLUTION_FAILED`]; its absence there means an NXDOMAIN-shaped
+    /// or structural failure instead — the distinction `analysis` needs
+    /// to count loss per vantage.
+    pub const RESOLUTION_TIMEOUT: u32 = 1 << 21;
 }
 
 /// Name-server provider category for the scanned apex (Table 2).
@@ -142,6 +149,7 @@ mod tests {
             flags::VIA_CNAME,
             flags::IP_LITERAL_TARGET,
             flags::RESOLUTION_FAILED,
+            flags::RESOLUTION_TIMEOUT,
         ];
         let mut acc = 0u32;
         for f in all {

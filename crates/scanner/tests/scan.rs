@@ -185,6 +185,79 @@ fn multi_vantage_stores_are_identical_across_thread_counts() {
 }
 
 #[test]
+fn event_backend_campaign_matches_pooled_byte_for_byte() {
+    // The virtual-time tentpole's campaign-level equivalence pin: on the
+    // default zero-latency network, a multi-vantage campaign through the
+    // event-loop backend produces byte-identical SnapshotStores to the
+    // pooled backend.
+    use resolver::{EngineBackend, VantagePoint};
+
+    let run = |backend: EngineBackend| -> Vec<String> {
+        let mut world = tiny_world();
+        let campaign = Campaign {
+            sample_days: vec![0, 3, 6],
+            scan_www: true,
+            threads: 4,
+            vantages: VantagePoint::presets()
+                .into_iter()
+                .map(|v| v.with_backend(backend))
+                .collect(),
+        };
+        campaign.run_vantages(&mut world).iter().map(|s| s.to_csv()).collect()
+    };
+    let pooled = run(EngineBackend::Pooled);
+    let event = run(EngineBackend::EventLoop);
+    assert_eq!(pooled.len(), 3);
+    for (label, (p, e)) in ["google", "cloudflare", "isp"].iter().zip(pooled.iter().zip(&event)) {
+        assert_eq!(p, e, "vantage {label} store diverged between backends");
+    }
+}
+
+#[test]
+fn lossy_event_campaign_is_thread_invariant_and_flags_timeouts() {
+    // End-to-end through the latency model: mute one listed domain's NS
+    // endpoints on a lossy 20 ms link and scan through the event-loop
+    // backend. The victim (and anything sharing its NS infrastructure)
+    // surfaces as RESOLUTION_FAILED + RESOLUTION_TIMEOUT — the distinct
+    // timeout shape `analysis` counts per vantage — and the store is
+    // byte-identical for every thread setting.
+    use resolver::{EngineBackend, SelectionStrategy, VantagePoint};
+
+    let run = |threads: usize| -> String {
+        let mut world = tiny_world();
+        let victim_id = world.today_list().ranked()[0];
+        let victim_apex = world.domain(victim_id).apex.clone();
+        let (_, endpoints) =
+            world.registry.find_authority(&victim_apex).expect("victim is delegated");
+        let mut model = netsim::LinkModel::new(0x10AD).with_rtt_ms(20).with_loss_permille(10);
+        for ep in &endpoints {
+            model = model.with_lame_endpoint(ep.ip);
+        }
+        world.network.set_latency_model(model);
+        let campaign = Campaign {
+            sample_days: vec![0, 2],
+            scan_www: false,
+            threads,
+            vantages: vec![VantagePoint::custom("lossy", SelectionStrategy::RoundRobin)
+                .with_backend(EngineBackend::EventLoop)],
+        };
+        let store = campaign.run(&mut world);
+        let timed_out: Vec<_> =
+            store.all().iter().filter(|o| o.has(flags::RESOLUTION_TIMEOUT)).collect();
+        assert!(!timed_out.is_empty(), "the muted NS set must produce timeout observations");
+        assert!(timed_out.iter().any(|o| o.domain_id == victim_id));
+        for o in &timed_out {
+            assert!(
+                o.has(flags::RESOLUTION_FAILED),
+                "RESOLUTION_TIMEOUT must imply RESOLUTION_FAILED"
+            );
+        }
+        store.to_csv()
+    };
+    assert_eq!(run(1), run(8), "lossy event-loop store diverged across thread settings");
+}
+
+#[test]
 fn vantage_views_disagree_on_mixed_ns_zones() {
     // §4.2.3: with mixed-provider NS sets, whether a vantage sees the
     // HTTPS record depends on its NS selection strategy. A First-pinned

@@ -9,9 +9,12 @@
 //!
 //! Exports honour the crate's determinism split:
 //! [`counters_text`](MetricsRegistry::counters_text) renders *only* the
-//! deterministic counter class, in sorted-name order, and is the
-//! byte-identical snapshot the determinism suite pins across thread
-//! counts. [`render_text`](MetricsRegistry::render_text) and
+//! deterministic classes — counters plus **deterministic histograms**
+//! ([`det_histogram`](MetricsRegistry::det_histogram), fed exclusively
+//! from outcome-derived values such as virtual-time latencies, never
+//! from wall clocks) — in sorted-name order, and is the byte-identical
+//! snapshot the determinism suite pins across thread counts.
+//! [`render_text`](MetricsRegistry::render_text) and
 //! [`to_csv`](MetricsRegistry::to_csv) add the wall-clock histogram
 //! class for human and machine consumption.
 
@@ -28,6 +31,11 @@ pub struct MetricsRegistry {
     label: String,
     counters: Mutex<BTreeMap<String, Arc<Counter>>>,
     histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+    /// Histograms over *outcome-derived* values (virtual-time latencies,
+    /// counts), which the batch determinism contract makes thread-count
+    /// invariant — so they render into the pinned snapshot, unlike the
+    /// wall-clock `histograms` class.
+    det_histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
 }
 
 impl MetricsRegistry {
@@ -67,6 +75,23 @@ impl MetricsRegistry {
         }
     }
 
+    /// Get or create the *deterministic* histogram named `name`. Only
+    /// record outcome-derived values here (virtual-time latencies, queue
+    /// shapes derived from inputs) — never wall-clock measurements: this
+    /// class is rendered into [`counters_text`](Self::counters_text) and
+    /// pinned byte-identical across thread counts.
+    pub fn det_histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut histograms = self.det_histograms.lock();
+        match histograms.get(name) {
+            Some(h) => h.clone(),
+            None => {
+                let h = Arc::new(Histogram::new());
+                histograms.insert(name.to_string(), h.clone());
+                h
+            }
+        }
+    }
+
     /// Current value of counter `name` (0 if never registered).
     pub fn counter_value(&self, name: &str) -> u64 {
         self.counters.lock().get(name).map(|c| c.get()).unwrap_or(0)
@@ -78,8 +103,10 @@ impl MetricsRegistry {
         self.counters.lock().iter().map(|(n, c)| (n.clone(), c.get())).collect()
     }
 
-    /// Canonical text rendering of the counter snapshot: one
-    /// `counter <name> <value>` line per counter, sorted by name.
+    /// Canonical text rendering of the deterministic metric classes:
+    /// one `counter <name> <value>` line per counter, then one
+    /// `det_histogram <name> …` block (summary plus occupied buckets)
+    /// per deterministic histogram, each class sorted by name.
     /// Byte-identical across worker thread counts — this is the string
     /// the determinism suite pins.
     pub fn counters_text(&self) -> String {
@@ -87,11 +114,20 @@ impl MetricsRegistry {
         for (name, value) in self.counter_snapshot() {
             let _ = writeln!(out, "counter {name} {value}");
         }
+        let det = self.det_histograms.lock();
+        for (name, h) in det.iter() {
+            let s = h.snapshot();
+            let _ = writeln!(out, "det_histogram {name} {s}");
+            for (lo, hi, count) in s.occupied() {
+                let _ = writeln!(out, "  bucket {lo}..={hi} {count}");
+            }
+        }
         out
     }
 
-    /// Full human-readable report: label, deterministic counters, then
-    /// wall-clock histograms with quantiles and occupied buckets.
+    /// Full human-readable report: label, deterministic counters and
+    /// histograms, then wall-clock histograms with quantiles and
+    /// occupied buckets.
     pub fn render_text(&self) -> String {
         let mut out = String::new();
         let _ =
@@ -115,14 +151,18 @@ impl MetricsRegistry {
         for (name, value) in self.counter_snapshot() {
             let _ = writeln!(out, "{},counter,{name},value,{value}", self.label);
         }
-        let histograms = self.histograms.lock();
-        for (name, h) in histograms.iter() {
-            let s = h.snapshot();
-            let _ = writeln!(out, "{},histogram,{name},count,{}", self.label, s.count());
-            let _ = writeln!(out, "{},histogram,{name},sum,{}", self.label, s.sum);
-            for q in [50u32, 90, 99] {
-                let v = s.quantile(q as f64 / 100.0).unwrap_or(0);
-                let _ = writeln!(out, "{},histogram,{name},p{q},{v}", self.label);
+        for (kind, map) in
+            [("det_histogram", &self.det_histograms), ("histogram", &self.histograms)]
+        {
+            let histograms = map.lock();
+            for (name, h) in histograms.iter() {
+                let s = h.snapshot();
+                let _ = writeln!(out, "{},{kind},{name},count,{}", self.label, s.count());
+                let _ = writeln!(out, "{},{kind},{name},sum,{}", self.label, s.sum);
+                for q in [50u32, 90, 99] {
+                    let v = s.quantile(q as f64 / 100.0).unwrap_or(0);
+                    let _ = writeln!(out, "{},{kind},{name},p{q},{v}", self.label);
+                }
             }
         }
         out
@@ -153,6 +193,26 @@ mod tests {
         reg2.counter("alpha").add(4);
         reg2.counter("zeta").inc();
         assert_eq!(reg.counters_text(), reg2.counters_text());
+    }
+
+    #[test]
+    fn det_histograms_render_into_the_pinned_snapshot() {
+        let reg = MetricsRegistry::new("v");
+        reg.counter("engine.queries").add(3);
+        reg.det_histogram("engine.vt_query_ms").record(20);
+        reg.det_histogram("engine.vt_query_ms").record(0);
+        let text = reg.counters_text();
+        assert!(text.contains("counter engine.queries 3"));
+        assert!(text.contains("det_histogram engine.vt_query_ms count=2"));
+        assert!(text.contains("  bucket 0..=0 1"));
+        assert!(text.contains("  bucket 16..=31 1"));
+        // Wall-clock histograms stay out of the pinned snapshot.
+        reg.histogram("engine.batch_us").record(123);
+        assert!(!reg.counters_text().contains("engine.batch_us"));
+        assert!(reg.render_text().contains("histogram engine.batch_us"));
+        let csv = reg.to_csv();
+        assert!(csv.contains("v,det_histogram,engine.vt_query_ms,count,2"));
+        assert!(csv.contains("v,histogram,engine.batch_us,count,1"));
     }
 
     #[test]
