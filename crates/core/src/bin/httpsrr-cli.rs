@@ -5,6 +5,7 @@
 //! httpsrr-cli run    [--population N] [--list N] [--days D] [--threads T] [--seed S]
 //!                    [--metrics PATH] [--csv PATH]   # multi-vantage campaign + telemetry
 //! httpsrr-cli bench  [--population N] [--list N] [--threads T] [--shards S] [--out PATH]
+//! httpsrr-cli serve  [--population N] [--list N] [--rates R,R,..] [--capacity C] [--policy P]
 //! httpsrr-cli matrix
 //! httpsrr-cli rotation [--hours H]
 //! httpsrr-cli audit  [--day D]
@@ -26,10 +27,12 @@ fn main() -> ExitCode {
     match command.as_str() {
         "study" => cmd_study(&args[1..]),
         "run" => cmd_run(&args[1..]),
+        "bench" if args.iter().any(|a| a == "--serve") => cmd_bench_serve(&args[1..]),
         "bench" if args.iter().any(|a| a == "--scale") => cmd_bench_scale(&args[1..]),
         "bench" if args.iter().any(|a| a == "--wire") => cmd_bench_wire(&args[1..]),
         "bench" if args.iter().any(|a| a == "--async") => cmd_bench_async(&args[1..]),
         "bench" => cmd_bench(&args[1..]),
+        "serve" => cmd_serve(&args[1..]),
         "matrix" => {
             println!("{}", client_side_report());
             ExitCode::SUCCESS
@@ -51,6 +54,8 @@ const USAGE: &str = "usage:
   httpsrr-cli bench  --scale [--mt-threads T] [--threads T] [--out PATH]   # 6k vs 100k scale snapshot
   httpsrr-cli bench  --wire [--zones Z] [--reps R] [--out PATH]            # owned vs precompiled wire path A/B
   httpsrr-cli bench  --async [--population N] [--list N] [--reps R] [--out PATH]  # event-loop vs pooled at RTT 0/20/100 ms
+  httpsrr-cli bench  --serve [--population N] [--list N] [--clients C] [--phase-ms MS] [--rates R,R,..] [--capacities C,C,..] [--out PATH]  # load sweep + hit-rate-vs-capacity curve
+  httpsrr-cli serve  [--population N] [--list N] [--clients C] [--workers K] [--seed S] [--rates R,R,..] [--phase-ms MS] [--capacity C] [--policy lru|s3fifo] [--metrics]
   httpsrr-cli matrix
   httpsrr-cli rotation [--hours H]
   httpsrr-cli audit  [--day D]
@@ -62,6 +67,19 @@ fn flag(args: &[String], name: &str) -> Option<String> {
 
 fn num_flag<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> T {
     flag(args, name).and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+/// Parse a comma-separated flag value (`--rates 2,4,8`); falls back to
+/// `default` when the flag is absent or nothing parses.
+fn list_flag<T: std::str::FromStr + Copy>(args: &[String], name: &str, default: &[T]) -> Vec<T> {
+    let parsed: Vec<T> = flag(args, name)
+        .map(|s| s.split(',').filter_map(|tok| tok.trim().parse().ok()).collect())
+        .unwrap_or_default();
+    if parsed.is_empty() {
+        default.to_vec()
+    } else {
+        parsed
+    }
 }
 
 fn cmd_study(args: &[String]) -> ExitCode {
@@ -813,6 +831,191 @@ fn cmd_bench_async(args: &[String]) -> ExitCode {
                 return ExitCode::FAILURE;
             }
             eprintln!("wrote async snapshot to {path}");
+        }
+        None => print!("{json}"),
+    }
+    ExitCode::SUCCESS
+}
+
+/// `serve` — run one open-loop load sweep and print the canonical
+/// report (plus the pinned metrics text with `--metrics`).
+fn cmd_serve(args: &[String]) -> ExitCode {
+    use httpsrr::resolver::EvictionPolicy;
+    use httpsrr::serve::{load_sweep, ServeConfig, WorkloadConfig};
+    use httpsrr::telemetry::MetricsRegistry;
+
+    let population = num_flag(args, "--population", 100_000usize);
+    let list_size = num_flag(args, "--list", 10_000usize);
+    let clients = num_flag(args, "--clients", 256usize);
+    let workers = num_flag(args, "--workers", 1usize);
+    let seed = num_flag(args, "--seed", WorkloadConfig::default().seed);
+    let phase_ms = num_flag(args, "--phase-ms", 1_000u64);
+    let capacity = num_flag(args, "--capacity", 4_096usize);
+    let rates = list_flag(args, "--rates", &[2.0, 4.0, 8.0, 16.0, 32.0]);
+    let policy = match flag(args, "--policy").map(|p| p.parse::<EvictionPolicy>()) {
+        None => EvictionPolicy::TtlSweepLru,
+        Some(Ok(policy)) => policy,
+        Some(Err(e)) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let cfg = ServeConfig {
+        workload: WorkloadConfig { clients, seed, ..WorkloadConfig::default() },
+        workers,
+        capacity_per_shard: if capacity == 0 { None } else { Some(capacity) },
+        policy,
+        phase_ms,
+        ..ServeConfig::default()
+    };
+    eprintln!("serve: building {population}-domain world (list {list_size}) …");
+    let world = World::build(EcosystemConfig { population, list_size, ..EcosystemConfig::tiny() });
+    let metrics = args.iter().any(|a| a == "--metrics").then(|| MetricsRegistry::new("serve"));
+    let report = load_sweep(&world, &cfg, &rates, metrics.as_ref());
+    print!("{}", report.canonical_text());
+    if let Some(m) = &metrics {
+        print!("{}", m.counters_text());
+    }
+    ExitCode::SUCCESS
+}
+
+/// `bench --serve` — the serving-subsystem perf snapshot: a load sweep
+/// to saturation on the bounded default cache (replayed twice and
+/// hard-failed on any byte difference), then the hit-rate-vs-capacity
+/// curve across both eviction policies on the same replayed trace.
+fn cmd_bench_serve(args: &[String]) -> ExitCode {
+    use httpsrr::resolver::EvictionPolicy;
+    use httpsrr::serve::{capacity_curve, load_sweep, ServeConfig, WorkloadConfig};
+    use std::fmt::Write;
+    use std::time::Instant;
+
+    let population = num_flag(args, "--population", 100_000usize);
+    let list_size = num_flag(args, "--list", 10_000usize);
+    let clients = num_flag(args, "--clients", 256usize);
+    let phase_ms = num_flag(args, "--phase-ms", 1_000u64);
+    let rates = list_flag(args, "--rates", &[2.0, 4.0, 8.0, 16.0, 32.0]);
+    // Defaults bracket the curve trace's working set (~4k distinct keys
+    // at the default rate/window): the low cells bind hard, the top one
+    // shows the unbounded plateau.
+    let capacities = list_flag(args, "--capacities", &[16usize, 64, 256, 1_024]);
+    let curve_rate = num_flag(args, "--curve-rate", 8.0f64);
+    let ms = |secs: f64| secs * 1e3;
+
+    let cfg = ServeConfig {
+        workload: WorkloadConfig { clients, ..WorkloadConfig::default() },
+        phase_ms,
+        ..ServeConfig::default()
+    };
+    eprintln!("serve bench: building {population}-domain world (list {list_size}) …");
+    let t = Instant::now();
+    let world = World::build(EcosystemConfig { population, list_size, ..EcosystemConfig::tiny() });
+    let build_wall_ms = ms(t.elapsed().as_secs_f64());
+
+    eprintln!("serve bench: load sweep over {rates:?} kq/s …");
+    let t = Instant::now();
+    let report = load_sweep(&world, &cfg, &rates, None);
+    let sweep_wall_ms = ms(t.elapsed().as_secs_f64());
+    // Determinism is part of the snapshot's contract: the replayed sweep
+    // must be byte-identical, or the numbers above mean nothing.
+    let replay = load_sweep(&world, &cfg, &rates, None);
+    if report.canonical_text() != replay.canonical_text() {
+        eprintln!("serve sweep replay diverged — determinism contract broken:");
+        eprintln!("--- first ---\n{}", report.canonical_text());
+        eprintln!("--- replay ---\n{}", replay.canonical_text());
+        return ExitCode::FAILURE;
+    }
+
+    eprintln!("serve bench: capacity curve over {capacities:?} × both policies …");
+    let t = Instant::now();
+    let points = capacity_curve(
+        &world,
+        &cfg,
+        &capacities,
+        &[EvictionPolicy::TtlSweepLru, EvictionPolicy::S3Fifo],
+        curve_rate,
+    );
+    let curve_wall_ms = ms(t.elapsed().as_secs_f64());
+
+    let mut phase_rows = String::new();
+    for (i, p) in report.phases.iter().enumerate() {
+        let series: Vec<String> = p.hit_series.iter().map(|h| format!("{h:.4}")).collect();
+        let _ = write!(
+            phase_rows,
+            "    {{ \"offered_kqps\": {:.3}, \"queries\": {}, \"arrived_kqps\": {:.3}, \
+             \"achieved_kqps\": {:.3}, \"hit_rate\": {:.4}, \"p50_us\": {}, \"p99_us\": {}, \
+             \"p999_us\": {}, \"failures\": {}, \"evictions\": {}, \"swept\": {}, \
+             \"saturated\": {}, \"hit_series\": [{}] }}{}",
+            p.offered_kqps,
+            p.queries,
+            p.arrived_kqps,
+            p.achieved_kqps,
+            p.hit_rate,
+            p.p50_us,
+            p.p99_us,
+            p.p999_us,
+            p.failures,
+            p.evictions,
+            p.swept,
+            p.saturated(),
+            series.join(", "),
+            if i + 1 < report.phases.len() { ",\n" } else { "" },
+        );
+    }
+    let mut curve_rows = String::new();
+    for (i, p) in points.iter().enumerate() {
+        let _ = write!(
+            curve_rows,
+            "    {{ \"policy\": \"{}\", \"capacity_per_shard\": {}, \"total_capacity\": {}, \
+             \"hit_rate\": {:.4}, \"p99_us\": {}, \"evictions\": {}, \"swept\": {}, \
+             \"entries\": {}, \"approx_bytes\": {} }}{}",
+            p.policy,
+            p.capacity_per_shard,
+            p.total_capacity,
+            p.hit_rate,
+            p.p99_us,
+            p.evictions,
+            p.swept,
+            p.entries,
+            p.approx_bytes,
+            if i + 1 < points.len() { ",\n" } else { "" },
+        );
+    }
+    let p99_sustained = match report.p99_at_sustained_us() {
+        Some(v) => v.to_string(),
+        None => "null".to_string(),
+    };
+    let json = format!(
+        "{{\n  \"bench\": \"serve\",\n  \"schema\": 6,\n  \"population\": {population},\n  \
+         \"list_size\": {list_size},\n  \"clients\": {clients},\n  \"workers\": {},\n  \
+         \"phase_ms\": {phase_ms},\n  \"sweep_policy\": \"{}\",\n  \
+         \"sweep_capacity_per_shard\": {},\n  \"sustained_kqps\": {:.3},\n  \
+         \"p99_at_sustained_us\": {p99_sustained},\n  \"saturated\": {},\n  \
+         \"phases\": [\n{phase_rows}\n  ],\n  \"curve_rate_kqps\": {curve_rate:.3},\n  \
+         \"curve\": [\n{curve_rows}\n  ],\n  \"build_wall_ms\": {build_wall_ms:.1},\n  \
+         \"sweep_wall_ms\": {sweep_wall_ms:.1},\n  \"curve_wall_ms\": {curve_wall_ms:.1},\n  \
+         \"notes\": \"stub-client load sweep + hit-rate-vs-capacity curve on the bounded record \
+         cache; every phase and curve cell replays a (seed, phase, client)-determined arrival \
+         stream in virtual time, so all fields except the *_wall_ms observations are \
+         byte-reproducible on any host and thread count (the sweep is replayed twice in-process \
+         and hard-fails on divergence); latency percentiles come from the deterministic M/G/k \
+         queueing model over real engine hit/miss outcomes, not from wall timing\"\n}}\n",
+        report.workers,
+        report.policy,
+        match report.capacity_per_shard {
+            Some(c) => c.to_string(),
+            None => "null".to_string(),
+        },
+        report.sustained_kqps(),
+        report.saturated(),
+    );
+    match flag(args, "--out") {
+        Some(path) => {
+            if let Err(e) = std::fs::write(&path, &json) {
+                eprintln!("failed to write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("wrote serve snapshot to {path}");
         }
         None => print!("{json}"),
     }

@@ -37,6 +37,7 @@ pub use ecosystem;
 pub use netsim;
 pub use resolver;
 pub use scanner;
+pub use serve;
 pub use simcrypto;
 pub use telemetry;
 pub use tlsech;

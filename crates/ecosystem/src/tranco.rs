@@ -58,12 +58,33 @@ pub struct DailyList {
     /// and [`DailyList::contains`]; built on first membership/rank query
     /// and reused for the rest of the list's life.
     index: OnceLock<HashMap<u32, u32>>,
+    /// Per-rank popularity weights aligned with `ranked` (the model's
+    /// precomputed Zipf `base_weight`, or its post-source-change
+    /// re-sample). `None` for lists built without a model (tests,
+    /// the reference baseline).
+    weights: Option<Vec<f64>>,
+    /// Lazily-built cumulative weight sums backing
+    /// [`DailyList::sample_by_popularity`].
+    cumulative: OnceLock<Vec<f64>>,
 }
 
 impl DailyList {
     /// Wrap a ranked id vector (index 0 = rank 1).
     pub fn new(ranked: Vec<u32>) -> DailyList {
-        DailyList { ranked, index: OnceLock::new() }
+        DailyList { ranked, index: OnceLock::new(), weights: None, cumulative: OnceLock::new() }
+    }
+
+    /// Wrap a ranked id vector with per-rank popularity weights (same
+    /// order and length as `ranked`), enabling
+    /// [`DailyList::sample_by_popularity`].
+    pub fn with_weights(ranked: Vec<u32>, weights: Vec<f64>) -> DailyList {
+        assert_eq!(ranked.len(), weights.len(), "one weight per ranked id");
+        DailyList {
+            ranked,
+            index: OnceLock::new(),
+            weights: Some(weights),
+            cumulative: OnceLock::new(),
+        }
     }
 
     /// Domain ids in rank order (index 0 = rank 1).
@@ -91,6 +112,46 @@ impl DailyList {
     /// call; previously a linear scan per lookup).
     pub fn rank_of(&self, id: u32) -> Option<usize> {
         self.rank_index().get(&id).map(|r| *r as usize)
+    }
+
+    /// Per-rank popularity weights, if this list carries them.
+    pub fn weights(&self) -> Option<&[f64]> {
+        self.weights.as_deref()
+    }
+
+    /// Draw one domain id with probability proportional to its
+    /// popularity weight — the stub-client query distribution of the
+    /// serving subsystem, reusing the model's precomputed Zipf
+    /// `base_weight` rather than re-deriving a popularity model.
+    ///
+    /// O(log n) per draw via a lazily-built cumulative-sum table.
+    /// Deterministic: the same seeded RNG always yields the same id
+    /// stream.
+    ///
+    /// # Panics
+    ///
+    /// If the list was built without weights (see
+    /// [`DailyList::with_weights`]), is empty, or the weights sum to
+    /// zero.
+    pub fn sample_by_popularity(&self, rng: &mut StdRng) -> u32 {
+        assert!(!self.ranked.is_empty(), "cannot sample an empty list");
+        let cumulative = self.cumulative.get_or_init(|| {
+            let weights =
+                self.weights.as_ref().expect("sample_by_popularity requires a weighted list");
+            let mut acc = 0.0;
+            weights
+                .iter()
+                .map(|w| {
+                    acc += w.max(0.0);
+                    acc
+                })
+                .collect()
+        });
+        let total = *cumulative.last().expect("non-empty cumulative table");
+        assert!(total > 0.0, "list weights must have a positive sum");
+        let u: f64 = rng.gen_range(0.0..1.0) * total;
+        let idx = cumulative.partition_point(|&c| c <= u).min(self.ranked.len() - 1);
+        self.ranked[idx]
     }
 }
 
@@ -199,7 +260,23 @@ impl TrancoModel {
         };
         partial_select(&mut candidates, k);
         candidates.sort_unstable();
-        DailyList::new(candidates.into_iter().map(|(_, id)| id).collect())
+        let ranked: Vec<u32> = candidates.into_iter().map(|(_, id)| id).collect();
+        let weights = ranked.iter().map(|&id| self.weight_on_day(day, id)).collect();
+        DailyList::with_weights(ranked, weights)
+    }
+
+    /// The popularity weight in effect for domain `id` on `day`: the
+    /// precomputed Zipf `base_weight`, or its re-sampled value from the
+    /// source-change day onward. This is the weight the day's list
+    /// scoring uses (before lognormal noise), and the one
+    /// [`DailyList::sample_by_popularity`] draws against.
+    pub fn weight_on_day(&self, day: u64, id: u32) -> f64 {
+        let i = id as usize;
+        if day >= self.source_change_day {
+            self.post_change_weight[i]
+        } else {
+            self.pop[i].base_weight
+        }
     }
 
     /// Score domains `[lo, hi)` for `day` into `(descending sort key,
@@ -423,6 +500,77 @@ mod tests {
             }
         }
         h
+    }
+
+    #[test]
+    fn sampling_is_deterministic_for_a_seed() {
+        let model = TrancoModel::new(&config());
+        let list = model.list_for_day(3);
+        let draw = |seed: u64| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..500).map(|_| list.sample_by_popularity(&mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(draw(42), draw(42), "same seed must give the same id stream");
+        assert_ne!(draw(42), draw(43), "different seeds should diverge");
+    }
+
+    #[test]
+    fn sampling_prefers_top_ranks() {
+        let model = TrancoModel::new(&config());
+        let list = model.list_for_day(0);
+        let n = list.ranked.len();
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut rank_hits = vec![0u32; n];
+        let draws = 30_000;
+        for _ in 0..draws {
+            let id = list.sample_by_popularity(&mut rng);
+            rank_hits[list.rank_of(id).unwrap() - 1] += 1;
+        }
+        let decile = n / 10;
+        let top: u32 = rank_hits[..decile].iter().sum();
+        let bottom: u32 = rank_hits[n - decile..].iter().sum();
+        assert!(
+            top > 3 * bottom.max(1),
+            "Zipf shape: top decile ({top}) must dominate bottom decile ({bottom})"
+        );
+        let mean_rank: f64 =
+            rank_hits.iter().enumerate().map(|(i, c)| (i + 1) as f64 * *c as f64).sum::<f64>()
+                / draws as f64;
+        assert!(
+            mean_rank < n as f64 / 2.0 * 0.8,
+            "mean sampled rank {mean_rank:.1} should sit well above uniform ({})",
+            n / 2
+        );
+    }
+
+    #[test]
+    fn list_weights_reuse_model_base_weights() {
+        let model = TrancoModel::new(&config());
+        let before = model.list_for_day(10);
+        let weights = before.weights().expect("model lists carry weights");
+        assert_eq!(weights.len(), before.ranked.len());
+        for (i, id) in before.ranked.iter().enumerate() {
+            assert_eq!(weights[i], model.pop[*id as usize].base_weight, "rank {i} weight");
+        }
+        // From the source-change day onward the re-sampled weights apply.
+        let after = model.list_for_day(85);
+        let weights = after.weights().unwrap();
+        for (i, id) in after.ranked.iter().enumerate() {
+            assert_eq!(weights[i], model.post_change_weight[*id as usize]);
+            assert_eq!(weights[i], model.weight_on_day(85, *id));
+        }
+        assert!(
+            model.pop.iter().zip(&model.post_change_weight).any(|(p, w)| p.base_weight != *w),
+            "the source change must re-sample some weights"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a weighted list")]
+    fn sampling_unweighted_list_panics() {
+        let list = DailyList::new(vec![1, 2, 3]);
+        let mut rng = StdRng::seed_from_u64(0);
+        list.sample_by_popularity(&mut rng);
     }
 
     #[test]

@@ -1,4 +1,5 @@
-//! The resolver's TTL-driven record cache, sharded for concurrency.
+//! The resolver's TTL-driven record cache, sharded for concurrency and
+//! (optionally) bounded with pluggable eviction.
 //!
 //! Cache staleness is the mechanism behind two of the paper's findings:
 //! IP-hint/A mismatches persisting after synchronized zone updates
@@ -20,6 +21,31 @@
 //! and behaviour (hits, misses, expirations, eviction) is identical for
 //! any shard count — a property pinned by this module's tests.
 //!
+//! ## Bounded eviction
+//!
+//! By default the cache is unbounded (the scanner campaigns want every
+//! observation retained); a production resolver serving client traffic
+//! cannot afford that, so [`RecordCache::with_eviction`] adds a
+//! per-shard capacity with a pluggable [`EvictionPolicy`]. On overflow a
+//! shard first sweeps entries that are already TTL-expired (counted in
+//! [`CacheStats::swept`]) and only then evicts live entries under the
+//! policy (counted in [`CacheStats::evictions`]):
+//!
+//! - [`TtlSweepLru`](EvictionPolicy::TtlSweepLru): classic LRU over a
+//!   recency order; has the stack/inclusion property, so hit rate is
+//!   monotone non-decreasing in capacity on a replayed trace.
+//! - [`S3Fifo`](EvictionPolicy::S3Fifo): the scan-resistant small/main
+//!   FIFO pair with a ghost queue of recently evicted fingerprints
+//!   (Yang et al., SOSP'23 shape). One-hit-wonders wash out of the small
+//!   queue; re-admissions after a ghost hit go straight to main.
+//!
+//! All eviction bookkeeping uses explicitly ordered structures
+//! (`BTreeMap`/`VecDeque` keyed by a per-shard monotonic sequence), never
+//! `HashMap` iteration order, so the victim sequence is deterministic and
+//! byte-identical across runs. Unbounded caches skip the index
+//! maintenance entirely — the hot path cost of the default configuration
+//! is unchanged.
+//!
 //! ## Statistics
 //!
 //! Each shard carries its own lock-free [`CacheStats`] counters (plain
@@ -36,13 +62,54 @@ use dns_wire::record::RrsigRdata;
 use dns_wire::{DnsName, Rcode, Record, RecordType};
 use netsim::Timestamp;
 use parking_lot::{Mutex, MutexGuard};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Default shard count: enough to keep a typical worker fan-out (the
 /// scanner uses 4–8 threads) contention-free without wasting memory on
 /// tiny caches.
 pub const DEFAULT_SHARDS: usize = 16;
+
+/// How a bounded shard chooses a victim once TTL-expired entries have
+/// been swept and the shard is still over capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EvictionPolicy {
+    /// Sweep TTL-expired entries first, then evict the least recently
+    /// *used* live entry (lookup hits refresh recency). LRU has the
+    /// inclusion property: a larger cache's contents are a superset of a
+    /// smaller one's on the same trace, so hit rate is monotone in
+    /// capacity.
+    #[default]
+    TtlSweepLru,
+    /// Sweep TTL-expired entries first, then run the S3-FIFO victim
+    /// scan: a small probationary FIFO (~10% of capacity) absorbs
+    /// one-hit-wonders, entries hit at least once promote to the main
+    /// FIFO, and a ghost queue of evicted-key fingerprints re-admits
+    /// recently evicted keys straight into main. Scan-resistant, but not
+    /// a stack algorithm (no monotonicity guarantee).
+    S3Fifo,
+}
+
+impl std::fmt::Display for EvictionPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EvictionPolicy::TtlSweepLru => write!(f, "TtlSweepLru"),
+            EvictionPolicy::S3Fifo => write!(f, "S3Fifo"),
+        }
+    }
+}
+
+impl std::str::FromStr for EvictionPolicy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<EvictionPolicy, String> {
+        match s.to_ascii_lowercase().as_str() {
+            "lru" | "ttl-lru" | "ttlsweeplru" => Ok(EvictionPolicy::TtlSweepLru),
+            "s3fifo" | "s3-fifo" => Ok(EvictionPolicy::S3Fifo),
+            other => Err(format!("unknown eviction policy {other:?} (expected lru|s3fifo)")),
+        }
+    }
+}
 
 /// A positive or negative cached answer.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -61,11 +128,37 @@ pub enum CachedAnswer {
     },
 }
 
+type Key = (String, u16);
+
+/// Which S3-FIFO queue an entry's live slot sits in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum QueueId {
+    /// Not enqueued (unbounded cache, or the LRU policy).
+    None,
+    /// The probationary small FIFO.
+    Small,
+    /// The main FIFO.
+    Main,
+}
+
 #[derive(Debug, Clone)]
 struct Entry {
     answer: CachedAnswer,
     inserted: Timestamp,
     expires: Timestamp,
+    /// Insertion stamp from the shard's monotonic sequence; fixed for
+    /// the entry's lifetime and used as the expiry-index tiebreaker.
+    seq: u64,
+    /// Recency stamp keying the LRU order map; refreshed on every hit
+    /// under [`EvictionPolicy::TtlSweepLru`].
+    touch: u64,
+    /// S3-FIFO: which queue holds this entry's live slot.
+    queue: QueueId,
+    /// S3-FIFO: stamp of the live queue slot. Queue elements carrying an
+    /// older stamp are stale and skipped by the victim scan.
+    slot: u64,
+    /// S3-FIFO: saturating hit counter (capped at 3).
+    freq: u8,
 }
 
 /// Statistics snapshot for cache behaviour analysis and ablations.
@@ -75,7 +168,9 @@ struct Entry {
 /// vs [`miss_expired`](Self::miss_expired) — and hits on negative
 /// entries are counted separately in
 /// [`negative_hits`](Self::negative_hits) (they are also included in
-/// [`hits`](Self::hits)).
+/// [`hits`](Self::hits)). Bounded caches additionally count capacity
+/// [`evictions`](Self::evictions) and TTL-sweep removals
+/// ([`swept`](Self::swept)); both stay zero for unbounded caches.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct CacheStats {
     /// Lookups that returned a live entry (positive or negative).
@@ -96,6 +191,12 @@ pub struct CacheStats {
     /// so excluded from determinism comparisons (and near-meaningless on
     /// a single-CPU host, where threads rarely overlap).
     pub lock_contended: u64,
+    /// Live entries evicted by the capacity policy (bounded caches only).
+    pub evictions: u64,
+    /// TTL-expired entries removed by an overflow sweep or
+    /// [`RecordCache::purge_expired`] (read-path expiry removals are
+    /// counted in [`miss_expired`](Self::miss_expired) instead).
+    pub swept: u64,
 }
 
 impl CacheStats {
@@ -104,9 +205,10 @@ impl CacheStats {
         self.miss_absent + self.miss_expired
     }
 
-    /// Entries evicted because they had expired. Expired entries are
-    /// only discovered (and always evicted) by the lookup that finds
-    /// them, so this equals [`miss_expired`](Self::miss_expired).
+    /// Entries evicted by the read path because they had expired: a dead
+    /// entry is always removed by the lookup that finds it, so this
+    /// equals [`miss_expired`](Self::miss_expired). Sweep/purge removals
+    /// are counted separately in [`swept`](Self::swept).
     pub fn expirations(&self) -> u64 {
         self.miss_expired
     }
@@ -136,6 +238,8 @@ impl CacheStats {
         self.insertions += other.insertions;
         self.lock_acquisitions += other.lock_acquisitions;
         self.lock_contended += other.lock_contended;
+        self.evictions += other.evictions;
+        self.swept += other.swept;
     }
 }
 
@@ -146,7 +250,7 @@ impl std::fmt::Display for CacheStats {
         write!(
             f,
             "hits={} negative_hits={} miss_absent={} miss_expired={} insertions={} \
-             lock_acquisitions={} lock_contended={} hit_rate={:.4}",
+             lock_acquisitions={} lock_contended={} evictions={} swept={} hit_rate={:.4}",
             self.hits,
             self.negative_hits,
             self.miss_absent,
@@ -154,6 +258,8 @@ impl std::fmt::Display for CacheStats {
             self.insertions,
             self.lock_acquisitions,
             self.lock_contended,
+            self.evictions,
+            self.swept,
             self.hit_rate()
         )
     }
@@ -172,6 +278,8 @@ struct ShardCounters {
     insertions: AtomicU64,
     lock_acquisitions: AtomicU64,
     lock_contended: AtomicU64,
+    evictions: AtomicU64,
+    swept: AtomicU64,
 }
 
 impl ShardCounters {
@@ -184,29 +292,198 @@ impl ShardCounters {
             insertions: self.insertions.load(Ordering::Relaxed),
             lock_acquisitions: self.lock_acquisitions.load(Ordering::Relaxed),
             lock_contended: self.lock_contended.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            swept: self.swept.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A shard's mutable state: the entry map plus the eviction indexes.
+///
+/// The indexes (`lru`, `expiry`, the S3-FIFO queues) are maintained only
+/// for bounded caches; unbounded shards leave them empty so the default
+/// hot path pays nothing for the eviction layer.
+#[derive(Default)]
+struct ShardInner {
+    entries: HashMap<Key, Entry>,
+    /// Monotonic per-shard stamp source for `seq`/`touch`/`slot`.
+    next_seq: u64,
+    /// LRU recency order: `touch` stamp → key (TtlSweepLru only).
+    lru: BTreeMap<u64, Key>,
+    /// Expiry order: `(expiry second, seq)` → key, so the TTL sweep pops
+    /// dead entries without scanning the map.
+    expiry: BTreeMap<(u64, u64), Key>,
+    /// S3-FIFO probationary queue of `(slot stamp, key)`.
+    small: VecDeque<(u64, Key)>,
+    /// S3-FIFO main queue of `(slot stamp, key)`.
+    main: VecDeque<(u64, Key)>,
+    /// S3-FIFO ghost FIFO of evicted-key fingerprints (trim order).
+    ghost: VecDeque<u64>,
+    /// S3-FIFO ghost membership set.
+    ghost_set: HashSet<u64>,
+}
+
+impl ShardInner {
+    /// Remove an entry and its index bookkeeping (stale S3-FIFO queue
+    /// slots are left behind and skipped lazily by the victim scan).
+    fn remove_entry(&mut self, key: &Key) -> Option<Entry> {
+        let entry = self.entries.remove(key)?;
+        self.lru.remove(&entry.touch);
+        self.expiry.remove(&(entry.expires.0, entry.seq));
+        Some(entry)
+    }
+
+    /// Pop entries whose expiry second is `<= now` off the expiry index.
+    /// Returns the number removed. Bounded shards only (the index is
+    /// empty otherwise).
+    fn sweep_expired(&mut self, now: Timestamp) -> u64 {
+        let mut swept = 0;
+        while let Some((&(exp_secs, seq), _)) = self.expiry.iter().next() {
+            if exp_secs > now.0 {
+                break;
+            }
+            let key = self.expiry.remove(&(exp_secs, seq)).expect("expiry head vanished");
+            if let Some(entry) = self.entries.remove(&key) {
+                self.lru.remove(&entry.touch);
+                swept += 1;
+            }
+        }
+        swept
+    }
+
+    /// Record an evicted key's fingerprint in the ghost queue, trimmed
+    /// to one capacity's worth of history.
+    fn ghost_insert(&mut self, fp: u64, capacity: usize) {
+        if self.ghost_set.insert(fp) {
+            self.ghost.push_back(fp);
+            while self.ghost.len() > capacity {
+                if let Some(old) = self.ghost.pop_front() {
+                    self.ghost_set.remove(&old);
+                }
+            }
+        }
+    }
+
+    /// Evict one live entry under `bound`'s policy. Returns false if no
+    /// victim could be found (empty shard).
+    fn evict_one(&mut self, bound: Bound) -> bool {
+        match bound.policy {
+            EvictionPolicy::TtlSweepLru => {
+                let Some((&touch, _)) = self.lru.iter().next() else {
+                    return false;
+                };
+                let key = self.lru.remove(&touch).expect("lru head vanished");
+                match self.entries.remove(&key) {
+                    Some(entry) => {
+                        self.expiry.remove(&(entry.expires.0, entry.seq));
+                        true
+                    }
+                    None => false,
+                }
+            }
+            EvictionPolicy::S3Fifo => self.evict_s3fifo(bound.capacity),
+        }
+    }
+
+    /// The S3-FIFO victim scan: drain stale slots, promote small-queue
+    /// entries that earned a hit, recycle main-queue entries with
+    /// remaining frequency, evict the first entry found cold.
+    fn evict_s3fifo(&mut self, capacity: usize) -> bool {
+        let small_target = (capacity / 10).max(1);
+        loop {
+            if self.small.is_empty() && self.main.is_empty() {
+                return false;
+            }
+            let use_small = if self.small.is_empty() {
+                false
+            } else if self.main.is_empty() {
+                true
+            } else {
+                self.small.len() > small_target
+            };
+            if use_small {
+                let Some((slot, key)) = self.small.pop_front() else {
+                    continue;
+                };
+                let live = matches!(self.entries.get(&key),
+                    Some(e) if e.queue == QueueId::Small && e.slot == slot);
+                if !live {
+                    continue;
+                }
+                let hit = self.entries.get(&key).map(|e| e.freq > 0).unwrap_or(false);
+                if hit {
+                    // Earned a hit during probation: promote to main.
+                    self.next_seq += 1;
+                    let stamp = self.next_seq;
+                    if let Some(e) = self.entries.get_mut(&key) {
+                        e.queue = QueueId::Main;
+                        e.slot = stamp;
+                        e.freq = 0;
+                    }
+                    self.main.push_back((stamp, key));
+                } else {
+                    let entry = self.entries.remove(&key).expect("live small entry vanished");
+                    self.lru.remove(&entry.touch);
+                    self.expiry.remove(&(entry.expires.0, entry.seq));
+                    self.ghost_insert(ghost_fp(&key), capacity);
+                    return true;
+                }
+            } else {
+                let Some((slot, key)) = self.main.pop_front() else {
+                    continue;
+                };
+                let live = matches!(self.entries.get(&key),
+                    Some(e) if e.queue == QueueId::Main && e.slot == slot);
+                if !live {
+                    continue;
+                }
+                let hot = self.entries.get(&key).map(|e| e.freq > 0).unwrap_or(false);
+                if hot {
+                    // Still warm: spend one frequency unit and recycle.
+                    self.next_seq += 1;
+                    let stamp = self.next_seq;
+                    if let Some(e) = self.entries.get_mut(&key) {
+                        e.freq -= 1;
+                        e.slot = stamp;
+                    }
+                    self.main.push_back((stamp, key));
+                } else {
+                    let entry = self.entries.remove(&key).expect("live main entry vanished");
+                    self.lru.remove(&entry.touch);
+                    self.expiry.remove(&(entry.expires.0, entry.seq));
+                    return true;
+                }
+            }
         }
     }
 }
 
 #[derive(Default)]
 struct Shard {
-    entries: Mutex<HashMap<(String, u16), Entry>>,
+    inner: Mutex<ShardInner>,
     stats: ShardCounters,
 }
 
 impl Shard {
-    /// Acquire the entry lock on a hot path, counting the acquisition
+    /// Acquire the shard lock on a hot path, counting the acquisition
     /// and whether it had to block behind another holder.
-    fn lock_entries(&self) -> MutexGuard<'_, HashMap<(String, u16), Entry>> {
+    fn lock_inner(&self) -> MutexGuard<'_, ShardInner> {
         self.stats.lock_acquisitions.fetch_add(1, Ordering::Relaxed);
-        match self.entries.try_lock() {
+        match self.inner.try_lock() {
             Some(guard) => guard,
             None => {
                 self.stats.lock_contended.fetch_add(1, Ordering::Relaxed);
-                self.entries.lock()
+                self.inner.lock()
             }
         }
     }
+}
+
+/// The per-shard capacity bound and its eviction policy.
+#[derive(Debug, Clone, Copy)]
+struct Bound {
+    capacity: usize,
+    policy: EvictionPolicy,
 }
 
 /// TTL cache keyed by `(owner name, record type)`, sharded by owner name.
@@ -215,6 +492,8 @@ pub struct RecordCache {
     /// Optional TTL clamp (seconds); `Some(c)` caps every entry's
     /// lifetime at `c`, the knob used by the Fig 12 ablation.
     ttl_clamp: Option<u32>,
+    /// Per-shard capacity + policy; `None` = unbounded (the default).
+    bound: Option<Bound>,
 }
 
 impl Default for RecordCache {
@@ -236,6 +515,11 @@ pub(crate) fn fnv1a(key: &str) -> u64 {
     h
 }
 
+/// Stable fingerprint of a cache key for the S3-FIFO ghost queue.
+fn ghost_fp(key: &Key) -> u64 {
+    fnv1a(&key.0) ^ (key.1 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
 impl RecordCache {
     /// An empty cache with the default shard count and no TTL clamp.
     pub fn new() -> RecordCache {
@@ -252,15 +536,39 @@ impl RecordCache {
         RecordCache::with_config(shards, None)
     }
 
-    /// An empty cache with explicit shard count and optional TTL clamp.
+    /// An empty unbounded cache with explicit shard count and optional
+    /// TTL clamp.
     pub fn with_config(shards: usize, ttl_clamp: Option<u32>) -> RecordCache {
         let n = shards.max(1);
-        RecordCache { shards: (0..n).map(|_| Shard::default()).collect(), ttl_clamp }
+        RecordCache { shards: (0..n).map(|_| Shard::default()).collect(), ttl_clamp, bound: None }
+    }
+
+    /// An empty **bounded** cache: at most `capacity_per_shard` entries
+    /// per shard (minimum 1), evicting under `policy` on overflow.
+    pub fn with_eviction(
+        shards: usize,
+        ttl_clamp: Option<u32>,
+        capacity_per_shard: usize,
+        policy: EvictionPolicy,
+    ) -> RecordCache {
+        let mut cache = RecordCache::with_config(shards, ttl_clamp);
+        cache.bound = Some(Bound { capacity: capacity_per_shard.max(1), policy });
+        cache
     }
 
     /// Number of shards (for benches and diagnostics).
     pub fn shard_count(&self) -> usize {
         self.shards.len()
+    }
+
+    /// The per-shard capacity bound, if this cache is bounded.
+    pub fn capacity_per_shard(&self) -> Option<usize> {
+        self.bound.map(|b| b.capacity)
+    }
+
+    /// The eviction policy, if this cache is bounded.
+    pub fn eviction_policy(&self) -> Option<EvictionPolicy> {
+        self.bound.map(|b| b.policy)
     }
 
     fn shard_for(&self, owner_key: &str) -> &Shard {
@@ -272,6 +580,81 @@ impl RecordCache {
         match self.ttl_clamp {
             Some(clamp) => ttl.min(clamp),
             None => ttl,
+        }
+    }
+
+    /// Shared store path: stamp the entry, refresh indexes, and resolve
+    /// any overflow (TTL sweep first, then policy eviction) — all under
+    /// one hot-path lock acquisition.
+    fn store(&self, key: Key, answer: CachedAnswer, now: Timestamp, ttl: u32) {
+        let shard = self.shard_for(&key.0);
+        shard.stats.insertions.fetch_add(1, Ordering::Relaxed);
+        let expires = now.plus(ttl as u64);
+        let mut inner = shard.lock_inner();
+        inner.next_seq += 1;
+        let seq = inner.next_seq;
+        let mut entry = Entry {
+            answer,
+            inserted: now,
+            expires,
+            seq,
+            touch: seq,
+            queue: QueueId::None,
+            slot: 0,
+            freq: 0,
+        };
+        let Some(bound) = self.bound else {
+            inner.entries.insert(key, entry);
+            return;
+        };
+        if let Some(old) = inner.entries.get(&key) {
+            let (old_touch, old_exp, old_seq) = (old.touch, old.expires.0, old.seq);
+            let (old_queue, old_slot, old_freq) = (old.queue, old.slot, old.freq);
+            inner.lru.remove(&old_touch);
+            inner.expiry.remove(&(old_exp, old_seq));
+            if bound.policy == EvictionPolicy::S3Fifo && old_queue != QueueId::None {
+                // A refresh keeps the entry's queue position and heat.
+                entry.queue = old_queue;
+                entry.slot = old_slot;
+                entry.freq = old_freq;
+            }
+        }
+        inner.expiry.insert((expires.0, seq), key.clone());
+        match bound.policy {
+            EvictionPolicy::TtlSweepLru => {
+                inner.lru.insert(seq, key.clone());
+            }
+            EvictionPolicy::S3Fifo => {
+                if entry.queue == QueueId::None {
+                    entry.slot = seq;
+                    if inner.ghost_set.remove(&ghost_fp(&key)) {
+                        entry.queue = QueueId::Main;
+                        inner.main.push_back((seq, key.clone()));
+                    } else {
+                        entry.queue = QueueId::Small;
+                        inner.small.push_back((seq, key.clone()));
+                    }
+                }
+            }
+        }
+        inner.entries.insert(key, entry);
+        if inner.entries.len() > bound.capacity {
+            let swept = inner.sweep_expired(now);
+            let mut evicted = 0u64;
+            while inner.entries.len() > bound.capacity {
+                if inner.evict_one(bound) {
+                    evicted += 1;
+                } else {
+                    break;
+                }
+            }
+            drop(inner);
+            if swept > 0 {
+                shard.stats.swept.fetch_add(swept, Ordering::Relaxed);
+            }
+            if evicted > 0 {
+                shard.stats.evictions.fetch_add(evicted, Ordering::Relaxed);
+            }
         }
     }
 
@@ -288,17 +671,8 @@ impl RecordCache {
             return;
         }
         let ttl = self.effective_ttl(records.iter().map(|r| r.ttl).min().unwrap_or(0));
-        let key = name.key();
-        let shard = self.shard_for(&key);
-        shard.stats.insertions.fetch_add(1, Ordering::Relaxed);
-        shard.lock_entries().insert(
-            (key, rtype.code()),
-            Entry {
-                answer: CachedAnswer::Positive { records, rrsigs },
-                inserted: now,
-                expires: now.plus(ttl as u64),
-            },
-        );
+        let key = (name.key(), rtype.code());
+        self.store(key, CachedAnswer::Positive { records, rrsigs }, now, ttl);
     }
 
     /// Insert a negative answer with the given TTL (typically the SOA
@@ -312,51 +686,68 @@ impl RecordCache {
         now: Timestamp,
     ) {
         let ttl = self.effective_ttl(ttl);
-        let key = name.key();
-        let shard = self.shard_for(&key);
-        shard.stats.insertions.fetch_add(1, Ordering::Relaxed);
-        shard.lock_entries().insert(
-            (key, rtype.code()),
-            Entry {
-                answer: CachedAnswer::Negative { rcode },
-                inserted: now,
-                expires: now.plus(ttl as u64),
-            },
-        );
+        let key = (name.key(), rtype.code());
+        self.store(key, CachedAnswer::Negative { rcode }, now, ttl);
     }
 
-    /// Fetch a live entry; expired entries are evicted.
+    /// Fetch a live entry; expired entries are evicted. On a bounded
+    /// cache a hit also refreshes the entry's recency (LRU) or heat
+    /// (S3-FIFO) under the same lock acquisition.
     pub fn get(&self, name: &DnsName, rtype: RecordType, now: Timestamp) -> Option<CachedAnswer> {
         let key = (name.key(), rtype.code());
         let shard = self.shard_for(&key.0);
-        let mut entries = shard.lock_entries();
-        let outcome = match entries.get(&key) {
-            Some(entry) if entry.expires > now => {
-                let negative = matches!(entry.answer, CachedAnswer::Negative { .. });
-                Some((entry.answer.clone(), negative))
-            }
-            Some(_) => {
-                entries.remove(&key);
+        let mut inner = shard.lock_inner();
+        enum Looked {
+            Hit { answer: CachedAnswer, negative: bool, touch: u64 },
+            Dead,
+            Absent,
+        }
+        let looked = match inner.entries.get(&key) {
+            Some(entry) if entry.expires > now => Looked::Hit {
+                answer: entry.answer.clone(),
+                negative: matches!(entry.answer, CachedAnswer::Negative { .. }),
+                touch: entry.touch,
+            },
+            Some(_) => Looked::Dead,
+            None => Looked::Absent,
+        };
+        match looked {
+            Looked::Absent => {
+                drop(inner);
+                shard.stats.miss_absent.fetch_add(1, Ordering::Relaxed);
                 None
             }
-            None => {
-                drop(entries);
-                shard.stats.miss_absent.fetch_add(1, Ordering::Relaxed);
-                return None;
+            Looked::Dead => {
+                inner.remove_entry(&key);
+                drop(inner);
+                shard.stats.miss_expired.fetch_add(1, Ordering::Relaxed);
+                None
             }
-        };
-        drop(entries);
-        match outcome {
-            Some((answer, negative)) => {
+            Looked::Hit { answer, negative, touch } => {
+                if let Some(bound) = self.bound {
+                    match bound.policy {
+                        EvictionPolicy::TtlSweepLru => {
+                            inner.next_seq += 1;
+                            let stamp = inner.next_seq;
+                            inner.lru.remove(&touch);
+                            inner.lru.insert(stamp, key.clone());
+                            if let Some(entry) = inner.entries.get_mut(&key) {
+                                entry.touch = stamp;
+                            }
+                        }
+                        EvictionPolicy::S3Fifo => {
+                            if let Some(entry) = inner.entries.get_mut(&key) {
+                                entry.freq = (entry.freq + 1).min(3);
+                            }
+                        }
+                    }
+                }
+                drop(inner);
                 shard.stats.hits.fetch_add(1, Ordering::Relaxed);
                 if negative {
                     shard.stats.negative_hits.fetch_add(1, Ordering::Relaxed);
                 }
                 Some(answer)
-            }
-            None => {
-                shard.stats.miss_expired.fetch_add(1, Ordering::Relaxed);
-                None
             }
         }
     }
@@ -365,15 +756,50 @@ impl RecordCache {
     pub fn age(&self, name: &DnsName, rtype: RecordType, now: Timestamp) -> Option<u64> {
         let key = (name.key(), rtype.code());
         let shard = self.shard_for(&key.0);
-        let entries = shard.lock_entries();
-        entries.get(&key).filter(|e| e.expires > now).map(|e| now.since(e.inserted))
+        let inner = shard.lock_inner();
+        inner.entries.get(&key).filter(|e| e.expires > now).map(|e| now.since(e.inserted))
     }
 
     /// Drop every entry (the testbed's "clear local DNS cache" step).
     pub fn flush(&self) {
         for shard in &self.shards {
-            shard.entries.lock().clear();
+            let mut inner = shard.inner.lock();
+            inner.entries.clear();
+            inner.lru.clear();
+            inner.expiry.clear();
+            inner.small.clear();
+            inner.main.clear();
+            inner.ghost.clear();
+            inner.ghost_set.clear();
         }
+    }
+
+    /// Remove every entry that has expired as of `now` and return how
+    /// many were removed. Unlike read-path expiry (which only removes
+    /// the entry a lookup stumbles over), this reclaims *all* dead
+    /// entries — the maintenance sweep a long-running serving process
+    /// needs. Removals are counted in [`CacheStats::swept`].
+    ///
+    /// A maintenance path: its lock acquisitions are deliberately not
+    /// counted in [`CacheStats::lock_acquisitions`].
+    pub fn purge_expired(&self, now: Timestamp) -> u64 {
+        let mut total = 0;
+        for shard in &self.shards {
+            let mut inner = shard.inner.lock();
+            let removed = if self.bound.is_some() {
+                inner.sweep_expired(now)
+            } else {
+                let before = inner.entries.len();
+                inner.entries.retain(|_, e| e.expires > now);
+                (before - inner.entries.len()) as u64
+            };
+            drop(inner);
+            if removed > 0 {
+                shard.stats.swept.fetch_add(removed, Ordering::Relaxed);
+                total += removed;
+            }
+        }
+        total
     }
 
     /// Current statistics snapshot, aggregated across shards. Lock-free:
@@ -394,12 +820,71 @@ impl RecordCache {
 
     /// Number of entries currently stored (live and expired-but-unswept).
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.entries.lock().len()).sum()
+        self.shards.iter().map(|s| s.inner.lock().entries.len()).sum()
     }
 
     /// Whether the cache is empty.
     pub fn is_empty(&self) -> bool {
-        self.shards.iter().all(|s| s.entries.lock().is_empty())
+        self.shards.iter().all(|s| s.inner.lock().entries.is_empty())
+    }
+
+    /// Per-shard entry counts, in shard-index order (capacity-bound
+    /// diagnostics; each value is `<= capacity_per_shard()` for a
+    /// bounded cache).
+    pub fn shard_lens(&self) -> Vec<usize> {
+        self.shards.iter().map(|s| s.inner.lock().entries.len()).collect()
+    }
+
+    /// Rough resident size of the cached data in bytes. A deliberately
+    /// cheap heuristic (fixed per-record/per-signature costs plus key
+    /// and map-slot overhead), **not** an allocator measurement — use it
+    /// for relative comparisons (capacity curves, growth over a
+    /// campaign), not absolute memory accounting.
+    pub fn approx_bytes(&self) -> usize {
+        const SLOT_OVERHEAD: usize = 48;
+        const RECORD_COST: usize = 96;
+        const RRSIG_COST: usize = 128;
+        let mut bytes = 0;
+        for shard in &self.shards {
+            let inner = shard.inner.lock();
+            for ((owner, _), entry) in inner.entries.iter() {
+                bytes += owner.len() + std::mem::size_of::<Entry>() + SLOT_OVERHEAD;
+                if let CachedAnswer::Positive { records, rrsigs } = &entry.answer {
+                    bytes += records.len() * RECORD_COST + rrsigs.len() * RRSIG_COST;
+                }
+            }
+        }
+        bytes
+    }
+
+    /// Export the eviction-class counters into `metrics` as monotonic
+    /// counters: `cache.evictions`, `cache.swept`,
+    /// `cache.capacity_per_shard`, and per-shard
+    /// `cache.shardNN.{evictions,swept}`.
+    ///
+    /// Only eviction-class counters are exported — hit/miss counters are
+    /// interleaving-dependent under pooled multi-thread campaigns and
+    /// would break the byte-identical `counters_text()` pin, so they
+    /// stay on the [`CacheStats`] side. Idempotent: counters are raised
+    /// to the current snapshot, never double-added.
+    pub fn export_eviction_metrics(&self, metrics: &telemetry::MetricsRegistry) {
+        fn raise_to(counter: &telemetry::Counter, target: u64) {
+            let current = counter.get();
+            if target > current {
+                counter.add(target - current);
+            }
+        }
+        raise_to(
+            &metrics.counter("cache.capacity_per_shard"),
+            self.capacity_per_shard().unwrap_or(0) as u64,
+        );
+        let total = self.stats();
+        raise_to(&metrics.counter("cache.evictions"), total.evictions);
+        raise_to(&metrics.counter("cache.swept"), total.swept);
+        for (i, shard) in self.shard_stats().iter().enumerate() {
+            raise_to(&metrics.counter(&format!("cache.shard{i:02}.evictions")), shard.evictions);
+            raise_to(&metrics.counter(&format!("cache.shard{i:02}.swept")), shard.swept);
+        }
     }
 }
 
@@ -415,6 +900,25 @@ mod tests {
 
     fn a_record(ttl: u32) -> Record {
         Record::new(name("a.com"), ttl, RData::A(Ipv4Addr::new(1, 2, 3, 4)))
+    }
+
+    /// A 1-shard bounded cache so capacity arithmetic is exact.
+    fn bounded(capacity: usize, policy: EvictionPolicy) -> RecordCache {
+        RecordCache::with_eviction(1, None, capacity, policy)
+    }
+
+    fn insert(cache: &RecordCache, host: &str, ttl: u32, now: u64) {
+        cache.insert_positive(
+            &name(host),
+            RecordType::A,
+            vec![a_record(ttl)],
+            vec![],
+            Timestamp(now),
+        );
+    }
+
+    fn has(cache: &RecordCache, host: &str, now: u64) -> bool {
+        cache.age(&name(host), RecordType::A, Timestamp(now)).is_some()
     }
 
     #[test]
@@ -630,7 +1134,7 @@ mod tests {
             cache.insert_positive(&n, RecordType::A, vec![a_record(60)], vec![], Timestamp(0));
         }
         assert_eq!(cache.len(), 256);
-        let populated = cache.shards.iter().filter(|s| !s.entries.lock().is_empty()).count();
+        let populated = cache.shards.iter().filter(|s| !s.inner.lock().entries.is_empty()).count();
         assert!(populated > 8, "expected a spread, got {populated} populated shards");
     }
 
@@ -638,5 +1142,172 @@ mod tests {
     fn shard_count_clamped_to_one() {
         let cache = RecordCache::with_shards(0);
         assert_eq!(cache.shard_count(), 1);
+    }
+
+    // ---- bounded eviction ----
+
+    #[test]
+    fn bounded_capacity_is_never_exceeded() {
+        for policy in [EvictionPolicy::TtlSweepLru, EvictionPolicy::S3Fifo] {
+            let cache = bounded(8, policy);
+            for i in 0..100 {
+                insert(&cache, &format!("d{i}.example"), 300, i);
+                assert!(cache.len() <= 8, "{policy}: len {} > capacity 8", cache.len());
+            }
+            assert_eq!(cache.shard_lens(), vec![8]);
+            assert!(cache.stats().evictions >= 92 - 8);
+        }
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let cache = bounded(3, EvictionPolicy::TtlSweepLru);
+        insert(&cache, "a.example", 300, 0);
+        insert(&cache, "b.example", 300, 1);
+        insert(&cache, "c.example", 300, 2);
+        // Touch a and c; b becomes the LRU victim.
+        assert!(cache.get(&name("a.example"), RecordType::A, Timestamp(3)).is_some());
+        assert!(cache.get(&name("c.example"), RecordType::A, Timestamp(4)).is_some());
+        insert(&cache, "d.example", 300, 5);
+        assert!(has(&cache, "a.example", 6));
+        assert!(!has(&cache, "b.example", 6), "LRU victim should be b");
+        assert!(has(&cache, "c.example", 6));
+        assert!(has(&cache, "d.example", 6));
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn expired_entries_swept_before_live_evicted() {
+        let cache = bounded(3, EvictionPolicy::TtlSweepLru);
+        insert(&cache, "dead.example", 10, 0); // expires at t=10
+        insert(&cache, "live1.example", 300, 1);
+        insert(&cache, "live2.example", 300, 2);
+        // Overflow at t=50: the dead entry is swept; no live eviction.
+        insert(&cache, "live3.example", 300, 50);
+        let s = cache.stats();
+        assert_eq!(s.swept, 1, "the expired entry should be swept, not policy-evicted");
+        assert_eq!(s.evictions, 0);
+        assert!(has(&cache, "live1.example", 51));
+        assert!(has(&cache, "live2.example", 51));
+        assert!(has(&cache, "live3.example", 51));
+    }
+
+    #[test]
+    fn s3fifo_keeps_hot_entries_over_one_hit_wonders() {
+        let cache = bounded(10, EvictionPolicy::S3Fifo);
+        // Two hot keys, referenced repeatedly.
+        insert(&cache, "hot1.example", 3000, 0);
+        insert(&cache, "hot2.example", 3000, 0);
+        for t in 1..20 {
+            assert!(cache.get(&name("hot1.example"), RecordType::A, Timestamp(t)).is_some());
+            assert!(cache.get(&name("hot2.example"), RecordType::A, Timestamp(t)).is_some());
+        }
+        // A long scan of one-hit-wonders overflows the shard repeatedly.
+        for i in 0..60 {
+            insert(&cache, &format!("scan{i}.example"), 3000, 20 + i);
+        }
+        assert!(has(&cache, "hot1.example", 100), "hot key must survive the scan");
+        assert!(has(&cache, "hot2.example", 100), "hot key must survive the scan");
+        assert!(cache.len() <= 10);
+        assert!(cache.stats().evictions > 0);
+    }
+
+    #[test]
+    fn s3fifo_ghost_readmits_to_main() {
+        let cache = bounded(4, EvictionPolicy::S3Fifo);
+        insert(&cache, "victim.example", 3000, 0);
+        // Push victim out with a scan.
+        for i in 0..8 {
+            insert(&cache, &format!("s{i}.example"), 3000, 1 + i);
+        }
+        assert!(!has(&cache, "victim.example", 20));
+        // Re-inserting a ghost-remembered key must not panic and must be
+        // retained through a subsequent scan burst (it landed in main).
+        insert(&cache, "victim.example", 3000, 21);
+        for i in 0..4 {
+            insert(&cache, &format!("t{i}.example"), 3000, 22 + i);
+        }
+        assert!(cache.len() <= 4);
+    }
+
+    #[test]
+    fn overwrite_does_not_grow_a_bounded_shard() {
+        for policy in [EvictionPolicy::TtlSweepLru, EvictionPolicy::S3Fifo] {
+            let cache = bounded(4, policy);
+            for t in 0..20 {
+                insert(&cache, "same.example", 300, t);
+            }
+            assert_eq!(cache.len(), 1, "{policy}: refreshes must overwrite in place");
+            assert_eq!(cache.stats().evictions, 0);
+        }
+    }
+
+    #[test]
+    fn purge_expired_reclaims_dead_entries() {
+        // Unbounded: purge is the only way to reclaim un-looked-up dead
+        // entries.
+        let cache = RecordCache::new();
+        insert(&cache, "short.example", 10, 0);
+        insert(&cache, "long.example", 1000, 0);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.purge_expired(Timestamp(5)), 0);
+        assert_eq!(cache.purge_expired(Timestamp(10)), 1);
+        assert_eq!(cache.len(), 1);
+        assert!(has(&cache, "long.example", 11));
+        assert_eq!(cache.stats().swept, 1);
+
+        // Bounded: same semantics through the expiry index.
+        let cache = bounded(16, EvictionPolicy::TtlSweepLru);
+        for i in 0..6 {
+            insert(&cache, &format!("d{i}.example"), 10 + i as u32, 0);
+        }
+        assert_eq!(cache.purge_expired(Timestamp(12)), 3);
+        assert_eq!(cache.len(), 3);
+        assert_eq!(cache.stats().swept, 3);
+    }
+
+    #[test]
+    fn approx_bytes_tracks_contents() {
+        let cache = RecordCache::new();
+        assert_eq!(cache.approx_bytes(), 0);
+        insert(&cache, "a.example", 300, 0);
+        let one = cache.approx_bytes();
+        assert!(one > 0);
+        insert(&cache, "b.example", 300, 0);
+        assert!(cache.approx_bytes() > one);
+        cache.flush();
+        assert_eq!(cache.approx_bytes(), 0);
+    }
+
+    #[test]
+    fn eviction_policy_parses_and_displays() {
+        assert_eq!("lru".parse::<EvictionPolicy>().unwrap(), EvictionPolicy::TtlSweepLru);
+        assert_eq!("S3FIFO".parse::<EvictionPolicy>().unwrap(), EvictionPolicy::S3Fifo);
+        assert!("clock".parse::<EvictionPolicy>().is_err());
+        assert_eq!(EvictionPolicy::TtlSweepLru.to_string(), "TtlSweepLru");
+        assert_eq!(EvictionPolicy::S3Fifo.to_string(), "S3Fifo");
+    }
+
+    #[test]
+    fn export_eviction_metrics_is_idempotent() {
+        let cache = bounded(2, EvictionPolicy::TtlSweepLru);
+        for i in 0..6 {
+            insert(&cache, &format!("d{i}.example"), 300, i);
+        }
+        let metrics = telemetry::MetricsRegistry::new("test");
+        cache.export_eviction_metrics(&metrics);
+        let evictions = metrics.counter_value("cache.evictions");
+        assert_eq!(evictions, cache.stats().evictions);
+        assert_eq!(metrics.counter_value("cache.capacity_per_shard"), 2);
+        cache.export_eviction_metrics(&metrics);
+        assert_eq!(
+            metrics.counter_value("cache.evictions"),
+            evictions,
+            "export must not double-add"
+        );
+        let per_shard: u64 = (0..cache.shard_count())
+            .map(|i| metrics.counter_value(&format!("cache.shard{i:02}.evictions")))
+            .sum();
+        assert_eq!(per_shard, evictions);
     }
 }

@@ -18,7 +18,7 @@ pub mod resolver;
 pub mod selection;
 pub mod vantage;
 
-pub use cache::{CacheStats, CachedAnswer, RecordCache, DEFAULT_SHARDS};
+pub use cache::{CacheStats, CachedAnswer, EvictionPolicy, RecordCache, DEFAULT_SHARDS};
 pub use engine::{BatchTiming, EngineBackend, Query, QueryEngine};
 pub use eventloop::EventLoopStats;
 pub use pool::WorkerPool;

@@ -8,7 +8,7 @@
 //! to decide the AD bit — the full pipeline the paper relies on when it
 //! measures records through Google/Cloudflare public resolvers.
 
-use crate::cache::{CachedAnswer, RecordCache};
+use crate::cache::{CachedAnswer, EvictionPolicy, RecordCache};
 use crate::selection::{NsSelector, SelectionStrategy};
 use authserver::DelegationRegistry;
 use dns_wire::record::{DnskeyRdata, DsRdata, RrsigRdata};
@@ -45,6 +45,14 @@ pub struct ResolverConfig {
     /// (so each endpoint is tried `retransmits + 1` times) before the
     /// event-loop backend falls back to the next NS.
     pub retransmits: u32,
+    /// Per-shard cache capacity bound; `None` (the default) keeps the
+    /// cache unbounded, which the scanner campaigns rely on. The serving
+    /// subsystem sets `Some(n)` to model a production resolver's finite
+    /// cache.
+    pub cache_capacity_per_shard: Option<usize>,
+    /// Eviction policy used when the cache is bounded (ignored
+    /// otherwise).
+    pub cache_eviction: EvictionPolicy,
 }
 
 impl Default for ResolverConfig {
@@ -60,6 +68,8 @@ impl Default for ResolverConfig {
             backend: crate::engine::EngineBackend::default(),
             attempt_timeout_ms: 500,
             retransmits: 2,
+            cache_capacity_per_shard: None,
+            cache_eviction: EvictionPolicy::default(),
         }
     }
 }
@@ -159,7 +169,15 @@ pub struct RecursiveResolver {
 impl RecursiveResolver {
     /// Create a resolver.
     pub fn new(network: Network, registry: DelegationRegistry, config: ResolverConfig) -> Self {
-        let cache = RecordCache::with_config(config.cache_shards, config.ttl_clamp);
+        let cache = match config.cache_capacity_per_shard {
+            Some(capacity) => RecordCache::with_eviction(
+                config.cache_shards,
+                config.ttl_clamp,
+                capacity,
+                config.cache_eviction,
+            ),
+            None => RecordCache::with_config(config.cache_shards, config.ttl_clamp),
+        };
         let selector = NsSelector::new(config.strategy, config.seed);
         RecursiveResolver {
             network,

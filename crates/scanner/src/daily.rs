@@ -177,11 +177,19 @@ impl Campaign {
             }
         }
         runs.into_iter()
-            .map(|(engine, store, metrics)| VantageRun {
-                cache: engine.cache().stats(),
-                shards: engine.cache().shard_stats(),
-                store,
-                metrics,
+            .map(|(engine, store, metrics)| {
+                if instrument {
+                    // Eviction-class counters (capacity, evictions,
+                    // sweeps) are deterministic — zero on the campaign's
+                    // unbounded caches — so they join the pinned export.
+                    engine.cache().export_eviction_metrics(&metrics);
+                }
+                VantageRun {
+                    cache: engine.cache().stats(),
+                    shards: engine.cache().shard_stats(),
+                    store,
+                    metrics,
+                }
             })
             .collect()
     }
