@@ -1,7 +1,7 @@
 //! Fig 2 (adoption trends) and Fig 8/9 (rank distributions).
 
 use crate::{overlapping_ids, Series};
-use scanner::{NsCategory, SnapshotStore};
+use scanner::{NsCategory, Observation, ObservationSource};
 use std::collections::HashSet;
 
 /// The four Fig 2 series: apex/www × dynamic/overlapping.
@@ -29,57 +29,45 @@ impl std::fmt::Display for AdoptionSeries {
 
 /// Compute the Fig 2 adoption series. `source_change_day` splits the
 /// overlapping phases exactly as the paper does.
-pub fn fig2_adoption(store: &SnapshotStore, source_change_day: u32) -> AdoptionSeries {
+pub fn fig2_adoption(store: &dyn ObservationSource, source_change_day: u32) -> AdoptionSeries {
     let days = store.days();
     let phase1: Vec<u32> = days.iter().copied().filter(|d| *d < source_change_day).collect();
     let phase2: Vec<u32> = days.iter().copied().filter(|d| *d >= source_change_day).collect();
     let ov1 = overlapping_ids(store, &phase1);
     let ov2 = overlapping_ids(store, &phase2);
 
-    let pct = |day: u32, www: bool, filter: Option<&HashSet<u32>>| -> f64 {
-        let mut total = 0usize;
-        let mut https = 0usize;
-        for o in store.day(day) {
-            if o.is_www() != www {
-                continue;
-            }
-            if let Some(set) = filter {
-                if !set.contains(&o.domain_id) {
-                    continue;
+    // One streaming pass: per day, tally (total, https) for each of the
+    // four series (dynamic/overlapping × apex/www).
+    let mut points: [Vec<(u32, f64)>; 4] = Default::default();
+    store.for_each_day(&mut |day, obs| {
+        let ov = if day < source_change_day { &ov1 } else { &ov2 };
+        let mut tallies = [(0usize, 0usize); 4];
+        for o in obs {
+            let mut bump = |slot: usize| {
+                tallies[slot].0 += 1;
+                if o.https() {
+                    tallies[slot].1 += 1;
                 }
-            }
-            total += 1;
-            if o.https() {
-                https += 1;
+            };
+            let www = usize::from(o.is_www());
+            bump(www);
+            if ov.contains(&o.domain_id) {
+                bump(2 + www);
             }
         }
-        if total == 0 {
-            0.0
-        } else {
-            100.0 * https as f64 / total as f64
+        for (slot, (total, https)) in tallies.iter().enumerate() {
+            let v = if *total == 0 { 0.0 } else { 100.0 * *https as f64 / *total as f64 };
+            points[slot].push((day, v));
         }
-    };
-
-    let series = |label: &str, www: bool, overlapping: bool| -> Series {
-        let points = days
-            .iter()
-            .map(|&d| {
-                let filter = if overlapping {
-                    Some(if d < source_change_day { &ov1 } else { &ov2 })
-                } else {
-                    None
-                };
-                (d, pct(d, www, filter))
-            })
-            .collect();
-        Series { label: label.to_string(), points }
-    };
+    });
+    let [dynamic_apex, dynamic_www, overlapping_apex, overlapping_www] = points;
+    let series = |label: &str, points: Vec<(u32, f64)>| Series { label: label.to_string(), points };
 
     AdoptionSeries {
-        dynamic_apex: series("fig2a dynamic apex %HTTPS", false, false),
-        dynamic_www: series("fig2a dynamic www %HTTPS", true, false),
-        overlapping_apex: series("fig2b overlapping apex %HTTPS", false, true),
-        overlapping_www: series("fig2b overlapping www %HTTPS", true, true),
+        dynamic_apex: series("fig2a dynamic apex %HTTPS", dynamic_apex),
+        dynamic_www: series("fig2a dynamic www %HTTPS", dynamic_www),
+        overlapping_apex: series("fig2b overlapping apex %HTTPS", overlapping_apex),
+        overlapping_www: series("fig2b overlapping www %HTTPS", overlapping_www),
     }
 }
 
@@ -129,7 +117,7 @@ impl std::fmt::Display for RankBuckets {
 /// (averaged over phase-1 days). Also used for Fig 9 by passing the
 /// non-CF adopter set as `special`.
 pub fn fig8_rank_distribution(
-    store: &SnapshotStore,
+    store: &dyn ObservationSource,
     phase_days: &[u32],
     special: Option<&HashSet<u32>>,
 ) -> RankBuckets {
@@ -143,7 +131,8 @@ pub fn fig8_rank_distribution(
             label_b: "non-overlapping".into(),
         };
     };
-    let obs = store.day(probe_day);
+    let mut obs: Vec<Observation> = Vec::new();
+    store.for_day(probe_day, &mut |day_obs| obs.extend_from_slice(day_obs));
     let max_rank = obs.iter().map(|o| o.rank).max().unwrap_or(1).max(1);
     let buckets = 10usize;
     let width = max_rank.div_ceil(buckets as u32).max(1);
@@ -186,15 +175,18 @@ pub fn fig8_rank_distribution(
 
 /// Domain ids whose apex observation shows HTTPS on non-Cloudflare NS on
 /// any sampled day (the Fig 9 population).
-pub fn noncf_adopter_ids(store: &SnapshotStore) -> HashSet<u32> {
-    store
-        .all()
-        .iter()
-        .filter(|o| {
-            !o.is_www()
-                && o.https()
-                && NsCategory::from_u8(o.ns_category) == NsCategory::NoneCloudflare
-        })
-        .map(|o| o.domain_id)
-        .collect()
+pub fn noncf_adopter_ids(store: &dyn ObservationSource) -> HashSet<u32> {
+    let mut ids = HashSet::new();
+    store.for_each_day(&mut |_, obs| {
+        ids.extend(
+            obs.iter()
+                .filter(|o| {
+                    !o.is_www()
+                        && o.https()
+                        && NsCategory::from_u8(o.ns_category) == NsCategory::NoneCloudflare
+                })
+                .map(|o| o.domain_id),
+        );
+    });
+    ids
 }

@@ -6,7 +6,7 @@ use crate::Series;
 use dns_wire::RecordType;
 use ecosystem::{well_known, World};
 use resolver::{RecursiveResolver, ResolverConfig};
-use scanner::{flags, SnapshotStore};
+use scanner::{flags, ObservationSource};
 
 /// Fig 5 + Fig 14 series.
 #[derive(Debug, Clone)]
@@ -41,13 +41,22 @@ impl std::fmt::Display for DnssecSeries {
 }
 
 /// Compute Fig 5 / Fig 14 from the longitudinal store.
-pub fn fig5_dnssec_trend(store: &SnapshotStore) -> DnssecSeries {
-    let series = |www: bool, need: u32, base: u32, label: &str| -> Series {
-        let mut points = Vec::new();
-        for day in store.days() {
+pub fn fig5_dnssec_trend(store: &dyn ObservationSource) -> DnssecSeries {
+    // (www, needed flags, base filter) per series, one streaming pass.
+    let configs: [(bool, u32, u32); 6] = [
+        (false, flags::RRSIG, 0),
+        (false, flags::RRSIG | flags::AD, 0),
+        (true, flags::RRSIG, 0),
+        (true, flags::RRSIG | flags::AD, 0),
+        (false, flags::RRSIG, flags::ECH),
+        (false, flags::RRSIG | flags::AD, flags::ECH),
+    ];
+    let mut points: [Vec<(u32, f64)>; 6] = Default::default();
+    store.for_each_day(&mut |day, obs| {
+        for (slot, &(www, need, base)) in configs.iter().enumerate() {
             let mut total = 0usize;
             let mut hit = 0usize;
-            for o in store.day(day) {
+            for o in obs {
                 if o.is_www() != www || !o.https() || !o.has(base) {
                     continue;
                 }
@@ -56,17 +65,20 @@ pub fn fig5_dnssec_trend(store: &SnapshotStore) -> DnssecSeries {
                     hit += 1;
                 }
             }
-            points.push((day, if total == 0 { 0.0 } else { 100.0 * hit as f64 / total as f64 }));
+            points[slot]
+                .push((day, if total == 0 { 0.0 } else { 100.0 * hit as f64 / total as f64 }));
         }
-        Series { label: label.to_string(), points }
-    };
+    });
+    let [signed_apex, validated_apex, signed_www, validated_www, signed_ech, validated_ech] =
+        points;
+    let series = |label: &str, points: Vec<(u32, f64)>| Series { label: label.to_string(), points };
     DnssecSeries {
-        signed_apex: series(false, flags::RRSIG, 0, "fig5 apex %signed"),
-        validated_apex: series(false, flags::RRSIG | flags::AD, 0, "fig5 apex %validated"),
-        signed_www: series(true, flags::RRSIG, 0, "fig5 www %signed"),
-        validated_www: series(true, flags::RRSIG | flags::AD, 0, "fig5 www %validated"),
-        signed_ech: series(false, flags::RRSIG, flags::ECH, "fig14 ech %signed"),
-        validated_ech: series(false, flags::RRSIG | flags::AD, flags::ECH, "fig14 ech %validated"),
+        signed_apex: series("fig5 apex %signed", signed_apex),
+        validated_apex: series("fig5 apex %validated", validated_apex),
+        signed_www: series("fig5 www %signed", signed_www),
+        validated_www: series("fig5 www %validated", validated_www),
+        signed_ech: series("fig14 ech %signed", signed_ech),
+        validated_ech: series("fig14 ech %validated", validated_ech),
     }
 }
 

@@ -2,7 +2,7 @@
 //! and Fig 4 (key-rotation durations from hourly scans).
 
 use crate::Series;
-use scanner::{flags, EchObservation, SnapshotStore};
+use scanner::{flags, EchObservation, ObservationSource};
 use std::collections::BTreeMap;
 
 /// Fig 13: % of HTTPS-publishing domains with the ech parameter.
@@ -21,13 +21,13 @@ impl std::fmt::Display for EchShareSeries {
 }
 
 /// Compute Fig 13.
-pub fn fig13_ech_share(store: &SnapshotStore) -> EchShareSeries {
-    let series = |www: bool, label: &str| -> Series {
-        let mut points = Vec::new();
-        for day in store.days() {
+pub fn fig13_ech_share(store: &dyn ObservationSource) -> EchShareSeries {
+    let mut points: [Vec<(u32, f64)>; 2] = Default::default();
+    store.for_each_day(&mut |day, obs| {
+        for (slot, www) in [(0usize, false), (1, true)] {
             let mut https = 0usize;
             let mut ech = 0usize;
-            for o in store.day(day) {
+            for o in obs {
                 if o.is_www() != www || !o.https() {
                     continue;
                 }
@@ -36,13 +36,14 @@ pub fn fig13_ech_share(store: &SnapshotStore) -> EchShareSeries {
                     ech += 1;
                 }
             }
-            points.push((day, if https == 0 { 0.0 } else { 100.0 * ech as f64 / https as f64 }));
+            points[slot]
+                .push((day, if https == 0 { 0.0 } else { 100.0 * ech as f64 / https as f64 }));
         }
-        Series { label: label.to_string(), points }
-    };
+    });
+    let [apex, www] = points;
     EchShareSeries {
-        apex: series(false, "fig13 apex %ECH among HTTPS"),
-        www: series(true, "fig13 www %ECH among HTTPS"),
+        apex: Series { label: "fig13 apex %ECH among HTTPS".to_string(), points: apex },
+        www: Series { label: "fig13 www %ECH among HTTPS".to_string(), points: www },
     }
 }
 

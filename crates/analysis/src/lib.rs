@@ -8,6 +8,12 @@
 //! Naming follows DESIGN.md's experiment index (`fig2_adoption`,
 //! `tab2_ns_category`, …), and every result type implements `Display`
 //! so the bench harness can print paper-style tables.
+//!
+//! Every analysis takes `&dyn ObservationSource` and streams the
+//! campaign day-by-day, so it runs identically over an in-memory
+//! [`SnapshotStore`] or a disk-backed [`scanner::StoreReader`] — with
+//! byte-identical reports, and bounded resident memory in the disk
+//! case (a property the workspace's persistence tests pin).
 
 #![warn(missing_docs)]
 
@@ -31,22 +37,27 @@ pub use providers::{
     tab3_top_noncf, IntermittentBreakdown, NoncfSeries, NsCategoryShares, TopProviders,
 };
 pub use vantage_diff::{
-    vantage_diff, vantage_diff_runs, VantageDiffReport, VantageDisagreement, VantageSummary,
+    vantage_diff, vantage_diff_runs, vantage_diff_sources, VantageDiffReport, VantageDisagreement,
+    VantageSummary,
 };
 
-use scanner::SnapshotStore;
+use scanner::ObservationSource;
 use std::collections::HashSet;
 
 /// Domain ids present on the list (i.e. observed) on *every* sampled day
 /// in `days` — the paper's "overlapping domains" for a phase.
-pub fn overlapping_ids(store: &SnapshotStore, days: &[u32]) -> HashSet<u32> {
+pub fn overlapping_ids(source: &dyn ObservationSource, days: &[u32]) -> HashSet<u32> {
     let mut iter = days.iter();
     let Some(first) = iter.next() else { return HashSet::new() };
-    let mut set: HashSet<u32> =
-        store.day(*first).iter().filter(|o| !o.is_www()).map(|o| o.domain_id).collect();
+    let mut set: HashSet<u32> = HashSet::new();
+    source.for_day(*first, &mut |obs| {
+        set = obs.iter().filter(|o| !o.is_www()).map(|o| o.domain_id).collect();
+    });
     for day in iter {
-        let today: HashSet<u32> =
-            store.day(*day).iter().filter(|o| !o.is_www()).map(|o| o.domain_id).collect();
+        let mut today: HashSet<u32> = HashSet::new();
+        source.for_day(*day, &mut |obs| {
+            today = obs.iter().filter(|o| !o.is_www()).map(|o| o.domain_id).collect();
+        });
         set.retain(|id| today.contains(id));
     }
     set
@@ -104,7 +115,7 @@ impl std::fmt::Display for Series {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use scanner::{Observation, OrgId};
+    use scanner::{Observation, OrgId, SnapshotStore};
 
     fn obs(day: u32, id: u32) -> Observation {
         Observation {

@@ -4,7 +4,7 @@
 //! Fig 12 (mismatch durations), §4.3.5 (connectivity).
 
 use crate::Series;
-use scanner::{flags, ConnectivityReport, NsCategory, SnapshotStore};
+use scanner::{flags, ConnectivityReport, NsCategory, ObservationSource};
 use std::collections::{BTreeMap, HashMap};
 
 /// Table 4: Cloudflare default vs customized configuration shares.
@@ -25,12 +25,12 @@ impl std::fmt::Display for CfConfigSplit {
 }
 
 /// Compute Table 4 over all days (average of daily shares).
-pub fn tab4_cf_config(store: &SnapshotStore) -> CfConfigSplit {
+pub fn tab4_cf_config(store: &dyn ObservationSource) -> CfConfigSplit {
     let mut daily = Vec::new();
-    for day in store.days() {
+    store.for_each_day(&mut |_, obs| {
         let mut default = 0usize;
         let mut total = 0usize;
-        for o in store.day(day) {
+        for o in obs {
             if o.is_www()
                 || !o.https()
                 || NsCategory::from_u8(o.ns_category) != NsCategory::FullCloudflare
@@ -45,7 +45,7 @@ pub fn tab4_cf_config(store: &SnapshotStore) -> CfConfigSplit {
         if total > 0 {
             daily.push(100.0 * default as f64 / total as f64);
         }
-    }
+    });
     let default_pct =
         if daily.is_empty() { 0.0 } else { daily.iter().sum::<f64>() / daily.len() as f64 };
     CfConfigSplit { default_pct, customized_pct: 100.0 - default_pct }
@@ -69,29 +69,31 @@ impl std::fmt::Display for ProviderShapes {
 }
 
 /// Compute Table 5 from the last sampled day.
-pub fn tab5_other_providers(store: &SnapshotStore) -> ProviderShapes {
+pub fn tab5_other_providers(store: &dyn ObservationSource) -> ProviderShapes {
     let mut shapes: BTreeMap<String, (usize, usize, usize)> = BTreeMap::new();
     let Some(&last) = store.days().last() else {
         return ProviderShapes { shapes };
     };
-    for o in store.day(last) {
-        if o.is_www() || !o.https() {
-            continue;
-        }
-        if NsCategory::from_u8(o.ns_category) != NsCategory::NoneCloudflare {
-            continue;
-        }
-        let org = store.orgs.name(o.org).unwrap_or("<unknown>").to_string();
-        let entry = shapes.entry(org).or_default();
-        if o.has(flags::ALIAS_MODE) {
-            entry.0 += 1;
-        } else {
-            entry.1 += 1;
-            if o.has(flags::EMPTY_SVCPARAMS) {
-                entry.2 += 1;
+    store.for_day(last, &mut |obs| {
+        for o in obs {
+            if o.is_www() || !o.https() {
+                continue;
+            }
+            if NsCategory::from_u8(o.ns_category) != NsCategory::NoneCloudflare {
+                continue;
+            }
+            let org = store.org_name(o.org).unwrap_or("<unknown>").to_string();
+            let entry = shapes.entry(org).or_default();
+            if o.has(flags::ALIAS_MODE) {
+                entry.0 += 1;
+            } else {
+                entry.1 += 1;
+                if o.has(flags::EMPTY_SVCPARAMS) {
+                    entry.2 += 1;
+                }
             }
         }
-    }
+    });
     ProviderShapes { shapes }
 }
 
@@ -120,30 +122,32 @@ impl std::fmt::Display for AnomalyCounts {
 }
 
 /// Compute the anomaly counts (distinct domains over the whole study).
-pub fn sec433_anomalies(store: &SnapshotStore) -> AnomalyCounts {
+pub fn sec433_anomalies(store: &dyn ObservationSource) -> AnomalyCounts {
     use std::collections::HashSet;
     let mut empty: HashSet<u32> = HashSet::new();
     let mut self_dot: HashSet<u32> = HashSet::new();
     let mut ip_lit: HashSet<u32> = HashSet::new();
     let mut hist: BTreeMap<u16, usize> = BTreeMap::new();
     let mut seen_prio: HashSet<u32> = HashSet::new();
-    for o in store.all() {
-        if o.is_www() || !o.https() {
-            continue;
+    store.for_each_day(&mut |_, obs| {
+        for o in obs {
+            if o.is_www() || !o.https() {
+                continue;
+            }
+            if o.has(flags::EMPTY_SVCPARAMS) {
+                empty.insert(o.domain_id);
+            }
+            if o.has(flags::TARGET_SELF_DOT) {
+                self_dot.insert(o.domain_id);
+            }
+            if o.has(flags::IP_LITERAL_TARGET) {
+                ip_lit.insert(o.domain_id);
+            }
+            if seen_prio.insert(o.domain_id) {
+                *hist.entry(o.min_priority).or_default() += 1;
+            }
         }
-        if o.has(flags::EMPTY_SVCPARAMS) {
-            empty.insert(o.domain_id);
-        }
-        if o.has(flags::TARGET_SELF_DOT) {
-            self_dot.insert(o.domain_id);
-        }
-        if o.has(flags::IP_LITERAL_TARGET) {
-            ip_lit.insert(o.domain_id);
-        }
-        if seen_prio.insert(o.domain_id) {
-            *hist.entry(o.min_priority).or_default() += 1;
-        }
-    }
+    });
     AnomalyCounts {
         empty_servicemode: empty.len(),
         alias_self_dot: self_dot.len(),
@@ -178,46 +182,48 @@ impl std::fmt::Display for AlpnShares {
 }
 
 /// Compute Table 8; `sunset_day` is the h3-29 cutoff (2023-05-31).
-pub fn tab8_alpn(store: &SnapshotStore, sunset_day: u32) -> AlpnShares {
+pub fn tab8_alpn(store: &dyn ObservationSource, sunset_day: u32) -> AlpnShares {
     let mut apex = [0usize; 6]; // h1, h2, h3, h3-29, h3-27, no-alpn
     let mut www = [0usize; 6];
     let mut apex_total = 0usize;
     let mut www_total = 0usize;
     let mut h3_29_before = (0usize, 0usize);
     let mut h3_29_after = (0usize, 0usize);
-    for o in store.all() {
-        if !o.https() {
-            continue;
-        }
-        let bucket = if o.is_www() { &mut www } else { &mut apex };
-        let total = if o.is_www() { &mut www_total } else { &mut apex_total };
-        *total += 1;
-        if o.has(flags::ALPN_H1) {
-            bucket[0] += 1;
-        }
-        if o.has(flags::ALPN_H2) {
-            bucket[1] += 1;
-        }
-        if o.has(flags::ALPN_H3) {
-            bucket[2] += 1;
-        }
-        if o.has(flags::ALPN_H3_29) {
-            bucket[3] += 1;
-        }
-        if o.has(flags::ALPN_H3_27) {
-            bucket[4] += 1;
-        }
-        if o.has(flags::NO_ALPN) {
-            bucket[5] += 1;
-        }
-        if !o.is_www() {
-            let side = if o.day < sunset_day { &mut h3_29_before } else { &mut h3_29_after };
-            side.1 += 1;
+    store.for_each_day(&mut |_, obs| {
+        for o in obs {
+            if !o.https() {
+                continue;
+            }
+            let bucket = if o.is_www() { &mut www } else { &mut apex };
+            let total = if o.is_www() { &mut www_total } else { &mut apex_total };
+            *total += 1;
+            if o.has(flags::ALPN_H1) {
+                bucket[0] += 1;
+            }
+            if o.has(flags::ALPN_H2) {
+                bucket[1] += 1;
+            }
+            if o.has(flags::ALPN_H3) {
+                bucket[2] += 1;
+            }
             if o.has(flags::ALPN_H3_29) {
-                side.0 += 1;
+                bucket[3] += 1;
+            }
+            if o.has(flags::ALPN_H3_27) {
+                bucket[4] += 1;
+            }
+            if o.has(flags::NO_ALPN) {
+                bucket[5] += 1;
+            }
+            if !o.is_www() {
+                let side = if o.day < sunset_day { &mut h3_29_before } else { &mut h3_29_after };
+                side.1 += 1;
+                if o.has(flags::ALPN_H3_29) {
+                    side.0 += 1;
+                }
             }
         }
-    }
+    });
     let pct = |n: usize, d: usize| if d == 0 { 0.0 } else { 100.0 * n as f64 / d as f64 };
     let labels = ["HTTP/1.1", "HTTP/2", "HTTP/3", "HTTP/3-29", "HTTP/3-27", "no alpn"];
     let rows = labels
@@ -256,14 +262,16 @@ impl std::fmt::Display for IpHintSeries {
 }
 
 /// Compute Fig 11.
-pub fn fig11_iphints(store: &SnapshotStore) -> IpHintSeries {
-    let series = |www: bool, matching: bool, label: &str| -> Series {
-        let mut points = Vec::new();
-        for day in store.days() {
+pub fn fig11_iphints(store: &dyn ObservationSource) -> IpHintSeries {
+    // (www, matching) per series slot, one streaming pass.
+    let configs: [(bool, bool); 4] = [(false, false), (false, true), (true, false), (true, true)];
+    let mut points: [Vec<(u32, f64)>; 4] = Default::default();
+    store.for_each_day(&mut |day, obs| {
+        for (slot, &(www, matching)) in configs.iter().enumerate() {
             let mut with_hint = 0usize;
             let mut matched = 0usize;
             let mut https_total = 0usize;
-            for o in store.day(day) {
+            for o in obs {
                 if o.is_www() != www || !o.https() {
                     continue;
                 }
@@ -286,15 +294,16 @@ pub fn fig11_iphints(store: &SnapshotStore) -> IpHintSeries {
             } else {
                 100.0 * with_hint as f64 / https_total as f64
             };
-            points.push((day, v));
+            points[slot].push((day, v));
         }
-        Series { label: label.to_string(), points }
-    };
+    });
+    let [apex_utilization, apex_match, www_utilization, www_match] = points;
+    let series = |label: &str, points: Vec<(u32, f64)>| Series { label: label.to_string(), points };
     IpHintSeries {
-        apex_utilization: series(false, false, "fig11a apex %ipv4hint"),
-        apex_match: series(false, true, "fig11a apex %hint==A"),
-        www_utilization: series(true, false, "fig11b www %ipv4hint"),
-        www_match: series(true, true, "fig11b www %hint==A"),
+        apex_utilization: series("fig11a apex %ipv4hint", apex_utilization),
+        apex_match: series("fig11a apex %hint==A", apex_match),
+        www_utilization: series("fig11b www %ipv4hint", www_utilization),
+        www_match: series("fig11b www %hint==A", www_match),
     }
 }
 
@@ -334,15 +343,17 @@ impl std::fmt::Display for MismatchDurations {
 }
 
 /// Compute Fig 12 from consecutive-day mismatch runs.
-pub fn fig12_mismatch_durations(store: &SnapshotStore) -> MismatchDurations {
+pub fn fig12_mismatch_durations(store: &dyn ObservationSource) -> MismatchDurations {
     // domain → ordered (day, mismatched) for hint-bearing observations.
     let mut tracks: HashMap<u32, Vec<(u32, bool)>> = HashMap::new();
-    for o in store.all() {
-        if o.is_www() || !o.https() || !o.has(flags::IPV4HINT) {
-            continue;
+    store.for_each_day(&mut |_, obs| {
+        for o in obs {
+            if o.is_www() || !o.https() || !o.has(flags::IPV4HINT) {
+                continue;
+            }
+            tracks.entry(o.domain_id).or_default().push((o.day, !o.has(flags::HINT_MATCH)));
         }
-        tracks.entry(o.domain_id).or_default().push((o.day, !o.has(flags::HINT_MATCH)));
-    }
+    });
     let mut histogram: BTreeMap<u32, usize> = BTreeMap::new();
     let mut always = 0usize;
     for (_, mut seq) in tracks {

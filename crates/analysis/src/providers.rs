@@ -3,7 +3,7 @@
 //! HTTPS records).
 
 use crate::Series;
-use scanner::{flags, NsCategory, OrgId, SnapshotStore};
+use scanner::{flags, NsCategory, ObservationSource, OrgId};
 use std::collections::{BTreeMap, HashMap, HashSet};
 
 /// Table 2: mean/std shares of NS categories among HTTPS-positive apexes.
@@ -37,13 +37,13 @@ impl std::fmt::Display for NsCategoryShares {
 }
 
 /// Compute Table 2 over all sampled days.
-pub fn tab2_ns_category(store: &SnapshotStore) -> NsCategoryShares {
+pub fn tab2_ns_category(store: &dyn ObservationSource) -> NsCategoryShares {
     let mut full = Vec::new();
     let mut none = Vec::new();
     let mut partial = Vec::new();
-    for day in store.days() {
+    store.for_each_day(&mut |_, obs| {
         let mut counts = [0usize; 3];
-        for o in store.day(day) {
+        for o in obs {
             if o.is_www() || !o.https() {
                 continue;
             }
@@ -60,7 +60,7 @@ pub fn tab2_ns_category(store: &SnapshotStore) -> NsCategoryShares {
             partial.push(100.0 * counts[1] as f64 / total as f64);
             none.push(100.0 * counts[2] as f64 / total as f64);
         }
-    }
+    });
     let stats = |v: &[f64]| -> (f64, f64) {
         if v.is_empty() {
             return (0.0, 0.0);
@@ -93,23 +93,25 @@ impl std::fmt::Display for TopProviders {
 }
 
 /// Compute Table 3 over all sampled days.
-pub fn tab3_top_noncf(store: &SnapshotStore) -> TopProviders {
+pub fn tab3_top_noncf(store: &dyn ObservationSource) -> TopProviders {
     let mut per_org: HashMap<OrgId, HashSet<u32>> = HashMap::new();
-    for o in store.all() {
-        if o.is_www() || !o.https() {
-            continue;
+    store.for_each_day(&mut |_, obs| {
+        for o in obs {
+            if o.is_www() || !o.https() {
+                continue;
+            }
+            if NsCategory::from_u8(o.ns_category) != NsCategory::NoneCloudflare {
+                continue;
+            }
+            if !o.org.is_none() {
+                per_org.entry(o.org).or_default().insert(o.domain_id);
+            }
         }
-        if NsCategory::from_u8(o.ns_category) != NsCategory::NoneCloudflare {
-            continue;
-        }
-        if !o.org.is_none() {
-            per_org.entry(o.org).or_default().insert(o.domain_id);
-        }
-    }
+    });
     let mut providers: Vec<(String, usize)> = per_org
         .into_iter()
         .map(|(org, domains)| {
-            (store.orgs.name(org).unwrap_or("<unknown>").to_string(), domains.len())
+            (store.org_name(org).unwrap_or("<unknown>").to_string(), domains.len())
         })
         .collect();
     providers.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
@@ -132,13 +134,13 @@ impl std::fmt::Display for NoncfSeries {
 }
 
 /// Compute the Fig 3 provider-count series.
-pub fn fig3_noncf_provider_count(store: &SnapshotStore) -> NoncfSeries {
+pub fn fig3_noncf_provider_count(store: &dyn ObservationSource) -> NoncfSeries {
     let mut provider_points = Vec::new();
     let mut domain_points = Vec::new();
-    for day in store.days() {
+    store.for_each_day(&mut |day, obs| {
         let mut orgs = HashSet::new();
         let mut domains = 0usize;
-        for o in store.day(day) {
+        for o in obs {
             if o.is_www() || !o.https() {
                 continue;
             }
@@ -151,7 +153,7 @@ pub fn fig3_noncf_provider_count(store: &SnapshotStore) -> NoncfSeries {
         }
         provider_points.push((day, orgs.len() as f64));
         domain_points.push((day, domains as f64));
-    }
+    });
     NoncfSeries {
         provider_count: Series {
             label: "fig3 distinct non-CF providers".into(),
@@ -165,7 +167,7 @@ pub fn fig3_noncf_provider_count(store: &SnapshotStore) -> NoncfSeries {
 }
 
 /// Alias of [`fig3_noncf_provider_count`] for the Fig 10 series.
-pub fn fig10_noncf_domains(store: &SnapshotStore) -> Series {
+pub fn fig10_noncf_domains(store: &dyn ObservationSource) -> Series {
     fig3_noncf_provider_count(store).domain_count
 }
 
@@ -196,7 +198,7 @@ impl std::fmt::Display for IntermittentBreakdown {
 }
 
 /// Compute the §4.2.3 breakdown.
-pub fn sec423_intermittent(store: &SnapshotStore) -> IntermittentBreakdown {
+pub fn sec423_intermittent(store: &dyn ObservationSource) -> IntermittentBreakdown {
     // Track per-domain: days with/without HTTPS (only days the domain was
     // listed) and the NS categories observed while HTTPS was active or not.
     #[derive(Default)]
@@ -207,28 +209,30 @@ pub fn sec423_intermittent(store: &SnapshotStore) -> IntermittentBreakdown {
         lost_ns: bool,
     }
     let mut tracks: BTreeMap<u32, Track> = BTreeMap::new();
-    for o in store.all() {
-        if o.is_www() || o.has(flags::RESOLUTION_FAILED) {
-            // Resolution failures count as "lost NS" evidence.
-            if !o.is_www() && o.has(flags::RESOLUTION_FAILED) {
-                tracks.entry(o.domain_id).or_default().lost_ns = true;
-                tracks.entry(o.domain_id).or_default().without += 1;
+    store.for_each_day(&mut |_, obs| {
+        for o in obs {
+            if o.is_www() || o.has(flags::RESOLUTION_FAILED) {
+                // Resolution failures count as "lost NS" evidence.
+                if !o.is_www() && o.has(flags::RESOLUTION_FAILED) {
+                    tracks.entry(o.domain_id).or_default().lost_ns = true;
+                    tracks.entry(o.domain_id).or_default().without += 1;
+                }
+                continue;
             }
-            continue;
+            let t = tracks.entry(o.domain_id).or_default();
+            if NsCategory::from_u8(o.ns_category) == NsCategory::NoNs {
+                // Delegation gone while listed: the "no NS records" class.
+                t.lost_ns = true;
+            } else {
+                t.categories.insert(o.ns_category);
+            }
+            if o.https() {
+                t.with += 1;
+            } else {
+                t.without += 1;
+            }
         }
-        let t = tracks.entry(o.domain_id).or_default();
-        if NsCategory::from_u8(o.ns_category) == NsCategory::NoNs {
-            // Delegation gone while listed: the "no NS records" class.
-            t.lost_ns = true;
-        } else {
-            t.categories.insert(o.ns_category);
-        }
-        if o.https() {
-            t.with += 1;
-        } else {
-            t.without += 1;
-        }
-    }
+    });
     let mut out = IntermittentBreakdown::default();
     for t in tracks.values() {
         if t.with == 0 || t.without == 0 {

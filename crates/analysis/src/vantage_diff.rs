@@ -12,7 +12,7 @@
 //! observation that the record's visibility depends on where you look
 //! from.
 
-use scanner::{SnapshotStore, VantageRun};
+use scanner::{ObservationSource, SnapshotStore, VantageRun};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 /// One cross-vantage disagreement: a (day, name) whose HTTPS presence
@@ -120,14 +120,17 @@ impl std::fmt::Display for VantageDiffReport {
 
 /// Presence key: (domain, www-flag) → HTTPS seen. Skips rows whose
 /// resolution failed outright (no view to compare — the `everywhere`
-/// filter in [`vantage_diff`] then drops the name for that day).
-fn presence_of(store: &SnapshotStore, day: u32) -> HashMap<(u32, bool), bool> {
-    store
-        .day(day)
-        .iter()
-        .filter(|o| !o.has(scanner::flags::RESOLUTION_FAILED))
-        .map(|o| ((o.domain_id, o.is_www()), o.https()))
-        .collect()
+/// filter in [`vantage_diff_sources`] then drops the name for that day).
+fn presence_of(source: &dyn ObservationSource, day: u32) -> HashMap<(u32, bool), bool> {
+    let mut map = HashMap::new();
+    source.for_day(day, &mut |obs| {
+        map.extend(
+            obs.iter()
+                .filter(|o| !o.has(scanner::flags::RESOLUTION_FAILED))
+                .map(|o| ((o.domain_id, o.is_www()), o.https())),
+        );
+    });
+    map
 }
 
 /// Diff per-vantage stores produced by one multi-vantage campaign run.
@@ -138,19 +141,23 @@ fn presence_of(store: &SnapshotStore, day: u32) -> HashMap<(u32, bool), bool> {
 /// with telemetry, [`vantage_diff_runs`] adds the cache-hit-rate
 /// column.
 pub fn vantage_diff(stores: &[SnapshotStore]) -> VantageDiffReport {
-    let stores: Vec<&SnapshotStore> = stores.iter().collect();
-    diff_stores(&stores)
+    let sources: Vec<&dyn ObservationSource> =
+        stores.iter().map(|s| s as &dyn ObservationSource).collect();
+    vantage_diff_sources(&sources)
 }
 
-fn diff_stores(stores: &[&SnapshotStore]) -> VantageDiffReport {
-    let vantages: Vec<String> = stores.iter().map(|s| s.vantage().to_string()).collect();
+/// Diff any mix of observation sources — in-memory [`SnapshotStore`]s or
+/// disk-backed [`scanner::StoreReader`]s — one streamed day at a time,
+/// never materializing more than one day per source.
+pub fn vantage_diff_sources(sources: &[&dyn ObservationSource]) -> VantageDiffReport {
+    let vantages: Vec<String> = sources.iter().map(|s| s.vantage().to_string()).collect();
 
-    // Days common to all stores.
-    let mut days: Vec<u32> = match stores.first() {
+    // Days common to all sources.
+    let mut days: Vec<u32> = match sources.first() {
         Some(s) => s.days(),
         None => Vec::new(),
     };
-    for s in stores.iter().skip(1) {
+    for s in sources.iter().skip(1) {
         let own: BTreeSet<u32> = s.days().into_iter().collect();
         days.retain(|d| own.contains(d));
     }
@@ -161,7 +168,7 @@ fn diff_stores(stores: &[&SnapshotStore]) -> VantageDiffReport {
 
     for &day in &days {
         let views: Vec<HashMap<(u32, bool), bool>> =
-            stores.iter().map(|s| presence_of(s, day)).collect();
+            sources.iter().map(|s| presence_of(*s, day)).collect();
         let mut count = 0usize;
         // Keys present in every view, in deterministic order.
         let keys: BTreeSet<(u32, bool)> = match views.first() {
@@ -194,16 +201,21 @@ fn diff_stores(stores: &[&SnapshotStore]) -> VantageDiffReport {
         per_day.insert(day, count);
     }
 
-    let summaries = stores
+    let common: BTreeSet<u32> = days.iter().copied().collect();
+    let summaries = sources
         .iter()
         .map(|s| {
-            // Mean daily HTTPS-positive apex count over the common days,
-            // plus the failure/timeout tallies for the loss view.
+            // One streaming pass over the common days: positive/failure
+            // tallies plus the per-name presence timelines for flapping.
             let mut positives = 0usize;
             let mut resolution_failures = 0usize;
             let mut timeouts = 0usize;
-            for &day in &days {
-                for o in s.day(day) {
+            let mut timelines: HashMap<(u32, bool), Vec<bool>> = HashMap::new();
+            s.for_each_day(&mut |day, obs| {
+                if !common.contains(&day) {
+                    return;
+                }
+                for o in obs {
                     if !o.is_www() && o.https() {
                         positives += 1;
                     }
@@ -213,19 +225,14 @@ fn diff_stores(stores: &[&SnapshotStore]) -> VantageDiffReport {
                             timeouts += 1;
                         }
                     }
+                    timelines.entry((o.domain_id, o.is_www())).or_default().push(o.https());
                 }
-            }
+            });
             let mean_positive =
                 if days.is_empty() { 0.0 } else { positives as f64 / days.len() as f64 };
 
             // Flapping: domains observed every day whose presence changed
             // between consecutive sampled days.
-            let mut timelines: HashMap<(u32, bool), Vec<bool>> = HashMap::new();
-            for &day in &days {
-                for o in s.day(day) {
-                    timelines.entry((o.domain_id, o.is_www())).or_default().push(o.https());
-                }
-            }
             let full: Vec<&Vec<bool>> =
                 timelines.values().filter(|t| t.len() == days.len()).collect();
             let flapped = full.iter().filter(|t| t.windows(2).any(|w| w[0] != w[1])).count();
@@ -253,8 +260,9 @@ fn diff_stores(stores: &[&SnapshotStore]) -> VantageDiffReport {
 /// non-validating `isp` preset revisits cached keys far less than the
 /// validating `google`/`cloudflare` ones at daily cadence).
 pub fn vantage_diff_runs(runs: &[VantageRun]) -> VantageDiffReport {
-    let stores: Vec<&SnapshotStore> = runs.iter().map(|r| &r.store).collect();
-    let mut report = diff_stores(&stores);
+    let sources: Vec<&dyn ObservationSource> =
+        runs.iter().map(|r| &r.store as &dyn ObservationSource).collect();
+    let mut report = vantage_diff_sources(&sources);
     for (summary, run) in report.summaries.iter_mut().zip(runs) {
         summary.cache_hit_rate = Some(run.cache.hit_rate());
     }

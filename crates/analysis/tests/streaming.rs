@@ -1,0 +1,128 @@
+//! Disk/memory equivalence for every trait-driven analysis: one
+//! campaign is run twice on identical worlds — once into in-memory
+//! [`scanner::SnapshotStore`]s, once write-through into the on-disk
+//! columnar store — and every analysis entry point must render a
+//! byte-identical report whether it streams from [`scanner::StoreReader`]s
+//! or walks the in-memory stores. This is the contract that makes the
+//! disk store a drop-in backend for multi-year campaigns.
+
+use analysis::{adoption, dnssec_a, ech, providers, vantage_diff_sources};
+use ecosystem::{EcosystemConfig, World};
+use resolver::VantagePoint;
+use scanner::{open_store, write_combined_csv, Campaign, ObservationSource, SnapshotStore};
+use std::path::PathBuf;
+
+fn scratch() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "httpsrr-analysis-streaming-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn campaign() -> Campaign {
+    Campaign {
+        sample_days: vec![0, 2, 4, 6],
+        scan_www: true,
+        threads: 3,
+        vantages: VantagePoint::presets(),
+    }
+}
+
+/// Every trait-driven analysis over one source, rendered to one string.
+fn full_report(source: &dyn ObservationSource) -> String {
+    use std::fmt::Write;
+    let days = source.days();
+    let mut out = String::new();
+    let _ = writeln!(out, "== vantage {} ==", source.vantage());
+    let _ = write!(out, "{}", adoption::fig2_adoption(source, 3));
+    let _ = write!(out, "{}", adoption::fig8_rank_distribution(source, &days, None));
+    let noncf = adoption::noncf_adopter_ids(source);
+    let _ = write!(out, "{}", adoption::fig8_rank_distribution(source, &days, Some(&noncf)));
+    let _ = write!(out, "{}", providers::tab2_ns_category(source));
+    let _ = write!(out, "{}", providers::tab3_top_noncf(source));
+    let _ = write!(out, "{}", providers::fig3_noncf_provider_count(source));
+    let _ = write!(out, "{}", providers::sec423_intermittent(source));
+    let _ = write!(out, "{}", dnssec_a::fig5_dnssec_trend(source));
+    let _ = write!(out, "{}", ech::fig13_ech_share(source));
+    let _ = write!(out, "{}", analysis::params::tab4_cf_config(source));
+    let _ = write!(out, "{}", analysis::params::tab5_other_providers(source));
+    let _ = write!(out, "{}", analysis::params::sec433_anomalies(source));
+    let _ = write!(out, "{}", analysis::params::tab8_alpn(source, 3));
+    let _ = write!(out, "{}", analysis::params::fig11_iphints(source));
+    let _ = write!(out, "{}", analysis::params::fig12_mismatch_durations(source));
+    out
+}
+
+#[test]
+fn every_analysis_is_byte_identical_from_disk_and_memory() {
+    let config = EcosystemConfig { population: 350, list_size: 260, ..EcosystemConfig::tiny() };
+
+    // In-memory reference campaign.
+    let mut world = World::build(config.clone());
+    let stores: Vec<SnapshotStore> = campaign().run_vantages(&mut world);
+
+    // Identical campaign written through to disk.
+    let dir = scratch();
+    let mut world = World::build(config);
+    let writer_campaign = campaign();
+    let mut writer = writer_campaign.create_store(&world, &dir).expect("create store");
+    writer_campaign.run_to_store(&mut world, &mut writer).expect("write-through");
+    drop(writer);
+    let disk = open_store(&dir).expect("reopen");
+
+    // Per-vantage: every analysis display output must match exactly.
+    assert_eq!(disk.readers.len(), stores.len());
+    for (reader, store) in disk.readers.iter().zip(&stores) {
+        assert_eq!(
+            full_report(reader),
+            full_report(store),
+            "analysis reports diverged between disk and memory for vantage {}",
+            store.vantage()
+        );
+    }
+
+    // Cross-vantage: the diff report and the combined CSV view too.
+    let from_disk = vantage_diff_sources(&disk.sources()).to_string();
+    let in_memory = vantage_diff_sources(
+        &stores.iter().map(|s| s as &dyn ObservationSource).collect::<Vec<_>>(),
+    )
+    .to_string();
+    assert_eq!(from_disk, in_memory, "vantage_diff diverged between disk and memory");
+
+    let mut disk_csv = Vec::new();
+    write_combined_csv(&disk.sources(), &mut disk_csv).expect("disk csv");
+    let memory_csv = scanner::combined_csv(&stores);
+    assert_eq!(
+        String::from_utf8(disk_csv).expect("utf8"),
+        memory_csv,
+        "combined CSV diverged between disk and memory"
+    );
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}
+
+#[test]
+fn materialized_store_round_trips_through_disk() {
+    let config = EcosystemConfig { population: 300, list_size: 220, ..EcosystemConfig::tiny() };
+    let mut world = World::build(config.clone());
+    let stores = campaign().run_vantages(&mut world);
+
+    let dir = scratch();
+    let mut world = World::build(config);
+    let c = campaign();
+    let mut writer = c.create_store(&world, &dir).expect("create store");
+    c.run_to_store(&mut world, &mut writer).expect("write-through");
+    drop(writer);
+
+    // Materializing the disk store back into SnapshotStores reproduces
+    // the in-memory campaign exactly (the CSV view covers every column).
+    let materialized = open_store(&dir).expect("reopen").materialize();
+    assert_eq!(materialized.len(), stores.len());
+    for (m, s) in materialized.iter().zip(&stores) {
+        assert_eq!(m.vantage(), s.vantage());
+        assert_eq!(m.to_csv(), s.to_csv());
+    }
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}

@@ -31,16 +31,30 @@
 //! Telemetry is purely observational — an instrumented campaign
 //! produces a byte-identical [`SnapshotStore`] to an uninstrumented
 //! one, a property pinned by this crate's tests.
+//!
+//! ## Persistence
+//!
+//! [`Campaign::run_to_store`] is the write-through mode: the same scan
+//! core, but each day's observations are flushed to an on-disk
+//! [`StoreWriter`] chunk as the day completes (at most one day
+//! resident). On a resumed writer the completed days are replayed and
+//! verified rather than rewritten — engine state (cache contents,
+//! round-robin cursors, per-zone RNG streams) persists across scan
+//! days, so deterministic replay is the only way a restart can be
+//! byte-identical to an uninterrupted run.
 
 use crate::observation::{flags, NsCategory, Observation};
-use crate::store::{OrgId, SnapshotStore};
+use crate::store::persist::{StoreMeta, StoreWriter};
+use crate::store::{OrgId, OrgInterner, SnapshotStore};
 use dns_wire::{DnsName, RData, RecordType, SvcbRdata};
 use ecosystem::World;
 use resolver::{
     CacheStats, Query, QueryEngine, Resolution, ResolveError, SelectionStrategy, VantagePoint,
 };
 use std::collections::HashMap;
+use std::io::{self, ErrorKind};
 use std::net::Ipv4Addr;
+use std::path::Path;
 use std::sync::Arc;
 use std::time::Instant;
 use telemetry::MetricsRegistry;
@@ -125,32 +139,90 @@ impl Campaign {
     }
 
     fn run_internal(&self, world: &mut World, instrument: bool) -> Vec<VantageRun> {
-        let vantages = self.effective_vantages();
-        // Pre-intern known orgs (identically per store) so scan
-        // processing needs no interner.
-        let mut org_ids: HashMap<String, OrgId> = HashMap::new();
-        let mut runs: Vec<(QueryEngine, SnapshotStore, Arc<MetricsRegistry>)> = vantages
+        let (orgs, _) = Self::canonical_orgs(world);
+        let mut stores: Vec<SnapshotStore> = self
+            .effective_vantages()
             .iter()
             .map(|v| {
                 let mut store = SnapshotStore::with_vantage(&v.name);
-                for infra in world.catalog.all() {
-                    let id = store.orgs.intern(infra.spec.org);
-                    org_ids.insert(infra.spec.org.to_string(), id);
+                store.orgs = orgs.clone();
+                store
+            })
+            .collect();
+        let engines = self
+            .drive(world, instrument, &mut |vi, day, obs| {
+                stores[vi].push_day(day, obs);
+                Ok(())
+            })
+            .expect("in-memory day sink cannot fail");
+        engines
+            .into_iter()
+            .zip(stores)
+            .map(|((engine, metrics), store)| {
+                if instrument {
+                    // Eviction-class counters (capacity, evictions,
+                    // sweeps) are deterministic — zero on the campaign's
+                    // unbounded caches — so they join the pinned export.
+                    engine.cache().export_eviction_metrics(&metrics);
                 }
-                let byoip = store.orgs.intern("BYOIP Customer Org");
-                org_ids.insert("BYOIP Customer Org".to_string(), byoip);
+                VantageRun {
+                    cache: engine.cache().stats(),
+                    shards: engine.cache().shard_stats(),
+                    store,
+                    metrics,
+                }
+            })
+            .collect()
+    }
+
+    /// The campaign's canonical org interner and name→id map, interned
+    /// in the same deterministic order as every per-vantage store (the
+    /// world's catalog, then the BYOIP sentinel org). Scan processing
+    /// needs only the id map; stores clone the interner so org ids
+    /// agree across vantages and with the on-disk dictionary.
+    fn canonical_orgs(world: &World) -> (OrgInterner, HashMap<String, OrgId>) {
+        let mut orgs = OrgInterner::default();
+        let mut org_ids: HashMap<String, OrgId> = HashMap::new();
+        for infra in world.catalog.all() {
+            let id = orgs.intern(infra.spec.org);
+            org_ids.insert(infra.spec.org.to_string(), id);
+        }
+        let byoip = orgs.intern("BYOIP Customer Org");
+        org_ids.insert("BYOIP Customer Org".to_string(), byoip);
+        (orgs, org_ids)
+    }
+
+    /// The campaign core every entry point drives: one engine per
+    /// vantage, the world stepped once per scan day, every vantage
+    /// scanning the identical frozen state, and each completed day
+    /// handed to `on_day(vantage_index, day, observations)`. The sink
+    /// decides where days land (in-memory store, write-through disk
+    /// chunk, or replay verification); resolution is byte-identical
+    /// across sinks because the sink is invoked strictly after the
+    /// day's scan.
+    fn drive(
+        &self,
+        world: &mut World,
+        instrument: bool,
+        on_day: &mut dyn FnMut(usize, u32, Vec<Observation>) -> io::Result<()>,
+    ) -> io::Result<Vec<(QueryEngine, Arc<MetricsRegistry>)>> {
+        let (_, org_ids) = Self::canonical_orgs(world);
+        let mut engines: Vec<(QueryEngine, Arc<MetricsRegistry>)> = self
+            .effective_vantages()
+            .iter()
+            .map(|v| {
                 let metrics = Arc::new(MetricsRegistry::new(&v.name));
                 let mut engine = v.engine(world.network.clone(), world.registry.clone());
                 if instrument {
                     engine = engine.with_metrics(metrics.clone());
                 }
-                (engine, store, metrics)
+                (engine, metrics)
             })
             .collect();
 
         for &day in &self.sample_days {
             world.step_to_day(day);
-            for (engine, store, metrics) in runs.iter_mut() {
+            for (vi, (engine, metrics)) in engines.iter_mut().enumerate() {
                 let day_start = instrument.then(Instant::now);
                 let lookups_before =
                     if instrument { metrics.counter_value("engine.distinct") } else { 0 };
@@ -173,26 +245,96 @@ impl Campaign {
                     metrics.counter("scan.days").inc();
                     metrics.counter("scan.observations").add(obs.len() as u64);
                 }
-                store.push_day(day as u32, obs);
+                on_day(vi, day as u32, obs)?;
             }
         }
-        runs.into_iter()
-            .map(|(engine, store, metrics)| {
-                if instrument {
-                    // Eviction-class counters (capacity, evictions,
-                    // sweeps) are deterministic — zero on the campaign's
-                    // unbounded caches — so they join the pinned export.
-                    engine.cache().export_eviction_metrics(&metrics);
-                }
-                VantageRun {
-                    cache: engine.cache().stats(),
-                    shards: engine.cache().shard_stats(),
-                    store,
-                    metrics,
-                }
-            })
-            .collect()
+        Ok(engines)
     }
+
+    /// Create a fresh on-disk store for this campaign over this world
+    /// (manifest records the campaign shape and the world's seed/
+    /// population/list size, making `resume` self-contained).
+    pub fn create_store(&self, world: &World, dir: &Path) -> io::Result<StoreWriter> {
+        StoreWriter::create(dir, self.store_meta(world))
+    }
+
+    /// The manifest this campaign/world pair writes.
+    pub fn store_meta(&self, world: &World) -> StoreMeta {
+        StoreMeta {
+            vantages: self.effective_vantages().iter().map(|v| v.name.clone()).collect(),
+            sample_days: self.sample_days.clone(),
+            scan_www: self.scan_www,
+            world_seed: world.config.seed,
+            population: world.config.population as u64,
+            list_size: world.config.list_size as u64,
+        }
+    }
+
+    /// Run the campaign write-through: each day's observations are
+    /// flushed to the writer as one column chunk per vantage the moment
+    /// the day's scan completes, so at most one day is ever resident.
+    ///
+    /// On a writer reopened with [`StoreWriter::open_resume`], the days
+    /// already on disk are deterministically *replayed*: the scan runs
+    /// exactly as in a fresh campaign (rebuilding the engines' cache,
+    /// round-robin, and per-zone RNG state, which persist across days
+    /// and would diverge under any shortcut), and each replayed day is
+    /// verified byte-for-byte against its stored chunk instead of being
+    /// rewritten. Appending resumes at the first missing day — which is
+    /// what makes an interrupted-then-resumed campaign byte-identical
+    /// to an uninterrupted one.
+    pub fn run_to_store(
+        &self,
+        world: &mut World,
+        writer: &mut StoreWriter,
+    ) -> io::Result<StoreRunReport> {
+        let expected_meta = self.store_meta(world);
+        if *writer.meta() != expected_meta {
+            return Err(io::Error::new(
+                ErrorKind::InvalidInput,
+                "store manifest does not match this campaign/world \
+                 (different vantages, days, scan_www, or world config)",
+            ));
+        }
+        let (orgs, _) = Self::canonical_orgs(world);
+        let mut report = StoreRunReport::default();
+        let mut next_index = vec![0usize; expected_meta.vantages.len()];
+        self.drive(world, false, &mut |vi, day, obs| {
+            let i = next_index[vi];
+            next_index[vi] += 1;
+            if i < writer.days_written(vi) {
+                let stored = writer.read_day(vi, day)?;
+                if stored != obs {
+                    return Err(io::Error::new(
+                        ErrorKind::InvalidData,
+                        format!(
+                            "replay of day {day} for vantage {vi} diverged from the \
+                             stored chunk — the store was written by a different \
+                             world/campaign"
+                        ),
+                    ));
+                }
+                report.replayed_days += 1;
+                Ok(())
+            } else {
+                writer.append_chunk(vi, day, &obs, &orgs)?;
+                report.appended_days += 1;
+                Ok(())
+            }
+        })?;
+        Ok(report)
+    }
+}
+
+/// What a write-through campaign run did: how many vantage-days were
+/// replayed (verified against chunks already on disk) vs freshly
+/// appended.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct StoreRunReport {
+    /// Vantage-days re-scanned and verified against existing chunks.
+    pub replayed_days: usize,
+    /// Vantage-days scanned and appended as new chunks.
+    pub appended_days: usize,
 }
 
 /// One vantage's campaign output with its telemetry: the labelled

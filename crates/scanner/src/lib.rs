@@ -19,6 +19,15 @@
 //! `telemetry::MetricsRegistry` per vantage and returns [`VantageRun`]s
 //! bundling store + registry + cache statistics — byte-identical
 //! stores, telemetry only observes.
+//!
+//! Campaigns also persist: [`Campaign::run_to_store`] writes each day
+//! through to an append-only columnar [`persist::StoreWriter`] as it
+//! completes, [`persist::open_store`] streams it back day-by-day, and
+//! every analysis runs over either representation via the
+//! [`ObservationSource`] trait with byte-identical reports. Interrupted
+//! campaigns resume at the last complete day boundary
+//! ([`persist::StoreWriter::open_resume`] + replay verification in
+//! [`Campaign::run_to_store`]).
 
 #![warn(missing_docs)]
 
@@ -31,7 +40,11 @@ pub mod store;
 pub use authority::{
     authority_consistency_scan, probe_domain, AuthorityDisagreement, EndpointAnswer,
 };
-pub use daily::{scan_one_day, Campaign, VantageRun};
+pub use daily::{scan_one_day, Campaign, StoreRunReport, VantageRun};
 pub use observation::{flags, NsCategory, Observation};
 pub use special::{connectivity_probe, hourly_ech_scan, ConnectivityReport, EchObservation};
-pub use store::{combined_csv, OrgId, OrgInterner, SnapshotStore};
+pub use store::persist::{self, open_store, OpenStore, StoreMeta, StoreReader, StoreWriter};
+pub use store::{
+    combined_csv, write_combined_csv, write_csv, ObservationSource, OrgId, OrgInterner,
+    SnapshotStore,
+};

@@ -1,9 +1,19 @@
 //! The longitudinal dataset: observations indexed by day, an org-name
 //! interner, a vantage label, and CSV export (single-store and combined
 //! multi-vantage) for external analysis.
+//!
+//! Two representations share one access contract: the in-memory
+//! [`SnapshotStore`] this module has always held, and the on-disk
+//! columnar store in [`persist`] whose [`persist::StoreReader`] streams
+//! a campaign day-by-day without materializing it. Both implement
+//! [`ObservationSource`], so every analysis and the CSV exporters run
+//! over either with byte-identical output.
+
+pub mod persist;
 
 use crate::observation::Observation;
 use std::collections::BTreeMap;
+use std::io::{self, Write};
 use std::ops::Range;
 
 /// Typed id of an interned organization name.
@@ -93,10 +103,18 @@ impl SnapshotStore {
         &self.vantage
     }
 
-    /// Append a day's observations (days must be appended in order).
+    /// Append a day's observations.
+    ///
+    /// Days are strictly append-only: a duplicate of the last day or any
+    /// earlier day panics instead of silently overwriting the existing
+    /// range (which is what a bare `BTreeMap::insert` would have done).
     pub fn push_day(&mut self, day: u32, mut obs: Vec<Observation>) {
         if let Some((&last, _)) = self.day_ranges.iter().next_back() {
-            assert!(day > last, "days must be appended in increasing order");
+            assert!(day != last, "duplicate day {day} pushed to SnapshotStore");
+            assert!(
+                day > last,
+                "days must be appended in increasing order (got {day} after {last})"
+            );
         }
         let start = self.observations.len();
         self.observations.append(&mut obs);
@@ -131,47 +149,169 @@ impl SnapshotStore {
         self.observations.is_empty()
     }
 
-    /// Export as CSV (one row per observation).
+    /// Export as CSV (one row per observation). Thin wrapper over the
+    /// streaming [`write_csv`].
     pub fn to_csv(&self) -> String {
-        let mut out =
-            String::from("day,domain_id,rank,is_www,https,flags,ns_category,org,min_priority\n");
-        for o in &self.observations {
-            out.push_str(&self.csv_row(o));
-        }
-        out
-    }
-
-    fn csv_row(&self, o: &Observation) -> String {
-        format!(
-            "{},{},{},{},{},{:#x},{},{},{}\n",
-            o.day,
-            o.domain_id,
-            o.rank,
-            u8::from(o.is_www()),
-            u8::from(o.https()),
-            o.flags,
-            o.ns_category,
-            self.orgs.name(o.org).unwrap_or(""),
-            o.min_priority,
-        )
+        let mut out = Vec::new();
+        write_csv(self, &mut out).expect("writing CSV to a Vec cannot fail");
+        String::from_utf8(out).expect("CSV output is UTF-8")
     }
 }
 
-/// Export several per-vantage stores as one combined CSV with a leading
-/// `vantage` column — the cross-view dataset the paper's resolver
-/// comparison works from.
-pub fn combined_csv<'a>(stores: impl IntoIterator<Item = &'a SnapshotStore>) -> String {
-    let mut out = String::from(
-        "vantage,day,domain_id,rank,is_www,https,flags,ns_category,org,min_priority\n",
-    );
-    for store in stores {
-        for o in store.all() {
-            out.push_str(store.vantage());
-            out.push(',');
-            out.push_str(&store.csv_row(o));
+/// Uniform day-streaming access to a campaign's observations, whether
+/// they live in memory ([`SnapshotStore`]) or on disk
+/// ([`persist::StoreReader`]).
+///
+/// The contract every consumer (the `analysis` crate, `vantage_diff`,
+/// the CSV exporters) relies on:
+///
+/// - [`days`](Self::days) is ascending and duplicate-free;
+/// - [`for_each_day`](Self::for_each_day) visits exactly those days in
+///   that order, handing each day's observations as one slice in the
+///   original scan order (sorted by `(domain_id, is_www)`);
+/// - observations are only guaranteed resident for the duration of one
+///   visitor call, so a disk-backed source holds at most one day in
+///   memory at a time.
+///
+/// Methods take `&mut dyn FnMut` visitors (rather than generic
+/// closures) so the trait stays dyn-compatible — `vantage_diff` works
+/// over a heterogeneous `&[&dyn ObservationSource]`.
+pub trait ObservationSource {
+    /// The vantage label ("" for single-vantage legacy stores).
+    fn vantage(&self) -> &str;
+
+    /// All days with observations, ascending.
+    fn days(&self) -> Vec<u32>;
+
+    /// Resolve an interned org id back to its name.
+    fn org_name(&self, id: OrgId) -> Option<&str>;
+
+    /// Visit every day in ascending order.
+    fn for_each_day(&self, visit: &mut dyn FnMut(u32, &[Observation]));
+
+    /// Visit a single day (no-op if the day is absent).
+    fn for_day(&self, day: u32, visit: &mut dyn FnMut(&[Observation]));
+
+    /// Total observation count across all days.
+    fn total_observations(&self) -> usize {
+        let mut n = 0;
+        self.for_each_day(&mut |_, obs| n += obs.len());
+        n
+    }
+}
+
+impl ObservationSource for SnapshotStore {
+    fn vantage(&self) -> &str {
+        SnapshotStore::vantage(self)
+    }
+
+    fn days(&self) -> Vec<u32> {
+        SnapshotStore::days(self)
+    }
+
+    fn org_name(&self, id: OrgId) -> Option<&str> {
+        self.orgs.name(id)
+    }
+
+    fn for_each_day(&self, visit: &mut dyn FnMut(u32, &[Observation])) {
+        for (&day, range) in &self.day_ranges {
+            visit(day, &self.observations[range.clone()]);
         }
     }
-    out
+
+    fn for_day(&self, day: u32, visit: &mut dyn FnMut(&[Observation])) {
+        if let Some(range) = self.day_ranges.get(&day) {
+            visit(&self.observations[range.clone()]);
+        }
+    }
+
+    fn total_observations(&self) -> usize {
+        self.observations.len()
+    }
+}
+
+/// The single-store CSV header row.
+pub const CSV_HEADER: &str = "day,domain_id,rank,is_www,https,flags,ns_category,org,min_priority";
+
+fn write_csv_row(
+    source: &dyn ObservationSource,
+    o: &Observation,
+    out: &mut dyn Write,
+) -> io::Result<()> {
+    writeln!(
+        out,
+        "{},{},{},{},{},{:#x},{},{},{}",
+        o.day,
+        o.domain_id,
+        o.rank,
+        u8::from(o.is_www()),
+        u8::from(o.https()),
+        o.flags,
+        o.ns_category,
+        source.org_name(o.org).unwrap_or(""),
+        o.min_priority,
+    )
+}
+
+/// Stream one source as CSV into any writer, one day resident at a time.
+pub fn write_csv(source: &dyn ObservationSource, out: &mut dyn Write) -> io::Result<()> {
+    writeln!(out, "{CSV_HEADER}")?;
+    let mut err: Option<io::Error> = None;
+    source.for_each_day(&mut |_, obs| {
+        if err.is_some() {
+            return;
+        }
+        for o in obs {
+            if let Err(e) = write_csv_row(source, o, out) {
+                err = Some(e);
+                return;
+            }
+        }
+    });
+    match err {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
+}
+
+/// Stream several per-vantage sources as one combined CSV with a
+/// leading `vantage` column — the cross-view dataset the paper's
+/// resolver comparison works from.
+pub fn write_combined_csv(
+    sources: &[&dyn ObservationSource],
+    out: &mut dyn Write,
+) -> io::Result<()> {
+    writeln!(out, "vantage,{CSV_HEADER}")?;
+    for source in sources {
+        let mut err: Option<io::Error> = None;
+        source.for_each_day(&mut |_, obs| {
+            if err.is_some() {
+                return;
+            }
+            for o in obs {
+                let row = write!(out, "{},", source.vantage())
+                    .and_then(|()| write_csv_row(*source, o, out));
+                if let Err(e) = row {
+                    err = Some(e);
+                    return;
+                }
+            }
+        });
+        if let Some(e) = err {
+            return Err(e);
+        }
+    }
+    Ok(())
+}
+
+/// Export several per-vantage stores as one combined CSV string. Thin
+/// wrapper over the streaming [`write_combined_csv`].
+pub fn combined_csv<'a>(stores: impl IntoIterator<Item = &'a SnapshotStore>) -> String {
+    let sources: Vec<&dyn ObservationSource> =
+        stores.into_iter().map(|s| s as &dyn ObservationSource).collect();
+    let mut out = Vec::new();
+    write_combined_csv(&sources, &mut out).expect("writing CSV to a Vec cannot fail");
+    String::from_utf8(out).expect("CSV output is UTF-8")
 }
 
 #[cfg(test)]
@@ -209,6 +349,56 @@ mod tests {
         let mut store = SnapshotStore::new();
         store.push_day(5, vec![]);
         store.push_day(3, vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate day 5")]
+    fn duplicate_day_rejected() {
+        // Regression guard: a repeated day must panic loudly, not let
+        // `BTreeMap::insert` silently replace the day's range while the
+        // observation vec keeps both copies.
+        let mut store = SnapshotStore::new();
+        store.push_day(5, vec![obs(5, 1, 0)]);
+        store.push_day(5, vec![obs(5, 2, 0)]);
+    }
+
+    #[test]
+    fn observation_source_trait_matches_inherent_access() {
+        let mut store = SnapshotStore::with_vantage("google");
+        let org = store.orgs.intern("Cloudflare, Inc.");
+        store.push_day(0, vec![Observation { org, ..obs(0, 1, flags::HTTPS_PRESENT) }]);
+        store.push_day(3, vec![obs(3, 1, 0), obs(3, 2, 0)]);
+
+        let src: &dyn ObservationSource = &store;
+        assert_eq!(src.vantage(), "google");
+        assert_eq!(src.days(), vec![0, 3]);
+        assert_eq!(src.org_name(org), Some("Cloudflare, Inc."));
+        assert_eq!(src.total_observations(), 3);
+
+        let mut seen: Vec<(u32, usize)> = Vec::new();
+        src.for_each_day(&mut |day, obs| seen.push((day, obs.len())));
+        assert_eq!(seen, vec![(0, 1), (3, 2)]);
+
+        let mut day3 = Vec::new();
+        src.for_day(3, &mut |obs| day3.extend_from_slice(obs));
+        assert_eq!(day3.as_slice(), store.day(3));
+        src.for_day(99, &mut |_| panic!("absent day must not be visited"));
+    }
+
+    #[test]
+    fn streaming_csv_matches_string_wrappers() {
+        let mut a = SnapshotStore::with_vantage("google");
+        a.push_day(0, vec![obs(0, 1, flags::HTTPS_PRESENT)]);
+        let mut b = SnapshotStore::with_vantage("isp");
+        b.push_day(0, vec![obs(0, 1, 0)]);
+
+        let mut buf = Vec::new();
+        write_csv(&a, &mut buf).unwrap();
+        assert_eq!(String::from_utf8(buf).unwrap(), a.to_csv());
+
+        let mut buf = Vec::new();
+        write_combined_csv(&[&a, &b], &mut buf).unwrap();
+        assert_eq!(String::from_utf8(buf).unwrap(), combined_csv([&a, &b]));
     }
 
     #[test]

@@ -1,0 +1,1078 @@
+//! Append-only on-disk columnar snapshot store.
+//!
+//! A store is a directory holding one multi-year campaign:
+//!
+//! ```text
+//! store/
+//! ├── MANIFEST      campaign shape: vantages, sample days, world config
+//! ├── orgs.dict     append-only org-name dictionary (OrgInterner image)
+//! ├── v00.col       per-vantage column chunks, one chunk per scan day
+//! ├── v01.col
+//! └── ...
+//! ```
+//!
+//! Every file is little-endian binary with an 8-byte magic + `u16`
+//! format version. A column file is its header followed by one chunk
+//! per completed scan day, in `sample_days` order:
+//!
+//! ```text
+//! chunk := "CHNK" day:u32 rows:u32 payload_len:u32 checksum:u64 payload
+//! payload := day[u32×n] domain_id[u32×n] rank[u32×n] flags[u32×n]
+//!            ns_category[u8×n] org[u32×n] min_priority[u16×n]   (23n bytes)
+//! ```
+//!
+//! The checksum is FNV-1a 64 over the payload and is verified on every
+//! chunk read. The org dictionary is the campaign's [`OrgInterner`]
+//! serialized once and extended append-only; it is shared by all
+//! vantages because campaigns intern orgs identically per vantage.
+//!
+//! ## Crash recovery and resume
+//!
+//! All writes are appends, so a killed campaign can only leave *tails*
+//! in a bad state: a torn final dict entry or a torn final chunk.
+//! [`StoreWriter::open_resume`] scans each file structurally, verifies
+//! the last complete chunk's checksum, truncates everything past the
+//! last day completed by *every* vantage, and reports how many days
+//! survive. The campaign layer then deterministically replays the
+//! completed days (rebuilding resolver cache/RNG state and verifying
+//! each replayed day against the stored chunk) before appending new
+//! ones — which is what makes a resumed run byte-identical to an
+//! uninterrupted one.
+//!
+//! ## Bounded memory
+//!
+//! [`StoreReader`] implements [`ObservationSource`] by decoding one
+//! day's chunk at a time into a reused scratch buffer: streaming a
+//! 730-day campaign keeps at most one day of observations resident.
+
+use super::{ObservationSource, OrgId, OrgInterner, SnapshotStore};
+use crate::observation::Observation;
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::{self, ErrorKind, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+const MANIFEST_MAGIC: [u8; 8] = *b"SNAPMAN1";
+const DICT_MAGIC: [u8; 8] = *b"SNAPORG1";
+const COLUMN_MAGIC: [u8; 8] = *b"SNAPCOL1";
+const CHUNK_MAGIC: [u8; 4] = *b"CHNK";
+/// On-disk format version (bumped on any incompatible layout change).
+pub const FORMAT_VERSION: u16 = 1;
+/// Fixed-width payload bytes per observation row (sum of the columns).
+pub const ROW_BYTES: usize = 23;
+const CHUNK_HEADER_BYTES: u64 = 24;
+/// Sanity cap for dictionary entries; WHOIS org names are short.
+const MAX_DICT_ENTRY: u32 = 1 << 20;
+
+/// The manifest: everything needed to reopen or resume a campaign
+/// without the process that created it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoreMeta {
+    /// Vantage names, in campaign order (one column file each).
+    pub vantages: Vec<String>,
+    /// The campaign's scan days, ascending.
+    pub sample_days: Vec<u64>,
+    /// Whether www subdomains were scanned.
+    pub scan_www: bool,
+    /// World seed (resume rebuilds the identical world from this).
+    pub world_seed: u64,
+    /// World population.
+    pub population: u64,
+    /// Daily list size.
+    pub list_size: u64,
+}
+
+/// Location of one day's chunk within a column file.
+#[derive(Debug, Clone, Copy)]
+struct ChunkRef {
+    day: u32,
+    rows: u32,
+    payload_offset: u64,
+    checksum: u64,
+}
+
+impl ChunkRef {
+    fn header_offset(&self) -> u64 {
+        self.payload_offset - CHUNK_HEADER_BYTES
+    }
+
+    fn end_offset(&self) -> u64 {
+        self.payload_offset + self.rows as u64 * ROW_BYTES as u64
+    }
+}
+
+fn corrupt(msg: String) -> io::Error {
+    io::Error::new(ErrorKind::InvalidData, msg)
+}
+
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+fn column_file_name(index: usize) -> String {
+    format!("v{index:02}.col")
+}
+
+// ---------------------------------------------------------------------
+// Little-endian encode/decode helpers over byte buffers.
+
+fn put_u16(buf: &mut Vec<u8>, v: u16) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_u16(buf, u16::try_from(s.len()).expect("name fits in u16"));
+    buf.extend_from_slice(s.as_bytes());
+}
+
+/// Cursor over a fully-read byte buffer (manifest / headers).
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    what: &'static str,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8], what: &'static str) -> Cursor<'a> {
+        Cursor { buf, pos: 0, what }
+    }
+
+    fn take(&mut self, n: usize) -> io::Result<&'a [u8]> {
+        if self.buf.len() - self.pos < n {
+            return Err(corrupt(format!("{}: truncated (needed {n} more bytes)", self.what)));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u16(&mut self) -> io::Result<u16> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2 bytes")))
+    }
+
+    fn u32(&mut self) -> io::Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    fn u64(&mut self) -> io::Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    fn str(&mut self) -> io::Result<String> {
+        let len = self.u16()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| corrupt(format!("{}: non-UTF-8 name", self.what)))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Manifest.
+
+fn manifest_bytes(meta: &StoreMeta) -> Vec<u8> {
+    let mut buf = Vec::new();
+    buf.extend_from_slice(&MANIFEST_MAGIC);
+    put_u16(&mut buf, FORMAT_VERSION);
+    buf.push(meta.scan_www as u8);
+    put_u16(&mut buf, u16::try_from(meta.vantages.len()).expect("vantage count fits in u16"));
+    for v in &meta.vantages {
+        put_str(&mut buf, v);
+    }
+    put_u32(&mut buf, u32::try_from(meta.sample_days.len()).expect("day count fits in u32"));
+    for &d in &meta.sample_days {
+        put_u64(&mut buf, d);
+    }
+    put_u64(&mut buf, meta.world_seed);
+    put_u64(&mut buf, meta.population);
+    put_u64(&mut buf, meta.list_size);
+    buf
+}
+
+fn read_manifest(path: &Path) -> io::Result<StoreMeta> {
+    let buf = std::fs::read(path)?;
+    let mut c = Cursor::new(&buf, "MANIFEST");
+    if c.take(8)? != MANIFEST_MAGIC {
+        return Err(corrupt("MANIFEST: bad magic (not a snapshot store)".into()));
+    }
+    let version = c.u16()?;
+    if version != FORMAT_VERSION {
+        return Err(corrupt(format!(
+            "MANIFEST: format version {version} (this build reads {FORMAT_VERSION})"
+        )));
+    }
+    let scan_www = c.take(1)?[0] != 0;
+    let nv = c.u16()? as usize;
+    let mut vantages = Vec::with_capacity(nv);
+    for _ in 0..nv {
+        vantages.push(c.str()?);
+    }
+    let nd = c.u32()? as usize;
+    let mut sample_days = Vec::with_capacity(nd);
+    for _ in 0..nd {
+        sample_days.push(c.u64()?);
+    }
+    let world_seed = c.u64()?;
+    let population = c.u64()?;
+    let list_size = c.u64()?;
+    if !sample_days.windows(2).all(|w| w[0] < w[1]) {
+        return Err(corrupt("MANIFEST: sample days not strictly ascending".into()));
+    }
+    Ok(StoreMeta { vantages, sample_days, scan_www, world_seed, population, list_size })
+}
+
+// ---------------------------------------------------------------------
+// Org dictionary.
+
+fn dict_entry_bytes(name: &str) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(4 + name.len());
+    put_u32(&mut buf, u32::try_from(name.len()).expect("org name fits in u32"));
+    buf.extend_from_slice(name.as_bytes());
+    buf
+}
+
+/// Scan the dictionary file: returns the names, the offset just past
+/// the last complete entry, and whether a torn tail was dropped.
+fn scan_dict(file: &mut File) -> io::Result<(Vec<String>, u64, bool)> {
+    let mut buf = Vec::new();
+    file.seek(SeekFrom::Start(0))?;
+    file.read_to_end(&mut buf)?;
+    if buf.len() < 10 || buf[..8] != DICT_MAGIC {
+        return Err(corrupt("orgs.dict: bad or truncated header".into()));
+    }
+    let version = u16::from_le_bytes(buf[8..10].try_into().expect("2 bytes"));
+    if version != FORMAT_VERSION {
+        return Err(corrupt(format!("orgs.dict: unsupported format version {version}")));
+    }
+    let mut names = Vec::new();
+    let mut pos = 10usize;
+    loop {
+        if buf.len() - pos < 4 {
+            break;
+        }
+        let len = u32::from_le_bytes(buf[pos..pos + 4].try_into().expect("4 bytes"));
+        if len > MAX_DICT_ENTRY {
+            return Err(corrupt(format!("orgs.dict: implausible entry length {len}")));
+        }
+        let len = len as usize;
+        if buf.len() - pos - 4 < len {
+            break;
+        }
+        let name = String::from_utf8(buf[pos + 4..pos + 4 + len].to_vec())
+            .map_err(|_| corrupt("orgs.dict: non-UTF-8 entry".into()))?;
+        names.push(name);
+        pos += 4 + len;
+    }
+    Ok((names, pos as u64, pos < buf.len()))
+}
+
+fn interner_from_names(names: Vec<String>) -> OrgInterner {
+    let mut index = BTreeMap::new();
+    for (i, name) in names.iter().enumerate() {
+        index.insert(name.clone(), OrgId(i as u32));
+    }
+    OrgInterner { names, index }
+}
+
+// ---------------------------------------------------------------------
+// Column files.
+
+fn column_header_bytes(vantage: &str) -> Vec<u8> {
+    let mut buf = Vec::new();
+    buf.extend_from_slice(&COLUMN_MAGIC);
+    put_u16(&mut buf, FORMAT_VERSION);
+    put_str(&mut buf, vantage);
+    buf
+}
+
+struct ColumnScan {
+    vantage: String,
+    chunks: Vec<ChunkRef>,
+    /// Offset just past the file header (the empty-file append point).
+    header_end: u64,
+    /// Offset just past the last structurally-valid chunk.
+    valid_end: u64,
+    /// Whether bytes past `valid_end` were ignored (torn tail).
+    truncated: bool,
+}
+
+/// Structurally scan a column file without reading chunk payloads:
+/// validates the header, walks chunk headers seeking past payloads, and
+/// stops (marking a torn tail) at the first incomplete or malformed
+/// chunk — an append-only writer can only corrupt the tail.
+fn scan_column(file: &mut File, path: &Path) -> io::Result<ColumnScan> {
+    let len = file.metadata()?.len();
+    let ctx = path.display();
+    file.seek(SeekFrom::Start(0))?;
+    let mut head = [0u8; 12];
+    if len < 12 {
+        return Err(corrupt(format!("{ctx}: truncated column header")));
+    }
+    file.read_exact(&mut head)?;
+    if head[..8] != COLUMN_MAGIC {
+        return Err(corrupt(format!("{ctx}: bad magic (not a column file)")));
+    }
+    let version = u16::from_le_bytes(head[8..10].try_into().expect("2 bytes"));
+    if version != FORMAT_VERSION {
+        return Err(corrupt(format!("{ctx}: unsupported format version {version}")));
+    }
+    let name_len = u16::from_le_bytes(head[10..12].try_into().expect("2 bytes")) as u64;
+    if len < 12 + name_len {
+        return Err(corrupt(format!("{ctx}: truncated column header")));
+    }
+    let mut name_buf = vec![0u8; name_len as usize];
+    file.read_exact(&mut name_buf)?;
+    let vantage =
+        String::from_utf8(name_buf).map_err(|_| corrupt(format!("{ctx}: non-UTF-8 vantage")))?;
+    let header_end = 12 + name_len;
+
+    let mut chunks: Vec<ChunkRef> = Vec::new();
+    let mut pos = header_end;
+    let mut truncated = false;
+    let mut header = [0u8; CHUNK_HEADER_BYTES as usize];
+    while pos < len {
+        if len - pos < CHUNK_HEADER_BYTES {
+            truncated = true;
+            break;
+        }
+        file.seek(SeekFrom::Start(pos))?;
+        file.read_exact(&mut header)?;
+        let day = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
+        let rows = u32::from_le_bytes(header[8..12].try_into().expect("4 bytes"));
+        let payload_len = u32::from_le_bytes(header[12..16].try_into().expect("4 bytes"));
+        let checksum = u64::from_le_bytes(header[16..24].try_into().expect("8 bytes"));
+        let structurally_ok = header[..4] == CHUNK_MAGIC
+            && payload_len as u64 == rows as u64 * ROW_BYTES as u64
+            && chunks.last().is_none_or(|c| day > c.day)
+            && len - pos - CHUNK_HEADER_BYTES >= payload_len as u64;
+        if !structurally_ok {
+            truncated = true;
+            break;
+        }
+        chunks.push(ChunkRef { day, rows, payload_offset: pos + CHUNK_HEADER_BYTES, checksum });
+        pos += CHUNK_HEADER_BYTES + payload_len as u64;
+    }
+    Ok(ColumnScan { vantage, chunks, header_end, valid_end: pos.min(len), truncated })
+}
+
+fn encode_payload(obs: &[Observation]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(obs.len() * ROW_BYTES);
+    for o in obs {
+        buf.extend_from_slice(&o.day.to_le_bytes());
+    }
+    for o in obs {
+        buf.extend_from_slice(&o.domain_id.to_le_bytes());
+    }
+    for o in obs {
+        buf.extend_from_slice(&o.rank.to_le_bytes());
+    }
+    for o in obs {
+        buf.extend_from_slice(&o.flags.to_le_bytes());
+    }
+    for o in obs {
+        buf.push(o.ns_category);
+    }
+    for o in obs {
+        buf.extend_from_slice(&o.org.0.to_le_bytes());
+    }
+    for o in obs {
+        buf.extend_from_slice(&o.min_priority.to_le_bytes());
+    }
+    buf
+}
+
+fn decode_payload(chunk: &ChunkRef, payload: &[u8], out: &mut Vec<Observation>) -> io::Result<()> {
+    let n = chunk.rows as usize;
+    debug_assert_eq!(payload.len(), n * ROW_BYTES);
+    let u32_at = |base: usize, i: usize| {
+        u32::from_le_bytes(payload[base + 4 * i..base + 4 * i + 4].try_into().expect("4 bytes"))
+    };
+    out.clear();
+    out.reserve(n);
+    for i in 0..n {
+        let day = u32_at(0, i);
+        if day != chunk.day {
+            return Err(corrupt(format!(
+                "chunk for day {} contains a row stamped day {day}",
+                chunk.day
+            )));
+        }
+        out.push(Observation {
+            day,
+            domain_id: u32_at(4 * n, i),
+            rank: u32_at(8 * n, i),
+            flags: u32_at(12 * n, i),
+            ns_category: payload[16 * n + i],
+            org: OrgId(u32_at(17 * n, i)),
+            min_priority: u16::from_le_bytes(
+                payload[21 * n + 2 * i..21 * n + 2 * i + 2].try_into().expect("2 bytes"),
+            ),
+        });
+    }
+    Ok(())
+}
+
+/// Read and verify one chunk's payload into `out` (reusing `scratch`).
+fn read_chunk(
+    file: &mut File,
+    chunk: &ChunkRef,
+    scratch: &mut Vec<u8>,
+    out: &mut Vec<Observation>,
+) -> io::Result<()> {
+    scratch.clear();
+    scratch.resize(chunk.rows as usize * ROW_BYTES, 0);
+    file.seek(SeekFrom::Start(chunk.payload_offset))?;
+    file.read_exact(scratch)?;
+    let sum = fnv1a64(scratch);
+    if sum != chunk.checksum {
+        return Err(corrupt(format!(
+            "checksum mismatch on day {} chunk (stored {:#018x}, computed {sum:#018x})",
+            chunk.day, chunk.checksum
+        )));
+    }
+    decode_payload(chunk, scratch, out)
+}
+
+// ---------------------------------------------------------------------
+// Writer.
+
+/// Append-only writer for one snapshot-store directory.
+///
+/// Create a fresh store with [`create`](Self::create) or reopen an
+/// interrupted one with [`open_resume`](Self::open_resume) (which
+/// truncates torn tails and trailing days not completed by every
+/// vantage, so appends always restart at a clean day boundary).
+#[derive(Debug)]
+pub struct StoreWriter {
+    dir: PathBuf,
+    meta: StoreMeta,
+    files: Vec<File>,
+    indexes: Vec<Vec<ChunkRef>>,
+    dict_file: File,
+    dict_names: Vec<String>,
+    bytes_written: u64,
+    write_nanos: u64,
+}
+
+impl StoreWriter {
+    /// Create a fresh store directory. Fails (rather than clobbering)
+    /// if `dir` already contains a store manifest.
+    pub fn create(dir: &Path, meta: StoreMeta) -> io::Result<StoreWriter> {
+        assert!(!meta.vantages.is_empty(), "a store needs at least one vantage");
+        std::fs::create_dir_all(dir)?;
+        let manifest = dir.join("MANIFEST");
+        if manifest.exists() {
+            return Err(io::Error::new(
+                ErrorKind::AlreadyExists,
+                format!("{}: store already exists (use resume)", dir.display()),
+            ));
+        }
+        std::fs::write(&manifest, manifest_bytes(&meta))?;
+        let mut dict_file = OpenOptions::new()
+            .create(true)
+            .truncate(true)
+            .read(true)
+            .write(true)
+            .open(dir.join("orgs.dict"))?;
+        let mut dict_header = Vec::new();
+        dict_header.extend_from_slice(&DICT_MAGIC);
+        put_u16(&mut dict_header, FORMAT_VERSION);
+        dict_file.write_all(&dict_header)?;
+        let mut files = Vec::with_capacity(meta.vantages.len());
+        for (i, vantage) in meta.vantages.iter().enumerate() {
+            let mut file = OpenOptions::new()
+                .create(true)
+                .truncate(true)
+                .read(true)
+                .write(true)
+                .open(dir.join(column_file_name(i)))?;
+            file.write_all(&column_header_bytes(vantage))?;
+            files.push(file);
+        }
+        let indexes = vec![Vec::new(); meta.vantages.len()];
+        Ok(StoreWriter {
+            dir: dir.to_path_buf(),
+            meta,
+            files,
+            indexes,
+            dict_file,
+            dict_names: Vec::new(),
+            bytes_written: 0,
+            write_nanos: 0,
+        })
+    }
+
+    /// Reopen an interrupted store for resumption: drops torn tails
+    /// (verifying the last surviving chunk's checksum per vantage) and
+    /// truncates every column file back to the last day completed by
+    /// *all* vantages, so the store sits at a clean day boundary.
+    pub fn open_resume(dir: &Path) -> io::Result<StoreWriter> {
+        let meta = read_manifest(&dir.join("MANIFEST"))?;
+        let mut dict_file =
+            OpenOptions::new().read(true).write(true).open(dir.join("orgs.dict"))?;
+        let (dict_names, dict_end, dict_torn) = scan_dict(&mut dict_file)?;
+        if dict_torn {
+            dict_file.set_len(dict_end)?;
+        }
+
+        let mut files = Vec::with_capacity(meta.vantages.len());
+        let mut scans = Vec::with_capacity(meta.vantages.len());
+        for (i, vantage) in meta.vantages.iter().enumerate() {
+            let path = dir.join(column_file_name(i));
+            let mut file = OpenOptions::new().read(true).write(true).open(&path)?;
+            let mut scan = scan_column(&mut file, &path)?;
+            if scan.vantage != *vantage {
+                return Err(corrupt(format!(
+                    "{}: vantage \"{}\" does not match manifest \"{vantage}\"",
+                    path.display(),
+                    scan.vantage
+                )));
+            }
+            // The only chunk that can be silently damaged (vs torn) is
+            // the last one the writer was flushing; verify its payload
+            // checksum and drop it if it does not hold.
+            let mut scratch = Vec::new();
+            let mut decoded = Vec::new();
+            if let Some(last) = scan.chunks.last().copied() {
+                if read_chunk(&mut file, &last, &mut scratch, &mut decoded).is_err() {
+                    scan.valid_end = last.header_offset();
+                    scan.chunks.pop();
+                    scan.truncated = true;
+                }
+            }
+            // Chunk days must be a prefix of the manifest's sample days;
+            // anything else is corruption, not a torn tail.
+            for (j, chunk) in scan.chunks.iter().enumerate() {
+                let expect = meta.sample_days[j] as u32;
+                if chunk.day != expect {
+                    return Err(corrupt(format!(
+                        "{}: chunk {j} is day {} but the campaign's day {j} is {expect}",
+                        path.display(),
+                        chunk.day
+                    )));
+                }
+            }
+            files.push(file);
+            scans.push(scan);
+        }
+
+        // Truncate to the last day every vantage completed.
+        let complete = scans.iter().map(|s| s.chunks.len()).min().unwrap_or(0);
+        for (file, scan) in files.iter_mut().zip(scans.iter_mut()) {
+            scan.chunks.truncate(complete);
+            let boundary = scan.chunks.last().map_or(scan.header_end, |c| c.end_offset());
+            file.set_len(boundary)?;
+            file.seek(SeekFrom::End(0))?;
+        }
+        let indexes = scans.into_iter().map(|s| s.chunks).collect();
+        Ok(StoreWriter {
+            dir: dir.to_path_buf(),
+            meta,
+            files,
+            indexes,
+            dict_file,
+            dict_names,
+            bytes_written: 0,
+            write_nanos: 0,
+        })
+    }
+
+    /// The campaign shape this store was created with.
+    pub fn meta(&self) -> &StoreMeta {
+        &self.meta
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Chunks already on disk for one vantage.
+    pub fn days_written(&self, vantage: usize) -> usize {
+        self.indexes[vantage].len()
+    }
+
+    /// Days completed by *every* vantage (the resume boundary).
+    pub fn completed_days(&self) -> usize {
+        self.indexes.iter().map(|ix| ix.len()).min().unwrap_or(0)
+    }
+
+    /// Bytes appended by this writer instance (chunks + dict entries).
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes_written
+    }
+
+    /// Wall-clock seconds spent in appends by this writer instance.
+    pub fn write_seconds(&self) -> f64 {
+        self.write_nanos as f64 / 1e9
+    }
+
+    /// Mirror the campaign's org interner into the on-disk dictionary.
+    ///
+    /// The dictionary must be an exact prefix of `orgs` — campaigns
+    /// intern deterministically, so any divergence means this store was
+    /// written by a different world/config and appending would corrupt
+    /// attribution. New entries are appended.
+    pub fn sync_orgs(&mut self, orgs: &OrgInterner) -> io::Result<()> {
+        if self.dict_names.len() > orgs.len() {
+            return Err(corrupt(format!(
+                "org dictionary has {} entries but the campaign interner only {} — \
+                 store and campaign disagree",
+                self.dict_names.len(),
+                orgs.len()
+            )));
+        }
+        for (i, stored) in self.dict_names.iter().enumerate() {
+            let live = orgs.name(OrgId(i as u32)).expect("id below len resolves");
+            if stored != live {
+                return Err(corrupt(format!(
+                    "org id {i} is \"{stored}\" on disk but \"{live}\" in the campaign — \
+                     store and campaign disagree"
+                )));
+            }
+        }
+        for i in self.dict_names.len()..orgs.len() {
+            let name = orgs.name(OrgId(i as u32)).expect("id below len resolves");
+            let entry = dict_entry_bytes(name);
+            self.dict_file.write_all(&entry)?;
+            self.bytes_written += entry.len() as u64;
+            self.dict_names.push(name.to_string());
+        }
+        Ok(())
+    }
+
+    /// Append one day's chunk for one vantage (write-through).
+    ///
+    /// Enforces the campaign schedule strictly: the chunk must be the
+    /// vantage's next `sample_days` entry, every observation must be
+    /// stamped with that day, and the org dictionary is synced first.
+    pub fn append_chunk(
+        &mut self,
+        vantage: usize,
+        day: u32,
+        obs: &[Observation],
+        orgs: &OrgInterner,
+    ) -> io::Result<()> {
+        self.sync_orgs(orgs)?;
+        let next = self.indexes[vantage].len();
+        let expected = self.meta.sample_days.get(next).copied().ok_or_else(|| {
+            io::Error::new(
+                ErrorKind::InvalidInput,
+                format!("day {day} is past the campaign's {} sample days", next),
+            )
+        })?;
+        if day as u64 != expected {
+            return Err(io::Error::new(
+                ErrorKind::InvalidInput,
+                format!(
+                    "out-of-order append for vantage {vantage}: got day {day}, \
+                     the next campaign day is {expected}"
+                ),
+            ));
+        }
+        if let Some(bad) = obs.iter().find(|o| o.day != day) {
+            return Err(io::Error::new(
+                ErrorKind::InvalidInput,
+                format!("observation stamped day {} in a chunk for day {day}", bad.day),
+            ));
+        }
+        let start = Instant::now();
+        let payload = encode_payload(obs);
+        let checksum = fnv1a64(&payload);
+        let mut buf = Vec::with_capacity(CHUNK_HEADER_BYTES as usize + payload.len());
+        buf.extend_from_slice(&CHUNK_MAGIC);
+        put_u32(&mut buf, day);
+        put_u32(&mut buf, u32::try_from(obs.len()).expect("row count fits in u32"));
+        put_u32(&mut buf, u32::try_from(payload.len()).expect("payload fits in u32"));
+        put_u64(&mut buf, checksum);
+        buf.extend_from_slice(&payload);
+        let file = &mut self.files[vantage];
+        let payload_offset = file.seek(SeekFrom::End(0))? + CHUNK_HEADER_BYTES;
+        file.write_all(&buf)?;
+        file.flush()?;
+        self.write_nanos += start.elapsed().as_nanos() as u64;
+        self.bytes_written += buf.len() as u64;
+        self.indexes[vantage].push(ChunkRef {
+            day,
+            rows: obs.len() as u32,
+            payload_offset,
+            checksum,
+        });
+        Ok(())
+    }
+
+    /// Read back one vantage's chunk for a day already on disk
+    /// (checksum-verified) — the resume replay's comparison source.
+    pub fn read_day(&mut self, vantage: usize, day: u32) -> io::Result<Vec<Observation>> {
+        let chunk =
+            self.indexes[vantage].iter().find(|c| c.day == day).copied().ok_or_else(|| {
+                io::Error::new(
+                    ErrorKind::NotFound,
+                    format!("no chunk for day {day} in vantage {vantage}"),
+                )
+            })?;
+        let mut scratch = Vec::new();
+        let mut out = Vec::new();
+        read_chunk(&mut self.files[vantage], &chunk, &mut scratch, &mut out)?;
+        Ok(out)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Reader.
+
+/// Streaming reader over one vantage's column file.
+///
+/// Implements [`ObservationSource`] with one day resident at a time: a
+/// reused scratch buffer is filled per chunk and handed to the visitor,
+/// so memory stays bounded by the largest single day regardless of
+/// campaign length. Chunk checksums are verified on every read; a
+/// mismatch mid-stream panics with a "snapshot store corrupted" message
+/// (the trait's visitors are infallible by design — corruption of
+/// structurally-valid chunks is a hard error, unlike torn tails, which
+/// are dropped at open).
+///
+/// Visitors must not re-enter the same reader (its file handle is held
+/// for the duration of the visit).
+pub struct StoreReader {
+    vantage: String,
+    state: Mutex<ReaderState>,
+    index: Vec<ChunkRef>,
+    orgs: Arc<OrgInterner>,
+    truncated_tail: bool,
+}
+
+struct ReaderState {
+    file: File,
+    scratch: Vec<u8>,
+    decoded: Vec<Observation>,
+}
+
+impl StoreReader {
+    /// Whether a torn tail chunk was ignored when this file was opened
+    /// (i.e. the writer was killed mid-append and `resume` would
+    /// re-scan that day).
+    pub fn truncated_tail(&self) -> bool {
+        self.truncated_tail
+    }
+
+    /// The largest single-day row count — the reader's resident-memory
+    /// bound when streaming.
+    pub fn max_rows_per_day(&self) -> usize {
+        self.index.iter().map(|c| c.rows as usize).max().unwrap_or(0)
+    }
+
+    fn visit_chunk(&self, chunk: &ChunkRef, visit: &mut dyn FnMut(u32, &[Observation])) {
+        let mut state = self.state.lock().expect("reader lock");
+        let ReaderState { file, scratch, decoded } = &mut *state;
+        if let Err(e) = read_chunk(file, chunk, scratch, decoded) {
+            panic!("snapshot store corrupted (vantage \"{}\"): {e}", self.vantage);
+        }
+        visit(chunk.day, decoded);
+    }
+}
+
+impl ObservationSource for StoreReader {
+    fn vantage(&self) -> &str {
+        &self.vantage
+    }
+
+    fn days(&self) -> Vec<u32> {
+        self.index.iter().map(|c| c.day).collect()
+    }
+
+    fn org_name(&self, id: OrgId) -> Option<&str> {
+        self.orgs.name(id)
+    }
+
+    fn for_each_day(&self, visit: &mut dyn FnMut(u32, &[Observation])) {
+        for chunk in &self.index {
+            self.visit_chunk(chunk, visit);
+        }
+    }
+
+    fn for_day(&self, day: u32, visit: &mut dyn FnMut(&[Observation])) {
+        if let Some(chunk) = self.index.iter().find(|c| c.day == day) {
+            self.visit_chunk(chunk, &mut |_, obs| visit(obs));
+        }
+    }
+
+    fn total_observations(&self) -> usize {
+        self.index.iter().map(|c| c.rows as usize).sum()
+    }
+}
+
+/// A reopened store: its manifest plus one [`StoreReader`] per vantage
+/// (sharing one org dictionary).
+pub struct OpenStore {
+    /// The campaign shape recorded at creation.
+    pub meta: StoreMeta,
+    /// One reader per vantage, in manifest order.
+    pub readers: Vec<StoreReader>,
+}
+
+impl OpenStore {
+    /// The readers as trait objects, for the analysis entry points.
+    pub fn sources(&self) -> Vec<&dyn ObservationSource> {
+        self.readers.iter().map(|r| r as &dyn ObservationSource).collect()
+    }
+
+    /// Fully materialize the store back into in-memory
+    /// [`SnapshotStore`]s (testing/compatibility aid — defeats the
+    /// bounded-memory point for long campaigns).
+    pub fn materialize(&self) -> Vec<SnapshotStore> {
+        let orgs = match self.readers.first() {
+            Some(r) => (*r.orgs).clone(),
+            None => OrgInterner::default(),
+        };
+        self.readers
+            .iter()
+            .map(|r| {
+                let mut store = SnapshotStore::with_vantage(&r.vantage);
+                store.orgs = orgs.clone();
+                r.for_each_day(&mut |day, obs| store.push_day(day, obs.to_vec()));
+                store
+            })
+            .collect()
+    }
+}
+
+/// Open a store directory read-only for streaming analysis.
+///
+/// Torn tail chunks (from a killed writer) are ignored without
+/// modifying the files; per-vantage day counts may differ mid-campaign
+/// and consumers like `vantage_diff` work over the common days.
+pub fn open_store(dir: &Path) -> io::Result<OpenStore> {
+    let meta = read_manifest(&dir.join("MANIFEST"))?;
+    let mut dict_file = File::open(dir.join("orgs.dict"))?;
+    let (names, _, _) = scan_dict(&mut dict_file)?;
+    let orgs = Arc::new(interner_from_names(names));
+    let mut readers = Vec::with_capacity(meta.vantages.len());
+    for (i, vantage) in meta.vantages.iter().enumerate() {
+        let path = dir.join(column_file_name(i));
+        let mut file = File::open(&path)?;
+        let scan = scan_column(&mut file, &path)?;
+        if scan.vantage != *vantage {
+            return Err(corrupt(format!(
+                "{}: vantage \"{}\" does not match manifest \"{vantage}\"",
+                path.display(),
+                scan.vantage
+            )));
+        }
+        readers.push(StoreReader {
+            vantage: scan.vantage,
+            state: Mutex::new(ReaderState { file, scratch: Vec::new(), decoded: Vec::new() }),
+            index: scan.chunks,
+            orgs: orgs.clone(),
+            truncated_tail: scan.truncated,
+        });
+    }
+    Ok(OpenStore { meta, readers })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::observation::flags;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("httpsrr-persist-unit-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn meta_for(days: &[u64]) -> StoreMeta {
+        StoreMeta {
+            vantages: vec!["google".into(), "isp".into()],
+            sample_days: days.to_vec(),
+            scan_www: true,
+            world_seed: 7,
+            population: 400,
+            list_size: 300,
+        }
+    }
+
+    fn obs(day: u32, id: u32, f: u32) -> Observation {
+        Observation {
+            day,
+            domain_id: id,
+            rank: id + 1,
+            flags: f,
+            ns_category: (id % 4) as u8,
+            org: if id.is_multiple_of(3) { OrgId::NONE } else { OrgId(id % 2) },
+            min_priority: (id % 7) as u16,
+        }
+    }
+
+    #[test]
+    fn manifest_round_trip() {
+        let dir = temp_dir("manifest");
+        let meta = meta_for(&[0, 3, 9]);
+        let w = StoreWriter::create(&dir, meta.clone()).unwrap();
+        drop(w);
+        assert_eq!(read_manifest(&dir.join("MANIFEST")).unwrap(), meta);
+        // A second create must refuse to clobber.
+        let err = StoreWriter::create(&dir, meta).unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::AlreadyExists);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn chunk_round_trip_and_read_day() {
+        let dir = temp_dir("roundtrip");
+        let mut orgs = OrgInterner::default();
+        orgs.intern("Cloudflare, Inc.");
+        orgs.intern("GoDaddy.com, LLC");
+        let mut w = StoreWriter::create(&dir, meta_for(&[0, 2])).unwrap();
+        let day0: Vec<Observation> = (0..50).map(|i| obs(0, i, flags::HTTPS_PRESENT)).collect();
+        let day2: Vec<Observation> = (0..40).map(|i| obs(2, i, 0)).collect();
+        w.append_chunk(0, 0, &day0, &orgs).unwrap();
+        w.append_chunk(1, 0, &day0, &orgs).unwrap();
+        w.append_chunk(0, 2, &day2, &orgs).unwrap();
+        assert_eq!(w.read_day(0, 0).unwrap(), day0);
+        assert_eq!(w.read_day(0, 2).unwrap(), day2);
+        assert_eq!(w.days_written(0), 2);
+        assert_eq!(w.completed_days(), 1);
+        assert!(w.bytes_written() > 0);
+        drop(w);
+
+        let open = open_store(&dir).unwrap();
+        assert_eq!(open.readers.len(), 2);
+        let r = &open.readers[0];
+        assert_eq!(ObservationSource::days(r), vec![0, 2]);
+        assert_eq!(r.total_observations(), 90);
+        assert_eq!(r.max_rows_per_day(), 50);
+        assert_eq!(r.org_name(OrgId(0)), Some("Cloudflare, Inc."));
+        let mut streamed = Vec::new();
+        r.for_each_day(&mut |_, o| streamed.extend_from_slice(o));
+        let expect: Vec<Observation> = day0.iter().chain(&day2).copied().collect();
+        assert_eq!(streamed, expect);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn appends_enforce_campaign_schedule() {
+        let dir = temp_dir("schedule");
+        let orgs = OrgInterner::default();
+        let mut w = StoreWriter::create(&dir, meta_for(&[0, 2])).unwrap();
+        // Wrong first day.
+        assert_eq!(w.append_chunk(0, 1, &[], &orgs).unwrap_err().kind(), ErrorKind::InvalidInput);
+        w.append_chunk(0, 0, &[], &orgs).unwrap();
+        // Duplicate day.
+        assert_eq!(w.append_chunk(0, 0, &[], &orgs).unwrap_err().kind(), ErrorKind::InvalidInput);
+        // Mis-stamped observation.
+        assert_eq!(
+            w.append_chunk(0, 2, &[obs(1, 1, 0)], &orgs).unwrap_err().kind(),
+            ErrorKind::InvalidInput
+        );
+        w.append_chunk(0, 2, &[obs(2, 1, 0)], &orgs).unwrap();
+        // Past the end of the campaign.
+        assert_eq!(w.append_chunk(0, 3, &[], &orgs).unwrap_err().kind(), ErrorKind::InvalidInput);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn org_dict_divergence_is_rejected() {
+        let dir = temp_dir("orgdict");
+        let mut orgs = OrgInterner::default();
+        orgs.intern("Org A");
+        let mut w = StoreWriter::create(&dir, meta_for(&[0])).unwrap();
+        w.sync_orgs(&orgs).unwrap();
+        let mut other = OrgInterner::default();
+        other.intern("Org B");
+        let err = w.sync_orgs(&other).unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::InvalidData);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_dropped_on_open_and_truncated_on_resume() {
+        let dir = temp_dir("torn");
+        let mut orgs = OrgInterner::default();
+        orgs.intern("Org A");
+        let day0: Vec<Observation> = (0..30).map(|i| obs(0, i, 0)).collect();
+        let day2: Vec<Observation> = (0..30).map(|i| obs(2, i, 0)).collect();
+        let mut w = StoreWriter::create(&dir, meta_for(&[0, 2])).unwrap();
+        for v in 0..2 {
+            w.append_chunk(v, 0, &day0, &orgs).unwrap();
+            w.append_chunk(v, 2, &day2, &orgs).unwrap();
+        }
+        drop(w);
+        // Tear the second vantage's last chunk mid-payload.
+        let path = dir.join(column_file_name(1));
+        let len = std::fs::metadata(&path).unwrap().len();
+        let f = OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(len - 17).unwrap();
+        drop(f);
+
+        // Read-only open: torn chunk ignored, files untouched.
+        let open = open_store(&dir).unwrap();
+        assert_eq!(ObservationSource::days(&open.readers[0]), vec![0, 2]);
+        assert_eq!(ObservationSource::days(&open.readers[1]), vec![0]);
+        assert!(open.readers[1].truncated_tail());
+        assert!(!open.readers[0].truncated_tail());
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), len - 17);
+
+        // Resume: both vantages truncated back to the common boundary.
+        let w = StoreWriter::open_resume(&dir).unwrap();
+        assert_eq!(w.completed_days(), 1);
+        assert_eq!(w.days_written(0), 1);
+        assert_eq!(w.days_written(1), 1);
+        drop(w);
+        let reopened = open_store(&dir).unwrap();
+        assert_eq!(ObservationSource::days(&reopened.readers[0]), vec![0]);
+        assert_eq!(ObservationSource::days(&reopened.readers[1]), vec![0]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn flipped_payload_byte_fails_checksum() {
+        let dir = temp_dir("bitflip");
+        let orgs = OrgInterner::default();
+        let day0: Vec<Observation> = (0..10).map(|i| obs(0, i, 0)).collect();
+        let mut w = StoreWriter::create(&dir, meta_for(&[0, 1])).unwrap();
+        w.append_chunk(0, 0, &day0, &orgs).unwrap();
+        w.append_chunk(
+            0,
+            1,
+            &day0.iter().map(|o| Observation { day: 1, ..*o }).collect::<Vec<_>>(),
+            &orgs,
+        )
+        .unwrap();
+        drop(w);
+        // Flip one byte inside the FIRST chunk's payload (not the tail).
+        let path = dir.join(column_file_name(0));
+        let mut bytes = std::fs::read(&path).unwrap();
+        let header_end = 12 + "google".len();
+        let target = header_end + CHUNK_HEADER_BYTES as usize + 5;
+        bytes[target] ^= 0xff;
+        std::fs::write(&path, &bytes).unwrap();
+
+        // Structural scan still sees both chunks; reading the damaged
+        // one must fail loudly.
+        let open = open_store(&dir).unwrap();
+        assert_eq!(ObservationSource::days(&open.readers[0]), vec![0, 1]);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            open.readers[0].for_each_day(&mut |_, _| {});
+        }));
+        let msg = *result.unwrap_err().downcast::<String>().unwrap();
+        assert!(msg.contains("snapshot store corrupted"), "panic was: {msg}");
+        assert!(msg.contains("checksum mismatch"), "panic was: {msg}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}
