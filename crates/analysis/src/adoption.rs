@@ -1,7 +1,7 @@
 //! Fig 2 (adoption trends) and Fig 8/9 (rank distributions).
 
 use crate::{overlapping_ids, Series};
-use scanner::{NsCategory, Observation, ObservationSource};
+use scanner::{NsCategory, Observation, ObservationSource, Projection, ScanFilter};
 use std::collections::HashSet;
 
 /// The four Fig 2 series: apex/www × dynamic/overlapping.
@@ -37,9 +37,11 @@ pub fn fig2_adoption(store: &dyn ObservationSource, source_change_day: u32) -> A
     let ov2 = overlapping_ids(store, &phase2);
 
     // One streaming pass: per day, tally (total, https) for each of the
-    // four series (dynamic/overlapping × apex/www).
+    // four series (dynamic/overlapping × apex/www). Only flags and
+    // domain ids are touched, so a disk-backed source skips the rest.
+    let proj = ScanFilter::projected(Projection::FLAGS.with(Projection::DOMAIN_ID));
     let mut points: [Vec<(u32, f64)>; 4] = Default::default();
-    store.for_each_day(&mut |day, obs| {
+    store.for_each_day_filtered(proj, &mut |day, obs| {
         let ov = if day < source_change_day { &ov1 } else { &ov2 };
         let mut tallies = [(0usize, 0usize); 4];
         for o in obs {
@@ -132,7 +134,8 @@ pub fn fig8_rank_distribution(
         };
     };
     let mut obs: Vec<Observation> = Vec::new();
-    store.for_day(probe_day, &mut |day_obs| obs.extend_from_slice(day_obs));
+    let proj = Projection::RANK.with(Projection::FLAGS).with(Projection::DOMAIN_ID);
+    store.for_day_projected(probe_day, proj, &mut |day_obs| obs.extend_from_slice(day_obs));
     let max_rank = obs.iter().map(|o| o.rank).max().unwrap_or(1).max(1);
     let buckets = 10usize;
     let width = max_rank.div_ceil(buckets as u32).max(1);
@@ -176,8 +179,11 @@ pub fn fig8_rank_distribution(
 /// Domain ids whose apex observation shows HTTPS on non-Cloudflare NS on
 /// any sampled day (the Fig 9 population).
 pub fn noncf_adopter_ids(store: &dyn ObservationSource) -> HashSet<u32> {
+    let proj = ScanFilter::projected(
+        Projection::FLAGS.with(Projection::NS_CATEGORY).with(Projection::DOMAIN_ID),
+    );
     let mut ids = HashSet::new();
-    store.for_each_day(&mut |_, obs| {
+    store.for_each_day_filtered(proj, &mut |_, obs| {
         ids.extend(
             obs.iter()
                 .filter(|o| {

@@ -6,7 +6,7 @@ use crate::Series;
 use dns_wire::RecordType;
 use ecosystem::{well_known, World};
 use resolver::{RecursiveResolver, ResolverConfig};
-use scanner::{flags, ObservationSource};
+use scanner::{flags, ObservationSource, Projection, ScanFilter};
 
 /// Fig 5 + Fig 14 series.
 #[derive(Debug, Clone)]
@@ -52,7 +52,7 @@ pub fn fig5_dnssec_trend(store: &dyn ObservationSource) -> DnssecSeries {
         (false, flags::RRSIG | flags::AD, flags::ECH),
     ];
     let mut points: [Vec<(u32, f64)>; 6] = Default::default();
-    store.for_each_day(&mut |day, obs| {
+    store.for_each_day_filtered(ScanFilter::projected(Projection::FLAGS), &mut |day, obs| {
         for (slot, &(www, need, base)) in configs.iter().enumerate() {
             let mut total = 0usize;
             let mut hit = 0usize;

@@ -2,7 +2,7 @@
 //! and Fig 4 (key-rotation durations from hourly scans).
 
 use crate::Series;
-use scanner::{flags, EchObservation, ObservationSource};
+use scanner::{flags, EchObservation, ObservationSource, Projection, ScanFilter};
 use std::collections::BTreeMap;
 
 /// Fig 13: % of HTTPS-publishing domains with the ech parameter.
@@ -23,7 +23,7 @@ impl std::fmt::Display for EchShareSeries {
 /// Compute Fig 13.
 pub fn fig13_ech_share(store: &dyn ObservationSource) -> EchShareSeries {
     let mut points: [Vec<(u32, f64)>; 2] = Default::default();
-    store.for_each_day(&mut |day, obs| {
+    store.for_each_day_filtered(ScanFilter::projected(Projection::FLAGS), &mut |day, obs| {
         for (slot, www) in [(0usize, false), (1, true)] {
             let mut https = 0usize;
             let mut ech = 0usize;

@@ -37,25 +37,26 @@ pub use providers::{
     tab3_top_noncf, IntermittentBreakdown, NoncfSeries, NsCategoryShares, TopProviders,
 };
 pub use vantage_diff::{
-    vantage_diff, vantage_diff_runs, vantage_diff_sources, VantageDiffReport, VantageDisagreement,
-    VantageSummary,
+    vantage_diff, vantage_diff_parallel, vantage_diff_runs, vantage_diff_sources,
+    VantageDiffReport, VantageDisagreement, VantageSummary,
 };
 
-use scanner::ObservationSource;
+use scanner::{ObservationSource, Projection};
 use std::collections::HashSet;
 
 /// Domain ids present on the list (i.e. observed) on *every* sampled day
 /// in `days` — the paper's "overlapping domains" for a phase.
 pub fn overlapping_ids(source: &dyn ObservationSource, days: &[u32]) -> HashSet<u32> {
+    let proj = Projection::FLAGS.with(Projection::DOMAIN_ID);
     let mut iter = days.iter();
     let Some(first) = iter.next() else { return HashSet::new() };
     let mut set: HashSet<u32> = HashSet::new();
-    source.for_day(*first, &mut |obs| {
+    source.for_day_projected(*first, proj, &mut |obs| {
         set = obs.iter().filter(|o| !o.is_www()).map(|o| o.domain_id).collect();
     });
     for day in iter {
         let mut today: HashSet<u32> = HashSet::new();
-        source.for_day(*day, &mut |obs| {
+        source.for_day_projected(*day, proj, &mut |obs| {
             today = obs.iter().filter(|o| !o.is_www()).map(|o| o.domain_id).collect();
         });
         set.retain(|id| today.contains(id));

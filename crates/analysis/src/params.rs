@@ -4,7 +4,7 @@
 //! Fig 12 (mismatch durations), §4.3.5 (connectivity).
 
 use crate::Series;
-use scanner::{flags, ConnectivityReport, NsCategory, ObservationSource};
+use scanner::{flags, ConnectivityReport, NsCategory, ObservationSource, Projection, ScanFilter};
 use std::collections::{BTreeMap, HashMap};
 
 /// Table 4: Cloudflare default vs customized configuration shares.
@@ -27,7 +27,8 @@ impl std::fmt::Display for CfConfigSplit {
 /// Compute Table 4 over all days (average of daily shares).
 pub fn tab4_cf_config(store: &dyn ObservationSource) -> CfConfigSplit {
     let mut daily = Vec::new();
-    store.for_each_day(&mut |_, obs| {
+    let proj = ScanFilter::projected(Projection::FLAGS.with(Projection::NS_CATEGORY));
+    store.for_each_day_filtered(proj, &mut |_, obs| {
         let mut default = 0usize;
         let mut total = 0usize;
         for o in obs {
@@ -74,7 +75,8 @@ pub fn tab5_other_providers(store: &dyn ObservationSource) -> ProviderShapes {
     let Some(&last) = store.days().last() else {
         return ProviderShapes { shapes };
     };
-    store.for_day(last, &mut |obs| {
+    let proj = Projection::FLAGS.with(Projection::NS_CATEGORY).with(Projection::ORG);
+    store.for_day_projected(last, proj, &mut |obs| {
         for o in obs {
             if o.is_www() || !o.https() {
                 continue;
@@ -129,7 +131,10 @@ pub fn sec433_anomalies(store: &dyn ObservationSource) -> AnomalyCounts {
     let mut ip_lit: HashSet<u32> = HashSet::new();
     let mut hist: BTreeMap<u16, usize> = BTreeMap::new();
     let mut seen_prio: HashSet<u32> = HashSet::new();
-    store.for_each_day(&mut |_, obs| {
+    let proj = ScanFilter::projected(
+        Projection::FLAGS.with(Projection::DOMAIN_ID).with(Projection::MIN_PRIORITY),
+    );
+    store.for_each_day_filtered(proj, &mut |_, obs| {
         for o in obs {
             if o.is_www() || !o.https() {
                 continue;
@@ -189,7 +194,7 @@ pub fn tab8_alpn(store: &dyn ObservationSource, sunset_day: u32) -> AlpnShares {
     let mut www_total = 0usize;
     let mut h3_29_before = (0usize, 0usize);
     let mut h3_29_after = (0usize, 0usize);
-    store.for_each_day(&mut |_, obs| {
+    store.for_each_day_filtered(ScanFilter::projected(Projection::FLAGS), &mut |_, obs| {
         for o in obs {
             if !o.https() {
                 continue;
@@ -266,7 +271,7 @@ pub fn fig11_iphints(store: &dyn ObservationSource) -> IpHintSeries {
     // (www, matching) per series slot, one streaming pass.
     let configs: [(bool, bool); 4] = [(false, false), (false, true), (true, false), (true, true)];
     let mut points: [Vec<(u32, f64)>; 4] = Default::default();
-    store.for_each_day(&mut |day, obs| {
+    store.for_each_day_filtered(ScanFilter::projected(Projection::FLAGS), &mut |day, obs| {
         for (slot, &(www, matching)) in configs.iter().enumerate() {
             let mut with_hint = 0usize;
             let mut matched = 0usize;
@@ -346,7 +351,8 @@ impl std::fmt::Display for MismatchDurations {
 pub fn fig12_mismatch_durations(store: &dyn ObservationSource) -> MismatchDurations {
     // domain → ordered (day, mismatched) for hint-bearing observations.
     let mut tracks: HashMap<u32, Vec<(u32, bool)>> = HashMap::new();
-    store.for_each_day(&mut |_, obs| {
+    let proj = ScanFilter::projected(Projection::FLAGS.with(Projection::DOMAIN_ID));
+    store.for_each_day_filtered(proj, &mut |_, obs| {
         for o in obs {
             if o.is_www() || !o.https() || !o.has(flags::IPV4HINT) {
                 continue;

@@ -3,7 +3,7 @@
 //! HTTPS records).
 
 use crate::Series;
-use scanner::{flags, NsCategory, ObservationSource, OrgId};
+use scanner::{flags, NsCategory, ObservationSource, OrgId, Projection, ScanFilter};
 use std::collections::{BTreeMap, HashMap, HashSet};
 
 /// Table 2: mean/std shares of NS categories among HTTPS-positive apexes.
@@ -41,7 +41,8 @@ pub fn tab2_ns_category(store: &dyn ObservationSource) -> NsCategoryShares {
     let mut full = Vec::new();
     let mut none = Vec::new();
     let mut partial = Vec::new();
-    store.for_each_day(&mut |_, obs| {
+    let proj = ScanFilter::projected(Projection::FLAGS.with(Projection::NS_CATEGORY));
+    store.for_each_day_filtered(proj, &mut |_, obs| {
         let mut counts = [0usize; 3];
         for o in obs {
             if o.is_www() || !o.https() {
@@ -95,7 +96,13 @@ impl std::fmt::Display for TopProviders {
 /// Compute Table 3 over all sampled days.
 pub fn tab3_top_noncf(store: &dyn ObservationSource) -> TopProviders {
     let mut per_org: HashMap<OrgId, HashSet<u32>> = HashMap::new();
-    store.for_each_day(&mut |_, obs| {
+    let proj = ScanFilter::projected(
+        Projection::FLAGS
+            .with(Projection::NS_CATEGORY)
+            .with(Projection::ORG)
+            .with(Projection::DOMAIN_ID),
+    );
+    store.for_each_day_filtered(proj, &mut |_, obs| {
         for o in obs {
             if o.is_www() || !o.https() {
                 continue;
@@ -137,7 +144,10 @@ impl std::fmt::Display for NoncfSeries {
 pub fn fig3_noncf_provider_count(store: &dyn ObservationSource) -> NoncfSeries {
     let mut provider_points = Vec::new();
     let mut domain_points = Vec::new();
-    store.for_each_day(&mut |day, obs| {
+    let proj = ScanFilter::projected(
+        Projection::FLAGS.with(Projection::NS_CATEGORY).with(Projection::ORG),
+    );
+    store.for_each_day_filtered(proj, &mut |day, obs| {
         let mut orgs = HashSet::new();
         let mut domains = 0usize;
         for o in obs {
@@ -209,7 +219,10 @@ pub fn sec423_intermittent(store: &dyn ObservationSource) -> IntermittentBreakdo
         lost_ns: bool,
     }
     let mut tracks: BTreeMap<u32, Track> = BTreeMap::new();
-    store.for_each_day(&mut |_, obs| {
+    let proj = ScanFilter::projected(
+        Projection::FLAGS.with(Projection::NS_CATEGORY).with(Projection::DOMAIN_ID),
+    );
+    store.for_each_day_filtered(proj, &mut |_, obs| {
         for o in obs {
             if o.is_www() || o.has(flags::RESOLUTION_FAILED) {
                 // Resolution failures count as "lost NS" evidence.

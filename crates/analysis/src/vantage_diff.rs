@@ -12,8 +12,12 @@
 //! observation that the record's visibility depends on where you look
 //! from.
 
-use scanner::{ObservationSource, SnapshotStore, VantageRun};
+use scanner::{ObservationSource, Projection, ScanFilter, SnapshotStore, VantageRun};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// Columns the diff actually reads: HTTPS/www/failure bits and the
+/// domain id. Disk-backed sources skip decoding the other columns.
+const DIFF_PROJECTION: Projection = Projection::FLAGS.with(Projection::DOMAIN_ID);
 
 /// One cross-vantage disagreement: a (day, name) whose HTTPS presence
 /// differs between resolver views.
@@ -123,7 +127,7 @@ impl std::fmt::Display for VantageDiffReport {
 /// filter in [`vantage_diff_sources`] then drops the name for that day).
 fn presence_of(source: &dyn ObservationSource, day: u32) -> HashMap<(u32, bool), bool> {
     let mut map = HashMap::new();
-    source.for_day(day, &mut |obs| {
+    source.for_day_projected(day, DIFF_PROJECTION, &mut |obs| {
         map.extend(
             obs.iter()
                 .filter(|o| !o.has(scanner::flags::RESOLUTION_FAILED))
@@ -162,13 +166,67 @@ pub fn vantage_diff_sources(sources: &[&dyn ObservationSource]) -> VantageDiffRe
         days.retain(|d| own.contains(d));
     }
 
-    let mut disagreements: Vec<VantageDisagreement> = Vec::new();
-    let mut per_day: BTreeMap<u32, usize> = BTreeMap::new();
-    let mut disagreeing_domains: BTreeSet<u32> = BTreeSet::new();
-
+    let mut diff = DayDiffs::default();
     for &day in &days {
         let views: Vec<HashMap<(u32, bool), bool>> =
             sources.iter().map(|s| presence_of(*s, day)).collect();
+        diff.fold_day(day, &views, &vantages);
+    }
+    let DayDiffs { disagreements, per_day, disagreeing_domains } = diff;
+
+    // One streaming pass per source over the common days: positive and
+    // failure tallies plus the per-name presence timelines for flapping.
+    let common: BTreeSet<u32> = days.iter().copied().collect();
+    let summaries = sources
+        .iter()
+        .map(|s| {
+            let mut tally = SourceTally::default();
+            s.for_each_day_filtered(common_filter(&days), &mut |day, obs| {
+                if !common.contains(&day) {
+                    return;
+                }
+                for o in obs {
+                    if !o.is_www() && o.https() {
+                        tally.positives += 1;
+                    }
+                    if o.has(scanner::flags::RESOLUTION_FAILED) {
+                        tally.resolution_failures += 1;
+                        if o.has(scanner::flags::RESOLUTION_TIMEOUT) {
+                            tally.timeouts += 1;
+                        }
+                    }
+                    tally.timelines.entry((o.domain_id, o.is_www())).or_default().push(o.https());
+                }
+            });
+            tally.into_summary(s.vantage(), days.len())
+        })
+        .collect();
+
+    VantageDiffReport { vantages, days, disagreements, per_day, disagreeing_domains, summaries }
+}
+
+/// Day-range-pruned scan filter over the common days (every day when
+/// there are none — the visitor re-checks membership either way).
+fn common_filter(days: &[u32]) -> ScanFilter {
+    let filter = ScanFilter::projected(DIFF_PROJECTION);
+    match (days.first(), days.last()) {
+        (Some(&first), Some(&last)) => filter.days(first, last),
+        _ => filter,
+    }
+}
+
+/// Disagreement accumulators, folded one day at a time in day order —
+/// the single diff loop both the sequential and parallel scans share, so
+/// their reports cannot drift apart.
+#[derive(Default)]
+struct DayDiffs {
+    disagreements: Vec<VantageDisagreement>,
+    per_day: BTreeMap<u32, usize>,
+    disagreeing_domains: BTreeSet<u32>,
+}
+
+impl DayDiffs {
+    fn fold_day(&mut self, day: u32, views: &[HashMap<(u32, bool), bool>], vantages: &[String]) {
         let mut count = 0usize;
         // Keys present in every view, in deterministic order.
         let keys: BTreeSet<(u32, bool)> = match views.first() {
@@ -179,7 +237,7 @@ pub fn vantage_diff_sources(sources: &[&dyn ObservationSource]) -> VantageDiffRe
             let mut present_in = Vec::new();
             let mut absent_in = Vec::new();
             let mut everywhere = true;
-            for (view, label) in views.iter().zip(&vantages) {
+            for (view, label) in views.iter().zip(vantages) {
                 match view.get(&key) {
                     Some(true) => present_in.push(label.clone()),
                     Some(false) => absent_in.push(label.clone()),
@@ -187,69 +245,133 @@ pub fn vantage_diff_sources(sources: &[&dyn ObservationSource]) -> VantageDiffRe
                 }
             }
             if everywhere && !present_in.is_empty() && !absent_in.is_empty() {
-                disagreements.push(VantageDisagreement {
+                self.disagreements.push(VantageDisagreement {
                     day,
                     domain_id: key.0,
                     is_www: key.1,
                     present_in,
                     absent_in,
                 });
-                disagreeing_domains.insert(key.0);
+                self.disagreeing_domains.insert(key.0);
                 count += 1;
             }
         }
-        per_day.insert(day, count);
+        self.per_day.insert(day, count);
     }
+}
 
+/// Per-source summary tallies accumulated during one streaming pass.
+#[derive(Default)]
+struct SourceTally {
+    positives: usize,
+    resolution_failures: usize,
+    timeouts: usize,
+    timelines: HashMap<(u32, bool), Vec<bool>>,
+}
+
+impl SourceTally {
+    fn into_summary(self, vantage: &str, day_count: usize) -> VantageSummary {
+        let mean_positive =
+            if day_count == 0 { 0.0 } else { self.positives as f64 / day_count as f64 };
+        // Flapping: domains observed every day whose presence changed
+        // between consecutive sampled days.
+        let full: Vec<&Vec<bool>> =
+            self.timelines.values().filter(|t| t.len() == day_count).collect();
+        let flapped = full.iter().filter(|t| t.windows(2).any(|w| w[0] != w[1])).count();
+        let flapping_rate = if full.is_empty() { 0.0 } else { flapped as f64 / full.len() as f64 };
+        VantageSummary {
+            vantage: vantage.to_string(),
+            mean_positive,
+            flapping_rate,
+            cache_hit_rate: None,
+            resolution_failures: self.resolution_failures,
+            timeouts: self.timeouts,
+        }
+    }
+}
+
+/// [`vantage_diff_sources`] with one reader thread per source.
+///
+/// Each source is streamed exactly once on its own scoped thread, which
+/// builds the per-day presence map *and* the summary tallies in the same
+/// pass, sending each day's presence through a bounded channel (at most
+/// two days in flight per source — the multi-vantage analogue of the
+/// reader's one-day residency bound). The coordinator receives one view
+/// per source per common day, in day order, and folds them through the
+/// same [`DayDiffs`] loop and [`SourceTally`] arithmetic as the
+/// sequential pass — the report, including every floating-point field,
+/// is byte-identical to [`vantage_diff_sources`].
+pub fn vantage_diff_parallel(sources: &[&dyn ObservationSource]) -> VantageDiffReport {
+    let vantages: Vec<String> = sources.iter().map(|s| s.vantage().to_string()).collect();
+
+    // Days common to all sources.
+    let mut days: Vec<u32> = match sources.first() {
+        Some(s) => s.days(),
+        None => Vec::new(),
+    };
+    for s in sources.iter().skip(1) {
+        let own: BTreeSet<u32> = s.days().into_iter().collect();
+        days.retain(|d| own.contains(d));
+    }
     let common: BTreeSet<u32> = days.iter().copied().collect();
-    let summaries = sources
-        .iter()
-        .map(|s| {
-            // One streaming pass over the common days: positive/failure
-            // tallies plus the per-name presence timelines for flapping.
-            let mut positives = 0usize;
-            let mut resolution_failures = 0usize;
-            let mut timeouts = 0usize;
-            let mut timelines: HashMap<(u32, bool), Vec<bool>> = HashMap::new();
-            s.for_each_day(&mut |day, obs| {
-                if !common.contains(&day) {
-                    return;
-                }
-                for o in obs {
-                    if !o.is_www() && o.https() {
-                        positives += 1;
+
+    let mut diff = DayDiffs::default();
+    let tallies: Vec<SourceTally> = std::thread::scope(|scope| {
+        let mut receivers = Vec::with_capacity(sources.len());
+        let mut handles = Vec::with_capacity(sources.len());
+        for &source in sources {
+            let (tx, rx) = std::sync::mpsc::sync_channel::<HashMap<(u32, bool), bool>>(2);
+            receivers.push(rx);
+            let (common, days) = (&common, &days);
+            handles.push(scope.spawn(move || {
+                let mut tally = SourceTally::default();
+                source.for_each_day_filtered(common_filter(days), &mut |day, obs| {
+                    if !common.contains(&day) {
+                        return;
                     }
-                    if o.has(scanner::flags::RESOLUTION_FAILED) {
-                        resolution_failures += 1;
-                        if o.has(scanner::flags::RESOLUTION_TIMEOUT) {
-                            timeouts += 1;
+                    let mut presence = HashMap::with_capacity(obs.len());
+                    for o in obs {
+                        let failed = o.has(scanner::flags::RESOLUTION_FAILED);
+                        if !failed {
+                            presence.insert((o.domain_id, o.is_www()), o.https());
                         }
+                        if !o.is_www() && o.https() {
+                            tally.positives += 1;
+                        }
+                        if failed {
+                            tally.resolution_failures += 1;
+                            if o.has(scanner::flags::RESOLUTION_TIMEOUT) {
+                                tally.timeouts += 1;
+                            }
+                        }
+                        tally
+                            .timelines
+                            .entry((o.domain_id, o.is_www()))
+                            .or_default()
+                            .push(o.https());
                     }
-                    timelines.entry((o.domain_id, o.is_www())).or_default().push(o.https());
-                }
-            });
-            let mean_positive =
-                if days.is_empty() { 0.0 } else { positives as f64 / days.len() as f64 };
-
-            // Flapping: domains observed every day whose presence changed
-            // between consecutive sampled days.
-            let full: Vec<&Vec<bool>> =
-                timelines.values().filter(|t| t.len() == days.len()).collect();
-            let flapped = full.iter().filter(|t| t.windows(2).any(|w| w[0] != w[1])).count();
-            let flapping_rate =
-                if full.is_empty() { 0.0 } else { flapped as f64 / full.len() as f64 };
-
-            VantageSummary {
-                vantage: s.vantage().to_string(),
-                mean_positive,
-                flapping_rate,
-                cache_hit_rate: None,
-                resolution_failures,
-                timeouts,
-            }
-        })
-        .collect();
-
+                    // A full channel blocks here, bounding how far this
+                    // reader can run ahead of the coordinator. A closed
+                    // one means the coordinator is gone (it panicked);
+                    // keep draining so the scan finishes cleanly.
+                    let _ = tx.send(presence);
+                });
+                tally
+            }));
+        }
+        for &day in &days {
+            let views: Vec<HashMap<(u32, bool), bool>> = receivers
+                .iter()
+                .map(|rx| rx.recv().expect("vantage reader thread died mid-scan"))
+                .collect();
+            diff.fold_day(day, &views, &vantages);
+        }
+        drop(receivers);
+        handles.into_iter().map(|h| h.join().expect("vantage reader thread panicked")).collect()
+    });
+    let DayDiffs { disagreements, per_day, disagreeing_domains } = diff;
+    let summaries =
+        tallies.into_iter().zip(&vantages).map(|(t, v)| t.into_summary(v, days.len())).collect();
     VantageDiffReport { vantages, days, disagreements, per_day, disagreeing_domains, summaries }
 }
 

@@ -6,7 +6,7 @@
 //! or walks the in-memory stores. This is the contract that makes the
 //! disk store a drop-in backend for multi-year campaigns.
 
-use analysis::{adoption, dnssec_a, ech, providers, vantage_diff_sources};
+use analysis::{adoption, dnssec_a, ech, providers, vantage_diff_parallel, vantage_diff_sources};
 use ecosystem::{EcosystemConfig, World};
 use resolver::VantagePoint;
 use scanner::{open_store, write_combined_csv, Campaign, ObservationSource, SnapshotStore};
@@ -20,6 +20,22 @@ fn scratch() -> PathBuf {
     ));
     let _ = std::fs::remove_dir_all(&dir);
     dir
+}
+
+/// Thread counts to exercise: the built-in axis plus any counts named in
+/// the `RESOLVER_TEST_THREADS` env var (the CI determinism-matrix hook).
+fn thread_axis() -> Vec<usize> {
+    let mut axis = vec![1, 4];
+    if let Ok(extra) = std::env::var("RESOLVER_TEST_THREADS") {
+        for tok in extra.split(',') {
+            if let Ok(n) = tok.trim().parse::<usize>() {
+                if n > 0 && !axis.contains(&n) {
+                    axis.push(n);
+                }
+            }
+        }
+    }
+    axis
 }
 
 fn campaign() -> Campaign {
@@ -101,6 +117,45 @@ fn every_analysis_is_byte_identical_from_disk_and_memory() {
         "combined CSV diverged between disk and memory"
     );
     std::fs::remove_dir_all(&dir).expect("cleanup");
+}
+
+/// The parallel multi-vantage scan must reproduce the sequential diff
+/// bit-for-bit — from disk and from memory — at every scan-thread count
+/// on the determinism axis.
+#[test]
+fn parallel_vantage_scan_is_byte_identical_across_thread_axis() {
+    let config = EcosystemConfig { population: 300, list_size: 220, ..EcosystemConfig::tiny() };
+    for threads in thread_axis() {
+        let c = Campaign { threads, ..campaign() };
+        let mut world = World::build(config.clone());
+        let stores: Vec<SnapshotStore> = c.run_vantages(&mut world);
+        let memory: Vec<&dyn ObservationSource> =
+            stores.iter().map(|s| s as &dyn ObservationSource).collect();
+
+        let dir = scratch();
+        let mut world = World::build(config.clone());
+        let mut writer = c.create_store(&world, &dir).expect("create store");
+        c.run_to_store(&mut world, &mut writer).expect("write-through");
+        drop(writer);
+        let disk = open_store(&dir).expect("reopen");
+
+        // Debug covers every report field (including each f64 exactly);
+        // Display is the rendered view the CLI ships.
+        let reference = vantage_diff_sources(&disk.sources());
+        for (label, report) in [
+            ("parallel-from-disk", vantage_diff_parallel(&disk.sources())),
+            ("parallel-from-memory", vantage_diff_parallel(&memory)),
+            ("sequential-from-memory", vantage_diff_sources(&memory)),
+        ] {
+            assert_eq!(
+                format!("{report:?}"),
+                format!("{reference:?}"),
+                "{label} diverged from the sequential disk scan at threads={threads}"
+            );
+            assert_eq!(report.to_string(), reference.to_string(), "{label} Display diverged");
+        }
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
 }
 
 #[test]

@@ -5,6 +5,7 @@
 //! httpsrr-cli run    [--population N] [--list N] [--days D] [--threads T] [--seed S]
 //!                    [--metrics PATH] [--csv PATH] [--store DIR]  # campaign (+ write-through)
 //! httpsrr-cli resume --store DIR [--threads T]     # continue an interrupted --store campaign
+//! httpsrr-cli compact --store DIR                  # rewrite a v1 store to v2 compressed blocks
 //! httpsrr-cli bench  [--population N] [--list N] [--threads T] [--shards S] [--out PATH]
 //! httpsrr-cli serve  [--population N] [--list N] [--rates R,R,..] [--capacity C] [--policy P]
 //! httpsrr-cli matrix
@@ -16,8 +17,8 @@
 use httpsrr::analysis;
 use httpsrr::ecosystem::{EcosystemConfig, World};
 use httpsrr::scanner::{
-    combined_csv, hourly_ech_scan, open_store, write_combined_csv, Campaign, StoreWriter,
-    VantageRun,
+    combined_csv, compact_store, hourly_ech_scan, open_store, write_combined_csv, Campaign,
+    StoreFormat, StoreWriter, VantageRun,
 };
 use httpsrr::{client_side_report, server_side_report, Study};
 use std::process::ExitCode;
@@ -32,6 +33,7 @@ fn main() -> ExitCode {
         "study" => cmd_study(&args[1..]),
         "run" => cmd_run(&args[1..]),
         "resume" => cmd_resume(&args[1..]),
+        "compact" => cmd_compact(&args[1..]),
         "bench" if args.iter().any(|a| a == "--store") => cmd_bench_persist(&args[1..]),
         "bench" if args.iter().any(|a| a == "--serve") => cmd_bench_serve(&args[1..]),
         "bench" if args.iter().any(|a| a == "--scale") => cmd_bench_scale(&args[1..]),
@@ -57,8 +59,9 @@ const USAGE: &str = "usage:
   httpsrr-cli study  [--population N] [--list N] [--stride D] [--seed S] [--csv PATH]
   httpsrr-cli run    [--population N] [--list N] [--days D] [--threads T] [--seed S] [--metrics PATH] [--csv PATH] [--store DIR]
   httpsrr-cli resume --store DIR [--threads T]   # continue an interrupted --store campaign at the last day boundary
+  httpsrr-cli compact --store DIR                # rewrite a v1 store to v2 compressed column blocks, atomically
   httpsrr-cli bench  [--population N] [--list N] [--threads T] [--mt-threads T] [--shards S] [--out PATH]
-  httpsrr-cli bench  --store [--population N] [--list N] [--days D] [--threads T] [--out PATH]  # disk store write/scan snapshot
+  httpsrr-cli bench  --store [--population N] [--list N] [--days D] [--threads T] [--out PATH]  # v1/v2/parallel store snapshot
   httpsrr-cli bench  --scale [--mt-threads T] [--threads T] [--out PATH]   # 6k vs 100k scale snapshot
   httpsrr-cli bench  --wire [--zones Z] [--reps R] [--out PATH]            # owned vs precompiled wire path A/B
   httpsrr-cli bench  --async [--population N] [--list N] [--reps R] [--out PATH]  # event-loop vs pooled at RTT 0/20/100 ms
@@ -88,6 +91,22 @@ fn list_flag<T: std::str::FromStr + Copy>(args: &[String], name: &str, default: 
     } else {
         parsed
     }
+}
+
+/// Physical CPU count visible to the process; every bench schema records
+/// it so a committed baseline names the host class it was measured on.
+fn physical_cpus() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// JSON array of the thread counts a bench actually measured, deduped and
+/// ascending — the `threads_axis` field shared by every bench schema.
+fn threads_axis_json(counts: &[usize]) -> String {
+    let mut axis = counts.to_vec();
+    axis.sort_unstable();
+    axis.dedup();
+    let items: Vec<String> = axis.iter().map(|t| t.to_string()).collect();
+    format!("[{}]", items.join(", "))
 }
 
 fn cmd_study(args: &[String]) -> ExitCode {
@@ -237,8 +256,10 @@ fn metrics_report(runs: &[VantageRun]) -> String {
 }
 
 /// Reopen a written store read-only and print the cross-vantage diff by
-/// streaming it from disk; `--csv` streams the combined CSV straight to
-/// the file without materializing any store in memory.
+/// streaming it from disk — one reader thread per vantage feeding the
+/// single-pass diff (byte-identical to the sequential scan); `--csv`
+/// streams the combined CSV straight to the file without materializing
+/// any store in memory.
 fn report_from_store(dir: &std::path::Path, args: &[String]) -> ExitCode {
     let store = match open_store(dir) {
         Ok(s) => s,
@@ -247,7 +268,7 @@ fn report_from_store(dir: &std::path::Path, args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    println!("{}", analysis::vantage_diff_sources(&store.sources()));
+    println!("{}", analysis::vantage_diff_parallel(&store.sources()));
     if let Some(path) = flag(args, "--csv") {
         let result = std::fs::File::create(&path)
             .and_then(|mut f| write_combined_csv(&store.sources(), &mut f));
@@ -340,20 +361,58 @@ fn cmd_resume(args: &[String]) -> ExitCode {
     report_from_store(&dir, args)
 }
 
-/// `bench --store` — the persistence snapshot (schema 7): write-through
-/// campaign vs the in-memory reference on identical worlds, chunk-write
-/// bandwidth from the writer's own I/O timing, full streaming re-scan
-/// throughput from disk, and the resident-row bound (largest single day
-/// per vantage) against the in-memory footprint (every observation).
-/// The from-disk cross-vantage diff must be byte-identical to the
-/// in-memory one (hard failure).
+/// `compact --store DIR` — rewrite a store in place to the v2 chunk
+/// format (compressed column blocks + statistics footers). v1 stores
+/// shrink several-fold; already-v2 stores are re-encoded byte-stably.
+/// The rewrite builds the new files in a sibling temp directory and
+/// swaps them in with renames, so a crash leaves the original intact.
+fn cmd_compact(args: &[String]) -> ExitCode {
+    let Some(dir) = flag(args, "--store") else {
+        eprintln!("compact requires --store DIR\n{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let dir = std::path::PathBuf::from(dir);
+    match compact_store(&dir) {
+        Ok(report) => {
+            let ratio = if report.bytes_after > 0 {
+                report.bytes_before as f64 / report.bytes_after as f64
+            } else {
+                0.0
+            };
+            eprintln!(
+                "compacted {}: {} vantages, {} chunks, {} rows, {} -> {} bytes ({ratio:.2}x)",
+                dir.display(),
+                report.vantages,
+                report.chunks,
+                report.rows,
+                report.bytes_before,
+                report.bytes_after
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("cannot compact store {}: {e}", dir.display());
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `bench --store` — the persistence snapshot (schema 8): one campaign
+/// measured four ways on identical worlds — in-memory reference, raw v1
+/// write-through (the compression baseline), compressed v2 write-through
+/// (the default format), and the one-reader-thread-per-vantage parallel
+/// diff — plus a full-decode vs projection-pruned streaming-scan A/B
+/// over the v2 store. Every cross-vantage diff rendered along the way
+/// must be byte-identical (hard failure).
 fn cmd_bench_persist(args: &[String]) -> ExitCode {
+    use httpsrr::scanner::{Projection, ScanFilter};
     use std::time::Instant;
 
     let population = num_flag(args, "--population", 1_200usize);
     let list_size = num_flag(args, "--list", 900usize);
     let days = num_flag(args, "--days", 6u64).max(1);
     let threads = num_flag(args, "--threads", 4usize).max(1);
+    let scan_reps = num_flag(args, "--scan-reps", 3u32).max(1);
     let ms = |secs: f64| secs * 1e3;
     let config = EcosystemConfig { population, list_size, ..EcosystemConfig::tiny() };
     let campaign = Campaign {
@@ -362,8 +421,10 @@ fn cmd_bench_persist(args: &[String]) -> ExitCode {
         threads,
         vantages: httpsrr::resolver::VantagePoint::presets(),
     };
-    let dir = std::env::temp_dir().join(format!("httpsrr-bench-store-{}", std::process::id()));
-    let _ = std::fs::remove_dir_all(&dir);
+    let base = std::env::temp_dir().join(format!("httpsrr-bench-store-{}", std::process::id()));
+    let v1_dir = base.join("v1");
+    let v2_dir = base.join("v2");
+    let _ = std::fs::remove_dir_all(&base);
 
     // In-memory reference campaign.
     eprintln!("persist: in-memory reference campaign ({days} days × 3 vantages) …");
@@ -375,10 +436,33 @@ fn cmd_bench_persist(args: &[String]) -> ExitCode {
     let resident_rows_memory: usize = stores.iter().map(|s| s.len()).sum();
     drop(stores);
 
-    // Write-through campaign on a fresh identical world.
-    eprintln!("persist: write-through campaign to {} …", dir.display());
+    // Raw v1 write-through on a fresh identical world: the compression
+    // baseline, and the cross-version read-compat leg (its bytes go
+    // back through the same reader as v2 below).
+    eprintln!("persist: raw v1 write-through campaign to {} …", v1_dir.display());
+    let mut world = World::build(config.clone());
+    let mut writer = match StoreWriter::create_with_format(
+        &v1_dir,
+        campaign.store_meta(&world),
+        StoreFormat::V1,
+    ) {
+        Ok(w) => w,
+        Err(e) => {
+            eprintln!("cannot create v1 store: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = campaign.run_to_store(&mut world, &mut writer) {
+        eprintln!("v1 write-through campaign failed: {e}");
+        return ExitCode::FAILURE;
+    }
+    let raw_store_bytes = writer.bytes_written();
+    drop(writer);
+
+    // Compressed v2 write-through (the default) on another identical world.
+    eprintln!("persist: v2 write-through campaign to {} …", v2_dir.display());
     let mut world = World::build(config);
-    let mut writer = match campaign.create_store(&world, &dir) {
+    let mut writer = match campaign.create_store(&world, &v2_dir) {
         Ok(w) => w,
         Err(e) => {
             eprintln!("cannot create store: {e}");
@@ -395,23 +479,61 @@ fn cmd_bench_persist(args: &[String]) -> ExitCode {
     let write_seconds = writer.write_seconds();
     let chunk_write_mbps =
         if write_seconds > 0.0 { store_bytes as f64 / 1e6 / write_seconds } else { 0.0 };
+    let compression_ratio =
+        if store_bytes > 0 { raw_store_bytes as f64 / store_bytes as f64 } else { 0.0 };
+    let compression_mbps =
+        if write_seconds > 0.0 { raw_store_bytes as f64 / 1e6 / write_seconds } else { 0.0 };
     drop(writer);
 
-    // Streaming re-scan from disk.
-    let store = match open_store(&dir) {
+    // Streaming scan A/B from the v2 store: full decode of every column
+    // vs the projection-pruned adoption shape (flags + domain_id only).
+    let store = match open_store(&v2_dir) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("cannot reopen store: {e}");
             return ExitCode::FAILURE;
         }
     };
-    let t = Instant::now();
+    // Best-of-reps timing: the scans are sub-millisecond, so the min is
+    // the defensible number on shared runners (the mean folds scheduler
+    // noise into the speedup ratio).
+    eprintln!("persist: full vs pruned streaming scan ({scan_reps} reps, best-of) …");
     let mut total_rows = 0usize;
-    for source in store.sources() {
-        source.for_each_day(&mut |_, obs| total_rows += obs.len());
+    let mut scan_s = f64::INFINITY;
+    for rep in 0..scan_reps {
+        let mut rows = 0usize;
+        let t = Instant::now();
+        for source in store.sources() {
+            source.for_each_day(&mut |_, obs| rows += obs.len());
+        }
+        scan_s = scan_s.min(t.elapsed().as_secs_f64());
+        if rep == 0 {
+            total_rows = rows;
+        }
     }
-    let scan_s = t.elapsed().as_secs_f64();
     let scan_rows_per_sec = if scan_s > 0.0 { total_rows as f64 / scan_s } else { 0.0 };
+    let decompression_mbps = if scan_s > 0.0 { raw_store_bytes as f64 / 1e6 / scan_s } else { 0.0 };
+
+    let pruned = ScanFilter::projected(Projection::FLAGS.with(Projection::DOMAIN_ID));
+    let mut pruned_rows = 0usize;
+    let mut pruned_s = f64::INFINITY;
+    for rep in 0..scan_reps {
+        let mut rows = 0usize;
+        let t = Instant::now();
+        for source in store.sources() {
+            source.for_each_day_filtered(pruned, &mut |_, obs| rows += obs.len());
+        }
+        pruned_s = pruned_s.min(t.elapsed().as_secs_f64());
+        if rep == 0 {
+            pruned_rows = rows;
+        }
+    }
+    let pruned_rows_per_sec = if pruned_s > 0.0 { pruned_rows as f64 / pruned_s } else { 0.0 };
+    let pruned_speedup = if pruned_s > 0.0 { scan_s / pruned_s } else { 0.0 };
+    if pruned_rows != total_rows {
+        eprintln!("persist: pruned scan lost rows ({pruned_rows} of {total_rows})");
+        return ExitCode::FAILURE;
+    }
 
     // Resident bound: streaming holds at most the largest day per
     // vantage; the in-memory store holds every observation at once.
@@ -422,38 +544,71 @@ fn cmd_bench_persist(args: &[String]) -> ExitCode {
         0.0
     };
 
-    // Byte-identity of the from-disk analysis with the in-memory one.
-    let disk_report = analysis::vantage_diff_sources(&store.sources()).to_string();
-    let byte_identical = disk_report == memory_report;
+    // Sequential vs parallel cross-vantage diff from v2, and the v1
+    // store through the same reader: all must render the in-memory
+    // report byte-for-byte or the numbers above mean nothing.
+    let t = Instant::now();
+    let v2_seq_report = analysis::vantage_diff_sources(&store.sources()).to_string();
+    let seq_diff_wall_ms = ms(t.elapsed().as_secs_f64());
+    let t = Instant::now();
+    let v2_par_report = analysis::vantage_diff_parallel(&store.sources()).to_string();
+    let parallel_diff_wall_ms = ms(t.elapsed().as_secs_f64());
+    let vantages = store.readers.len();
     drop(store);
-    let _ = std::fs::remove_dir_all(&dir);
+    let v1_report = match open_store(&v1_dir) {
+        Ok(s) => analysis::vantage_diff_parallel(&s.sources()).to_string(),
+        Err(e) => {
+            eprintln!("cannot reopen v1 store: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let byte_identical = v2_seq_report == memory_report
+        && v2_par_report == memory_report
+        && v1_report == memory_report;
+    let _ = std::fs::remove_dir_all(&base);
     if !byte_identical {
-        eprintln!("persist: BYTE-IDENTITY FAILURE between disk and in-memory reports");
-        eprintln!("--- memory ---\n{memory_report}\n--- disk ---\n{disk_report}");
+        eprintln!("persist: BYTE-IDENTITY FAILURE across memory/v1/v2/parallel reports");
+        eprintln!(
+            "--- memory ---\n{memory_report}\n--- v1 ---\n{v1_report}\n--- v2 sequential ---\n\
+             {v2_seq_report}\n--- v2 parallel ---\n{v2_par_report}"
+        );
         return ExitCode::FAILURE;
     }
 
+    let physical_cpus = physical_cpus();
+    let threads_axis = threads_axis_json(&[1, threads, vantages]);
     let json = format!(
-        "{{\n  \"bench\": \"persist\",\n  \"schema\": 7,\n  \"population\": {population},\n  \
-         \"list_size\": {list_size},\n  \"days\": {days},\n  \"vantages\": 3,\n  \
-         \"threads\": {threads},\n  \"total_rows\": {total_rows},\n  \
-         \"store_bytes\": {store_bytes},\n  \"chunk_write_mbps\": {chunk_write_mbps:.1},\n  \
+        "{{\n  \"bench\": \"persist\",\n  \"schema\": 8,\n  \"population\": {population},\n  \
+         \"list_size\": {list_size},\n  \"days\": {days},\n  \"vantages\": {vantages},\n  \
+         \"threads\": {threads},\n  \"physical_cpus\": {physical_cpus},\n  \
+         \"threads_axis\": {threads_axis},\n  \"total_rows\": {total_rows},\n  \
+         \"raw_store_bytes\": {raw_store_bytes},\n  \"store_bytes\": {store_bytes},\n  \
+         \"compression_ratio\": {compression_ratio:.2},\n  \
+         \"chunk_write_mbps\": {chunk_write_mbps:.1},\n  \
          \"write_seconds\": {write_seconds:.4},\n  \
-         \"scan_rows_per_sec\": {scan_rows_per_sec:.0},\n  \
-         \"scan_wall_ms\": {:.2},\n  \"memory_wall_ms\": {memory_wall_ms:.1},\n  \
-         \"disk_wall_ms\": {disk_wall_ms:.1},\n  \
+         \"compression_mbps\": {compression_mbps:.1},\n  \
+         \"decompression_mbps\": {decompression_mbps:.1},\n  \
+         \"scan_rows_per_sec\": {scan_rows_per_sec:.0},\n  \"scan_wall_ms\": {:.2},\n  \
+         \"pruned_scan_rows_per_sec\": {pruned_rows_per_sec:.0},\n  \
+         \"pruned_scan_wall_ms\": {:.2},\n  \"pruned_speedup\": {pruned_speedup:.2},\n  \
+         \"seq_diff_wall_ms\": {seq_diff_wall_ms:.2},\n  \
+         \"parallel_diff_wall_ms\": {parallel_diff_wall_ms:.2},\n  \
+         \"memory_wall_ms\": {memory_wall_ms:.1},\n  \"disk_wall_ms\": {disk_wall_ms:.1},\n  \
          \"resident_rows_disk\": {resident_rows_disk},\n  \
          \"resident_rows_memory\": {resident_rows_memory},\n  \
          \"resident_ratio\": {resident_ratio:.4},\n  \"byte_identical\": {byte_identical},\n  \
-         \"notes\": \"write-through vs in-memory campaign on identical worlds; \
-         chunk_write_mbps counts only the writer's own append I/O (encode+checksum+write+flush), \
-         not scanning; scan_rows_per_sec is a full checksum-verified streaming pass over every \
-         column file; resident_rows_disk bounds streaming memory (largest single day per \
-         vantage, all vantages concurrently as in vantage_diff) while resident_rows_memory is \
-         the whole campaign resident at once — the ratio is the peak-RSS proxy and shrinks \
-         linearly with campaign length; the from-disk cross-vantage diff is asserted \
-         byte-identical to the in-memory one\"\n}}\n",
+         \"notes\": \"identical worlds run four ways: in-memory, raw v1 write-through (the \
+         compression baseline, streamed back through the same version-dispatching reader), \
+         compressed v2 write-through (the default format), and the one-reader-thread-per-vantage \
+         parallel diff; compression/decompression MB/s are raw uncompressed bytes over the v2 \
+         writer's own append time and over the full-decode streaming pass; the pruned scan \
+         decodes only the flags and domain_id blocks (chunk checksums still verified over every \
+         byte) so pruned_speedup isolates the column-decode saving; threads_axis lists the scan \
+         thread counts actually measured (1 = sequential diff, vantage count = parallel diff) \
+         plus the campaign's worker threads; all four cross-vantage reports are asserted \
+         byte-identical\"\n}}\n",
         ms(scan_s),
+        ms(pruned_s),
     );
     match flag(args, "--out") {
         Some(path) => {
@@ -670,6 +825,7 @@ fn cmd_bench(args: &[String]) -> ExitCode {
     let json = format!(
         "{{\n  \"bench\": \"engine_batch\",\n  \"schema\": 2,\n  \"population\": {population},\n  \
          \"list_size\": {list_size},\n  \"shards\": {shards},\n  \"threads\": {threads},\n  \
+         \"physical_cpus\": {},\n  \"threads_axis\": {},\n  \
          \"queries_per_batch\": {},\n  \"cold_batch_ms\": {cold_batch_ms:.2},\n  \
          \"warm_batch_ms\": {warm_batch_ms:.2},\n  \"warm_kqps\": {warm_kqps:.1},\n  \
          \"warm_from_cache_rate\": {warm_from_cache_rate:.4},\n  \
@@ -681,6 +837,8 @@ fn cmd_bench(args: &[String]) -> ExitCode {
          \"pool_mt_overhead_pct\": {pool_mt_overhead_pct:.1},\n  \
          \"scoped_mt_overhead_pct\": {scoped_mt_overhead_pct:.1},\n  \
          \"cache_lock_contended\": {},\n  \"counters\": {{{counters}}}\n}}\n",
+        physical_cpus(),
+        threads_axis_json(&[1, threads, mt_threads]),
         queries.len(),
         cache.lock_contended,
     );
@@ -835,6 +993,7 @@ fn cmd_bench_scale(args: &[String]) -> ExitCode {
 
     let json = format!(
         "{{\n  \"bench\": \"scale\",\n  \"schema\": 3,\n  \"host_cpus\": {host_cpus},\n  \
+         \"physical_cpus\": {},\n  \"threads_axis\": {},\n  \
          \"mt_threads\": {mt_threads},\n  \"scan_threads\": {scan_threads},\n  \
          \"list_days\": {list_days:?},\n  \"list_rows\": [\n{list_json}\n  ],\n  \
          \"world_rows\": [\n{world_json}\n  ],\n  \
@@ -844,6 +1003,8 @@ fn cmd_bench_scale(args: &[String]) -> ExitCode {
          can divide, so seq_speedup reflects the partial-selection win and mt_speedup scales \
          with host_cpus; cached_reaccess_us and overlap_window_ms show the day-list cache \
          eliminating whole recomputations\"\n}}\n",
+        physical_cpus(),
+        threads_axis_json(&[1, scan_threads, mt_threads]),
     );
     match flag(args, "--out") {
         Some(path) => {
@@ -966,6 +1127,7 @@ fn cmd_bench_wire(args: &[String]) -> ExitCode {
 
     let json = format!(
         "{{\n  \"bench\": \"wire\",\n  \"schema\": 4,\n  \"zones\": {zones_n},\n  \
+         \"physical_cpus\": {},\n  \"threads_axis\": {},\n  \
          \"queries_per_pass\": {},\n  \"reps\": {reps},\n  \
          \"owned_cold_batch_ms\": {owned_cold_batch_ms:.2},\n  \
          \"precompiled_cold_batch_ms\": {precompiled_cold_batch_ms:.2},\n  \
@@ -978,6 +1140,8 @@ fn cmd_bench_wire(args: &[String]) -> ExitCode {
          lazily by the first reference render of each query shape and invalidated on zone \
          mutation; every response byte-identical between paths (asserted), DNSSEC variants \
          cached separately per DO bit\"\n}}\n",
+        physical_cpus(),
+        threads_axis_json(&[1]),
         queries.len(),
     );
     match flag(args, "--out") {
@@ -1102,13 +1266,16 @@ fn cmd_bench_async(args: &[String]) -> ExitCode {
 
     let json = format!(
         "{{\n  \"bench\": \"async\",\n  \"schema\": 5,\n  \"population\": {population},\n  \
-         \"list_size\": {list_size},\n  \"reps\": {reps},\n  \"rows\": [\n{rows}\n  ],\n  \
+         \"list_size\": {list_size},\n  \"reps\": {reps},\n  \"physical_cpus\": {},\n  \
+         \"threads_axis\": {},\n  \"rows\": [\n{rows}\n  ],\n  \
          \"notes\": \"event-loop vs pooled resolve_batch on the same cold/warm wave-1 workload; \
          the pooled backend always runs the synchronous zero-latency path (the link model only \
          binds on the scheduled path), so its wall times are flat across rows while the event \
          loop pays real scheduling work to simulate the RTT; virtual_batch_ms, max_in_flight \
          (one worker), and the timeout/retransmit/drop/fallback counters are deterministic \
          functions of the model seed and identical for every thread setting\"\n}}\n",
+        physical_cpus(),
+        threads_axis_json(&[1, 4]),
     );
     match flag(args, "--out") {
         Some(path) => {
@@ -1274,6 +1441,7 @@ fn cmd_bench_serve(args: &[String]) -> ExitCode {
     let json = format!(
         "{{\n  \"bench\": \"serve\",\n  \"schema\": 6,\n  \"population\": {population},\n  \
          \"list_size\": {list_size},\n  \"clients\": {clients},\n  \"workers\": {},\n  \
+         \"physical_cpus\": {},\n  \"threads_axis\": {},\n  \
          \"phase_ms\": {phase_ms},\n  \"sweep_policy\": \"{}\",\n  \
          \"sweep_capacity_per_shard\": {},\n  \"sustained_kqps\": {:.3},\n  \
          \"p99_at_sustained_us\": {p99_sustained},\n  \"saturated\": {},\n  \
@@ -1287,6 +1455,8 @@ fn cmd_bench_serve(args: &[String]) -> ExitCode {
          and hard-fails on divergence); latency percentiles come from the deterministic M/G/k \
          queueing model over real engine hit/miss outcomes, not from wall timing\"\n}}\n",
         report.workers,
+        physical_cpus(),
+        threads_axis_json(&[report.workers]),
         report.policy,
         match report.capacity_per_shard {
             Some(c) => c.to_string(),

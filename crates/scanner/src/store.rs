@@ -77,6 +77,104 @@ impl OrgInterner {
     }
 }
 
+/// Column-projection bitmask over the seven stored columns, in the
+/// canonical on-disk order (`day`, `domain_id`, `rank`, `flags`,
+/// `ns_category`, `org`, `min_priority`).
+///
+/// A projection is a *decode hint*: a source may skip materializing
+/// unprojected columns. The contract for pruned reads is deterministic —
+/// unprojected fields come back as fixed defaults (numeric zero,
+/// [`OrgId::NONE`] for `org`), and `day` is always stamped from the
+/// day being visited regardless of the mask, so analyses that read
+/// `o.day` never need to ask for it. Sources that cannot prune (the
+/// in-memory [`SnapshotStore`]) are free to return full rows: analyses
+/// must only *rely* on projected columns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Projection(pub u8);
+
+impl Projection {
+    /// `day` column (index 0). Purely advisory — `day` is always valid.
+    pub const DAY: Projection = Projection(1 << 0);
+    /// `domain_id` column (index 1).
+    pub const DOMAIN_ID: Projection = Projection(1 << 1);
+    /// `rank` column (index 2).
+    pub const RANK: Projection = Projection(1 << 2);
+    /// `flags` column (index 3).
+    pub const FLAGS: Projection = Projection(1 << 3);
+    /// `ns_category` column (index 4).
+    pub const NS_CATEGORY: Projection = Projection(1 << 4);
+    /// `org` column (index 5).
+    pub const ORG: Projection = Projection(1 << 5);
+    /// `min_priority` column (index 6).
+    pub const MIN_PRIORITY: Projection = Projection(1 << 6);
+    /// Every column — the default, equivalent to an unprojected read.
+    pub const ALL: Projection = Projection(0x7f);
+
+    /// Union with another projection (const-friendly builder).
+    pub const fn with(self, other: Projection) -> Projection {
+        Projection(self.0 | other.0)
+    }
+
+    /// Whether every column in `other` is included in `self`.
+    pub fn contains(self, other: Projection) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// Whether the column at canonical index `c` (0..7) is projected.
+    pub fn includes_column(self, c: usize) -> bool {
+        c < 7 && self.0 & (1 << c) != 0
+    }
+}
+
+impl Default for Projection {
+    fn default() -> Projection {
+        Projection::ALL
+    }
+}
+
+impl std::ops::BitOr for Projection {
+    type Output = Projection;
+    fn bitor(self, rhs: Projection) -> Projection {
+        self.with(rhs)
+    }
+}
+
+/// What a pruned scan should touch: a column [`Projection`] plus an
+/// optional inclusive day range. Disk-backed sources use the day range
+/// to skip whole chunks without reading their payloads.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScanFilter {
+    /// Columns the visitor will actually read.
+    pub projection: Projection,
+    /// Inclusive `(first, last)` day range; `None` means every day.
+    pub days: Option<(u32, u32)>,
+}
+
+impl ScanFilter {
+    /// No pruning at all: every day, every column.
+    pub fn all() -> ScanFilter {
+        ScanFilter::default()
+    }
+
+    /// Every day, decoding only `projection`'s columns.
+    pub fn projected(projection: Projection) -> ScanFilter {
+        ScanFilter { projection, days: None }
+    }
+
+    /// Restrict to the inclusive day range `[first, last]`.
+    pub fn days(self, first: u32, last: u32) -> ScanFilter {
+        ScanFilter { days: Some((first, last)), ..self }
+    }
+
+    /// Whether `day` passes the day-range filter.
+    pub fn admits_day(&self, day: u32) -> bool {
+        match self.days {
+            Some((first, last)) => day >= first && day <= last,
+            None => true,
+        }
+    }
+}
+
 /// The longitudinal store of daily observations.
 #[derive(Debug, Default)]
 pub struct SnapshotStore {
@@ -176,7 +274,11 @@ impl SnapshotStore {
 /// Methods take `&mut dyn FnMut` visitors (rather than generic
 /// closures) so the trait stays dyn-compatible — `vantage_diff` works
 /// over a heterogeneous `&[&dyn ObservationSource]`.
-pub trait ObservationSource {
+///
+/// Sources are `Sync` so the parallel multi-vantage scan can share them
+/// across scoped reader threads; both implementors keep their mutable
+/// state behind a lock (or have none).
+pub trait ObservationSource: Sync {
     /// The vantage label ("" for single-vantage legacy stores).
     fn vantage(&self) -> &str;
 
@@ -191,6 +293,35 @@ pub trait ObservationSource {
 
     /// Visit a single day (no-op if the day is absent).
     fn for_day(&self, day: u32, visit: &mut dyn FnMut(&[Observation]));
+
+    /// Visit every day admitted by `filter`, in ascending order,
+    /// decoding only the projected columns (see [`Projection`] for the
+    /// pruned-read contract). The default implementation filters days
+    /// but decodes everything; disk-backed sources override it to skip
+    /// chunks and column blocks outright.
+    fn for_each_day_filtered(
+        &self,
+        filter: ScanFilter,
+        visit: &mut dyn FnMut(u32, &[Observation]),
+    ) {
+        self.for_each_day(&mut |day, obs| {
+            if filter.admits_day(day) {
+                visit(day, obs);
+            }
+        });
+    }
+
+    /// Visit a single day decoding only the projected columns (no-op if
+    /// the day is absent). Default decodes everything.
+    fn for_day_projected(
+        &self,
+        day: u32,
+        projection: Projection,
+        visit: &mut dyn FnMut(&[Observation]),
+    ) {
+        let _ = projection;
+        self.for_day(day, visit);
+    }
 
     /// Total observation count across all days.
     fn total_observations(&self) -> usize {

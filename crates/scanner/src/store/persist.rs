@@ -13,41 +13,72 @@
 //!
 //! Every file is little-endian binary with an 8-byte magic + `u16`
 //! format version. A column file is its header followed by one chunk
-//! per completed scan day, in `sample_days` order:
+//! per completed scan day, in `sample_days` order. Two chunk layouts
+//! coexist, dispatched by the chunk magic (a resumed v1 store appends
+//! v2 chunks into the same file):
 //!
 //! ```text
-//! chunk := "CHNK" day:u32 rows:u32 payload_len:u32 checksum:u64 payload
-//! payload := day[u32×n] domain_id[u32×n] rank[u32×n] flags[u32×n]
-//!            ns_category[u8×n] org[u32×n] min_priority[u16×n]   (23n bytes)
+//! v1 chunk := "CHNK" day:u32 rows:u32 payload_len:u32 checksum:u64 payload
+//! payload  := day[u32×n] domain_id[u32×n] rank[u32×n] flags[u32×n]
+//!             ns_category[u8×n] org[u32×n] min_priority[u16×n]   (23n bytes)
+//!
+//! v2 chunk := "CHK2" day:u32 rows:u32 payload_len:u32 checksum:u64
+//!             payload trailer
+//! payload  := block×7 stats
+//! block    := tag:u8 len:u32 data      (see [`encoding`] for the codecs)
+//! stats    := rows:u32 (min:u64 max:u64)×7 flags_or:u32 distinct_orgs:u32
+//! trailer  := "TRL2" header_offset:u64
 //! ```
 //!
-//! The checksum is FNV-1a 64 over the payload and is verified on every
-//! chunk read. The org dictionary is the campaign's [`OrgInterner`]
-//! serialized once and extended append-only; it is shared by all
-//! vantages because campaigns intern orgs identically per vantage.
+//! A v2 payload holds one [`encoding`] block per column — constant/RLE
+//! for `day`, delta+varint for near-sorted `domain_id`/`rank`,
+//! dictionary+bit-packing for the small-alphabet `flags`/`ns_category`/
+//! `org`/`min_priority` — each chosen by measured size with a raw
+//! fallback, followed by a [`ChunkStats`] footer (per-column min/max,
+//! flags OR-mask, distinct-org count). The checksum is FNV-1a 64 over
+//! the payload (blocks + stats) and is verified on every chunk read.
+//! The trailer sits outside the checksum: it back-points at the chunk's
+//! own header so the file can be walked backward from EOF. The org
+//! dictionary is the campaign's [`OrgInterner`] serialized once and
+//! extended append-only; it is shared by all vantages because campaigns
+//! intern orgs identically per vantage.
 //!
 //! ## Crash recovery and resume
 //!
 //! All writes are appends, so a killed campaign can only leave *tails*
 //! in a bad state: a torn final dict entry or a torn final chunk.
-//! [`StoreWriter::open_resume`] scans each file structurally, verifies
-//! the last complete chunk's checksum, truncates everything past the
-//! last day completed by *every* vantage, and reports how many days
-//! survive. The campaign layer then deterministically replays the
-//! completed days (rebuilding resolver cache/RNG state and verifying
-//! each replayed day against the stored chunk) before appending new
-//! ones — which is what makes a resumed run byte-identical to an
-//! uninterrupted one.
+//! Opening a column file first tries the backward fast path: the
+//! trailer at EOF seeks straight to the last chunk's header, and each
+//! chunk's stats footer + trailer chain the walk back to the file
+//! header — no sequential rescan of a multi-GB store. Any
+//! inconsistency (torn tail, v1 chunks, garbage) falls back to the
+//! forward structural scan, which stops at the first malformed chunk.
+//! [`StoreWriter::open_resume`] additionally verifies the last
+//! surviving chunk's checksum, truncates everything past the last day
+//! completed by *every* vantage, and reports how many days survive. The
+//! campaign layer then deterministically replays the completed days
+//! (rebuilding resolver cache/RNG state and verifying each replayed day
+//! against the stored chunk) before appending new ones — which is what
+//! makes a resumed run byte-identical to an uninterrupted one.
 //!
-//! ## Bounded memory
+//! ## Bounded memory and pruned reads
 //!
 //! [`StoreReader`] implements [`ObservationSource`] by decoding one
 //! day's chunk at a time into a reused scratch buffer: streaming a
 //! 730-day campaign keeps at most one day of observations resident.
+//! Filtered streaming ([`ObservationSource::for_each_day_filtered`])
+//! skips whole chunks outside the requested day range without touching
+//! their payloads, and decodes only the blocks of projected columns —
+//! an analysis that reads nothing but flags never pays the rank/org
+//! decode. Unprojected fields come back as deterministic defaults
+//! (zero / [`OrgId::NONE`]); `day` is always stamped from the chunk
+//! header, which append-time validation guarantees is exact.
 
-use super::{ObservationSource, OrgId, OrgInterner, SnapshotStore};
+pub mod encoding;
+
+use super::{ObservationSource, OrgId, OrgInterner, Projection, ScanFilter, SnapshotStore};
 use crate::observation::Observation;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fs::{File, OpenOptions};
 use std::io::{self, ErrorKind, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
@@ -57,14 +88,139 @@ use std::time::Instant;
 const MANIFEST_MAGIC: [u8; 8] = *b"SNAPMAN1";
 const DICT_MAGIC: [u8; 8] = *b"SNAPORG1";
 const COLUMN_MAGIC: [u8; 8] = *b"SNAPCOL1";
-const CHUNK_MAGIC: [u8; 4] = *b"CHNK";
-/// On-disk format version (bumped on any incompatible layout change).
-pub const FORMAT_VERSION: u16 = 1;
-/// Fixed-width payload bytes per observation row (sum of the columns).
+const CHUNK_MAGIC_V1: [u8; 4] = *b"CHNK";
+const CHUNK_MAGIC_V2: [u8; 4] = *b"CHK2";
+const TRAILER_MAGIC: [u8; 4] = *b"TRL2";
+const FORMAT_V1: u16 = 1;
+const FORMAT_V2: u16 = 2;
+/// On-disk format version written by default (older versions stay
+/// readable; chunk layout is dispatched per chunk by its magic).
+pub const FORMAT_VERSION: u16 = FORMAT_V2;
+/// Fixed-width payload bytes per observation row in a *v1* chunk (sum
+/// of the column widths — also the raw-equivalent size v2 compresses).
 pub const ROW_BYTES: usize = 23;
 const CHUNK_HEADER_BYTES: u64 = 24;
+/// Size of the v2 trailer ("TRL2" + header back-pointer).
+const TRAILER_BYTES: u64 = 12;
+/// Serialized size of a [`ChunkStats`] footer.
+const STATS_BYTES: usize = 4 + COLUMN_COUNT * 16 + 4 + 4;
+/// The smallest possible v2 payload: 7 empty blocks plus the footer.
+const MIN_V2_PAYLOAD: u64 = (COLUMN_COUNT * 5 + STATS_BYTES) as u64;
 /// Sanity cap for dictionary entries; WHOIS org names are short.
 const MAX_DICT_ENTRY: u32 = 1 << 20;
+
+/// Number of observation columns (one v2 block each).
+pub const COLUMN_COUNT: usize = 7;
+/// Raw little-endian byte width of each column, in canonical order:
+/// day, domain_id, rank, flags, ns_category, org, min_priority.
+const COLUMN_WIDTHS: [usize; COLUMN_COUNT] = [4, 4, 4, 4, 1, 4, 2];
+const COLUMN_NAMES: [&str; COLUMN_COUNT] =
+    ["day", "domain_id", "rank", "flags", "ns_category", "org", "min_priority"];
+
+/// Which chunk layout a [`StoreWriter`] emits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreFormat {
+    /// Raw fixed-width columns (the PR 9 layout), 23 B/row.
+    V1,
+    /// Per-column encoded blocks with a statistics footer.
+    V2,
+}
+
+impl StoreFormat {
+    fn header_version(self) -> u16 {
+        match self {
+            StoreFormat::V1 => FORMAT_V1,
+            StoreFormat::V2 => FORMAT_V2,
+        }
+    }
+}
+
+/// The statistics footer of a v2 chunk: advisory metadata used for
+/// chunk pruning, the backward file walk, and reporting. `min`/`max`
+/// are per column in canonical order; an empty chunk carries
+/// `min = u64::MAX, max = 0` (min > max signals "no rows").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkStats {
+    /// Row count (must match the chunk header).
+    pub rows: u32,
+    /// Per-column minimum value.
+    pub min: [u64; COLUMN_COUNT],
+    /// Per-column maximum value.
+    pub max: [u64; COLUMN_COUNT],
+    /// OR of every row's flags word.
+    pub flags_or: u32,
+    /// Distinct org ids in the chunk (including [`OrgId::NONE`]).
+    pub distinct_orgs: u32,
+}
+
+impl ChunkStats {
+    fn compute(obs: &[Observation]) -> ChunkStats {
+        let mut stats = ChunkStats {
+            rows: obs.len() as u32,
+            min: [u64::MAX; COLUMN_COUNT],
+            max: [0; COLUMN_COUNT],
+            flags_or: 0,
+            distinct_orgs: 0,
+        };
+        let mut orgs = BTreeSet::new();
+        for o in obs {
+            for c in 0..COLUMN_COUNT {
+                let v = column_value(o, c);
+                stats.min[c] = stats.min[c].min(v);
+                stats.max[c] = stats.max[c].max(v);
+            }
+            stats.flags_or |= o.flags;
+            orgs.insert(o.org.0);
+        }
+        stats.distinct_orgs = orgs.len() as u32;
+        stats
+    }
+
+    fn encode(&self, buf: &mut Vec<u8>) {
+        put_u32(buf, self.rows);
+        for c in 0..COLUMN_COUNT {
+            put_u64(buf, self.min[c]);
+            put_u64(buf, self.max[c]);
+        }
+        put_u32(buf, self.flags_or);
+        put_u32(buf, self.distinct_orgs);
+    }
+
+    /// Decode from exactly [`STATS_BYTES`] bytes (caller-checked).
+    fn decode(buf: &[u8]) -> ChunkStats {
+        debug_assert_eq!(buf.len(), STATS_BYTES);
+        let u32_at = |p: usize| u32::from_le_bytes(buf[p..p + 4].try_into().expect("4 bytes"));
+        let u64_at = |p: usize| u64::from_le_bytes(buf[p..p + 8].try_into().expect("8 bytes"));
+        let mut min = [0u64; COLUMN_COUNT];
+        let mut max = [0u64; COLUMN_COUNT];
+        for c in 0..COLUMN_COUNT {
+            min[c] = u64_at(4 + c * 16);
+            max[c] = u64_at(4 + c * 16 + 8);
+        }
+        ChunkStats {
+            rows: u32_at(0),
+            min,
+            max,
+            flags_or: u32_at(4 + COLUMN_COUNT * 16),
+            distinct_orgs: u32_at(4 + COLUMN_COUNT * 16 + 4),
+        }
+    }
+}
+
+/// The value of column `c` (canonical order) of one observation, as the
+/// u64 the block codecs work over.
+fn column_value(o: &Observation, c: usize) -> u64 {
+    match c {
+        0 => o.day as u64,
+        1 => o.domain_id as u64,
+        2 => o.rank as u64,
+        3 => o.flags as u64,
+        4 => o.ns_category as u64,
+        5 => o.org.0 as u64,
+        6 => o.min_priority as u64,
+        _ => unreachable!("column index out of range"),
+    }
+}
 
 /// The manifest: everything needed to reopen or resume a campaign
 /// without the process that created it.
@@ -85,12 +241,15 @@ pub struct StoreMeta {
 }
 
 /// Location of one day's chunk within a column file.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct ChunkRef {
     day: u32,
     rows: u32,
     payload_offset: u64,
+    payload_len: u32,
     checksum: u64,
+    /// Chunk layout version (1 or 2), dispatched from the chunk magic.
+    version: u8,
 }
 
 impl ChunkRef {
@@ -99,7 +258,8 @@ impl ChunkRef {
     }
 
     fn end_offset(&self) -> u64 {
-        self.payload_offset + self.rows as u64 * ROW_BYTES as u64
+        let trailer = if self.version >= 2 { TRAILER_BYTES } else { 0 };
+        self.payload_offset + self.payload_len as u64 + trailer
     }
 }
 
@@ -184,10 +344,10 @@ impl<'a> Cursor<'a> {
 // ---------------------------------------------------------------------
 // Manifest.
 
-fn manifest_bytes(meta: &StoreMeta) -> Vec<u8> {
+fn manifest_bytes(meta: &StoreMeta, version: u16) -> Vec<u8> {
     let mut buf = Vec::new();
     buf.extend_from_slice(&MANIFEST_MAGIC);
-    put_u16(&mut buf, FORMAT_VERSION);
+    put_u16(&mut buf, version);
     buf.push(meta.scan_www as u8);
     put_u16(&mut buf, u16::try_from(meta.vantages.len()).expect("vantage count fits in u16"));
     for v in &meta.vantages {
@@ -210,9 +370,9 @@ fn read_manifest(path: &Path) -> io::Result<StoreMeta> {
         return Err(corrupt("MANIFEST: bad magic (not a snapshot store)".into()));
     }
     let version = c.u16()?;
-    if version != FORMAT_VERSION {
+    if version == 0 || version > FORMAT_VERSION {
         return Err(corrupt(format!(
-            "MANIFEST: format version {version} (this build reads {FORMAT_VERSION})"
+            "MANIFEST: format version {version} (this build reads up to {FORMAT_VERSION})"
         )));
     }
     let scan_www = c.take(1)?[0] != 0;
@@ -255,7 +415,7 @@ fn scan_dict(file: &mut File) -> io::Result<(Vec<String>, u64, bool)> {
         return Err(corrupt("orgs.dict: bad or truncated header".into()));
     }
     let version = u16::from_le_bytes(buf[8..10].try_into().expect("2 bytes"));
-    if version != FORMAT_VERSION {
+    if version == 0 || version > FORMAT_VERSION {
         return Err(corrupt(format!("orgs.dict: unsupported format version {version}")));
     }
     let mut names = Vec::new();
@@ -291,10 +451,10 @@ fn interner_from_names(names: Vec<String>) -> OrgInterner {
 // ---------------------------------------------------------------------
 // Column files.
 
-fn column_header_bytes(vantage: &str) -> Vec<u8> {
+fn column_header_bytes(vantage: &str, version: u16) -> Vec<u8> {
     let mut buf = Vec::new();
     buf.extend_from_slice(&COLUMN_MAGIC);
-    put_u16(&mut buf, FORMAT_VERSION);
+    put_u16(&mut buf, version);
     put_str(&mut buf, vantage);
     buf
 }
@@ -310,10 +470,45 @@ struct ColumnScan {
     truncated: bool,
 }
 
-/// Structurally scan a column file without reading chunk payloads:
-/// validates the header, walks chunk headers seeking past payloads, and
-/// stops (marking a torn tail) at the first incomplete or malformed
-/// chunk — an append-only writer can only corrupt the tail.
+/// Parse one 24-byte chunk header starting at `header_offset`; `None`
+/// for an unrecognized magic.
+fn parse_chunk_header(
+    header: &[u8; CHUNK_HEADER_BYTES as usize],
+    header_offset: u64,
+) -> Option<ChunkRef> {
+    let version = match &header[..4] {
+        m if *m == CHUNK_MAGIC_V1 => 1,
+        m if *m == CHUNK_MAGIC_V2 => 2,
+        _ => return None,
+    };
+    Some(ChunkRef {
+        day: u32::from_le_bytes(header[4..8].try_into().expect("4 bytes")),
+        rows: u32::from_le_bytes(header[8..12].try_into().expect("4 bytes")),
+        payload_offset: header_offset + CHUNK_HEADER_BYTES,
+        payload_len: u32::from_le_bytes(header[12..16].try_into().expect("4 bytes")),
+        checksum: u64::from_le_bytes(header[16..24].try_into().expect("8 bytes")),
+        version,
+    })
+}
+
+/// Version-specific structural plausibility of a chunk header: exact
+/// payload size for fixed-width v1, footer-capacity for v2.
+fn chunk_shape_ok(c: &ChunkRef) -> bool {
+    match c.version {
+        1 => c.payload_len as u64 == c.rows as u64 * ROW_BYTES as u64,
+        _ => c.payload_len as u64 >= MIN_V2_PAYLOAD,
+    }
+}
+
+/// Structurally scan a column file without reading chunk payloads.
+///
+/// Validates the header, then indexes the chunks — first via the
+/// backward fast path (v2 trailers chain each chunk's header offset
+/// from EOF, so a clean file never re-reads headers sequentially), and
+/// when that refuses (torn tail, v1 or mixed chunks) via the forward
+/// walk, which seeks past payloads and stops (marking a torn tail) at
+/// the first incomplete or malformed chunk — an append-only writer can
+/// only corrupt the tail.
 fn scan_column(file: &mut File, path: &Path) -> io::Result<ColumnScan> {
     let len = file.metadata()?.len();
     let ctx = path.display();
@@ -327,7 +522,7 @@ fn scan_column(file: &mut File, path: &Path) -> io::Result<ColumnScan> {
         return Err(corrupt(format!("{ctx}: bad magic (not a column file)")));
     }
     let version = u16::from_le_bytes(head[8..10].try_into().expect("2 bytes"));
-    if version != FORMAT_VERSION {
+    if version == 0 || version > FORMAT_VERSION {
         return Err(corrupt(format!("{ctx}: unsupported format version {version}")));
     }
     let name_len = u16::from_le_bytes(head[10..12].try_into().expect("2 bytes")) as u64;
@@ -340,6 +535,21 @@ fn scan_column(file: &mut File, path: &Path) -> io::Result<ColumnScan> {
         String::from_utf8(name_buf).map_err(|_| corrupt(format!("{ctx}: non-UTF-8 vantage")))?;
     let header_end = 12 + name_len;
 
+    if let Some(chunks) = scan_chunks_backward(file, header_end, len)? {
+        return Ok(ColumnScan { vantage, chunks, header_end, valid_end: len, truncated: false });
+    }
+    let (chunks, valid_end, truncated) = scan_chunks_forward(file, header_end, len)?;
+    Ok(ColumnScan { vantage, chunks, header_end, valid_end, truncated })
+}
+
+/// The forward structural walk: one header read per chunk, payloads
+/// skipped by seeking. Returns the chunk index, the offset just past
+/// the last valid chunk, and whether trailing bytes were ignored.
+fn scan_chunks_forward(
+    file: &mut File,
+    header_end: u64,
+    len: u64,
+) -> io::Result<(Vec<ChunkRef>, u64, bool)> {
     let mut chunks: Vec<ChunkRef> = Vec::new();
     let mut pos = header_end;
     let mut truncated = false;
@@ -351,25 +561,108 @@ fn scan_column(file: &mut File, path: &Path) -> io::Result<ColumnScan> {
         }
         file.seek(SeekFrom::Start(pos))?;
         file.read_exact(&mut header)?;
-        let day = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
-        let rows = u32::from_le_bytes(header[8..12].try_into().expect("4 bytes"));
-        let payload_len = u32::from_le_bytes(header[12..16].try_into().expect("4 bytes"));
-        let checksum = u64::from_le_bytes(header[16..24].try_into().expect("8 bytes"));
-        let structurally_ok = header[..4] == CHUNK_MAGIC
-            && payload_len as u64 == rows as u64 * ROW_BYTES as u64
-            && chunks.last().is_none_or(|c| day > c.day)
-            && len - pos - CHUNK_HEADER_BYTES >= payload_len as u64;
+        let chunk = parse_chunk_header(&header, pos);
+        let structurally_ok = chunk.is_some_and(|c| {
+            chunk_shape_ok(&c)
+                && chunks.last().is_none_or(|prev| c.day > prev.day)
+                && c.end_offset() <= len
+        });
         if !structurally_ok {
             truncated = true;
             break;
         }
-        chunks.push(ChunkRef { day, rows, payload_offset: pos + CHUNK_HEADER_BYTES, checksum });
-        pos += CHUNK_HEADER_BYTES + payload_len as u64;
+        let chunk = chunk.expect("checked above");
+        pos = chunk.end_offset();
+        chunks.push(chunk);
     }
-    Ok(ColumnScan { vantage, chunks, header_end, valid_end: pos.min(len), truncated })
+    Ok((chunks, pos.min(len), truncated))
 }
 
-fn encode_payload(obs: &[Observation]) -> Vec<u8> {
+/// The backward fast path over an all-v2 file: read the trailer at EOF,
+/// seek straight to the chunk header it points at, and keep walking —
+/// each step reads one window covering the current chunk's header plus
+/// the *previous* chunk's stats footer and trailer (they are adjacent
+/// on disk), so the walk costs one read per chunk and never rescans.
+/// Returns `None` (fall back to the forward walk) on any
+/// inconsistency: torn tail, v1 chunks, or footers that do not match
+/// their headers.
+fn scan_chunks_backward(
+    file: &mut File,
+    header_end: u64,
+    len: u64,
+) -> io::Result<Option<Vec<ChunkRef>>> {
+    const TAIL: usize = STATS_BYTES + TRAILER_BYTES as usize;
+    let min_chunk = CHUNK_HEADER_BYTES + MIN_V2_PAYLOAD + TRAILER_BYTES;
+    if len == header_end {
+        return Ok(Some(Vec::new()));
+    }
+    if len < header_end + min_chunk {
+        return Ok(None);
+    }
+
+    // Tail of the last chunk: stats footer + trailer.
+    let mut tail = [0u8; TAIL];
+    file.seek(SeekFrom::Start(len - TAIL as u64))?;
+    file.read_exact(&mut tail)?;
+
+    let mut chunks: Vec<ChunkRef> = Vec::new();
+    let mut end = len;
+    let mut window = [0u8; TAIL + CHUNK_HEADER_BYTES as usize];
+    loop {
+        // `tail` holds the stats footer + trailer of the chunk that
+        // ends at `end`.
+        if tail[STATS_BYTES..STATS_BYTES + 4] != TRAILER_MAGIC {
+            return Ok(None);
+        }
+        let header_offset =
+            u64::from_le_bytes(tail[STATS_BYTES + 4..].try_into().expect("8 bytes"));
+        if header_offset < header_end || header_offset + min_chunk > end {
+            return Ok(None);
+        }
+        let stats = ChunkStats::decode(&tail[..STATS_BYTES]);
+
+        // One read covers this chunk's header and, when another chunk
+        // precedes it, that chunk's stats footer + trailer.
+        let header: [u8; CHUNK_HEADER_BYTES as usize];
+        if header_offset >= header_end + min_chunk {
+            file.seek(SeekFrom::Start(header_offset - TAIL as u64))?;
+            file.read_exact(&mut window)?;
+            tail.copy_from_slice(&window[..TAIL]);
+            header = window[TAIL..].try_into().expect("window tail is one header");
+        } else if header_offset == header_end {
+            let mut head = [0u8; CHUNK_HEADER_BYTES as usize];
+            file.seek(SeekFrom::Start(header_offset))?;
+            file.read_exact(&mut head)?;
+            header = head;
+        } else {
+            return Ok(None);
+        }
+        let Some(chunk) = parse_chunk_header(&header, header_offset) else {
+            return Ok(None);
+        };
+        // The footer must corroborate its header: same row count, and
+        // (for non-empty chunks) a day column pinned to the chunk day.
+        let footer_ok = stats.rows == chunk.rows
+            && (chunk.rows == 0
+                || (stats.min[0] == chunk.day as u64 && stats.max[0] == chunk.day as u64));
+        if chunk.version != 2 || !chunk_shape_ok(&chunk) || chunk.end_offset() != end || !footer_ok
+        {
+            return Ok(None);
+        }
+        chunks.push(chunk);
+        end = header_offset;
+        if end == header_end {
+            break;
+        }
+    }
+    chunks.reverse();
+    if !chunks.windows(2).all(|w| w[0].day < w[1].day) {
+        return Ok(None);
+    }
+    Ok(Some(chunks))
+}
+
+fn encode_payload_v1(obs: &[Observation]) -> Vec<u8> {
     let mut buf = Vec::with_capacity(obs.len() * ROW_BYTES);
     for o in obs {
         buf.extend_from_slice(&o.day.to_le_bytes());
@@ -395,7 +688,64 @@ fn encode_payload(obs: &[Observation]) -> Vec<u8> {
     buf
 }
 
-fn decode_payload(chunk: &ChunkRef, payload: &[u8], out: &mut Vec<Observation>) -> io::Result<()> {
+fn encode_payload_v2(obs: &[Observation]) -> Vec<u8> {
+    let mut buf = Vec::new();
+    let mut col: Vec<u64> = Vec::with_capacity(obs.len());
+    for (c, &width) in COLUMN_WIDTHS.iter().enumerate() {
+        col.clear();
+        col.extend(obs.iter().map(|o| column_value(o, c)));
+        let (tag, data) = encoding::choose_block(&col, width);
+        buf.push(tag);
+        put_u32(&mut buf, u32::try_from(data.len()).expect("block fits in u32"));
+        buf.extend_from_slice(&data);
+    }
+    ChunkStats::compute(obs).encode(&mut buf);
+    buf
+}
+
+/// Serialize one complete chunk (header + payload, and for v2 the
+/// trailer) to be appended at `header_offset`. The codec choice inside
+/// is a pure function of the observations, so a resumed or compacted
+/// store re-emits byte-identical chunks.
+fn encode_chunk(
+    format: StoreFormat,
+    day: u32,
+    obs: &[Observation],
+    header_offset: u64,
+) -> (Vec<u8>, ChunkRef) {
+    let (magic, payload, version) = match format {
+        StoreFormat::V1 => (CHUNK_MAGIC_V1, encode_payload_v1(obs), 1u8),
+        StoreFormat::V2 => (CHUNK_MAGIC_V2, encode_payload_v2(obs), 2u8),
+    };
+    let checksum = fnv1a64(&payload);
+    let mut buf = Vec::with_capacity(CHUNK_HEADER_BYTES as usize + payload.len() + 12);
+    buf.extend_from_slice(&magic);
+    put_u32(&mut buf, day);
+    put_u32(&mut buf, u32::try_from(obs.len()).expect("row count fits in u32"));
+    put_u32(&mut buf, u32::try_from(payload.len()).expect("payload fits in u32"));
+    put_u64(&mut buf, checksum);
+    buf.extend_from_slice(&payload);
+    if version == 2 {
+        buf.extend_from_slice(&TRAILER_MAGIC);
+        put_u64(&mut buf, header_offset);
+    }
+    let chunk = ChunkRef {
+        day,
+        rows: obs.len() as u32,
+        payload_offset: header_offset + CHUNK_HEADER_BYTES,
+        payload_len: payload.len() as u32,
+        checksum,
+        version,
+    };
+    (buf, chunk)
+}
+
+fn decode_payload_v1(
+    chunk: &ChunkRef,
+    payload: &[u8],
+    proj: Projection,
+    out: &mut Vec<Observation>,
+) -> io::Result<()> {
     let n = chunk.rows as usize;
     debug_assert_eq!(payload.len(), n * ROW_BYTES);
     let u32_at = |base: usize, i: usize| {
@@ -404,47 +754,230 @@ fn decode_payload(chunk: &ChunkRef, payload: &[u8], out: &mut Vec<Observation>) 
     out.clear();
     out.reserve(n);
     for i in 0..n {
-        let day = u32_at(0, i);
-        if day != chunk.day {
-            return Err(corrupt(format!(
-                "chunk for day {} contains a row stamped day {day}",
-                chunk.day
-            )));
+        if proj.includes_column(0) {
+            let day = u32_at(0, i);
+            if day != chunk.day {
+                return Err(corrupt(format!(
+                    "chunk for day {} contains a row stamped day {day}",
+                    chunk.day
+                )));
+            }
         }
         out.push(Observation {
-            day,
-            domain_id: u32_at(4 * n, i),
-            rank: u32_at(8 * n, i),
-            flags: u32_at(12 * n, i),
-            ns_category: payload[16 * n + i],
-            org: OrgId(u32_at(17 * n, i)),
-            min_priority: u16::from_le_bytes(
-                payload[21 * n + 2 * i..21 * n + 2 * i + 2].try_into().expect("2 bytes"),
-            ),
+            day: chunk.day,
+            domain_id: if proj.includes_column(1) { u32_at(4 * n, i) } else { 0 },
+            rank: if proj.includes_column(2) { u32_at(8 * n, i) } else { 0 },
+            flags: if proj.includes_column(3) { u32_at(12 * n, i) } else { 0 },
+            ns_category: if proj.includes_column(4) { payload[16 * n + i] } else { 0 },
+            org: if proj.includes_column(5) { OrgId(u32_at(17 * n, i)) } else { OrgId::NONE },
+            min_priority: if proj.includes_column(6) {
+                u16::from_le_bytes(
+                    payload[21 * n + 2 * i..21 * n + 2 * i + 2].try_into().expect("2 bytes"),
+                )
+            } else {
+                0
+            },
         });
     }
     Ok(())
 }
 
-/// Read and verify one chunk's payload into `out` (reusing `scratch`).
+fn decode_payload_v2(
+    chunk: &ChunkRef,
+    payload: &[u8],
+    proj: Projection,
+    cols: &mut [Vec<u64>; COLUMN_COUNT],
+    out: &mut Vec<Observation>,
+) -> io::Result<()> {
+    let n = chunk.rows as usize;
+    let mut pos = 0usize;
+    for (c, col) in cols.iter_mut().enumerate() {
+        if payload.len() - pos < 5 {
+            return Err(corrupt(format!(
+                "payload truncated before the {} block header",
+                COLUMN_NAMES[c]
+            )));
+        }
+        let tag = payload[pos];
+        let data_len =
+            u32::from_le_bytes(payload[pos + 1..pos + 5].try_into().expect("4 bytes")) as usize;
+        pos += 5;
+        if payload.len() - pos < data_len {
+            return Err(corrupt(format!(
+                "{} block claims {data_len} bytes but only {} remain",
+                COLUMN_NAMES[c],
+                payload.len() - pos
+            )));
+        }
+        if proj.includes_column(c) {
+            encoding::decode_block(tag, &payload[pos..pos + data_len], n, COLUMN_WIDTHS[c], col)
+                .map_err(|e| corrupt(format!("{} block: {e}", COLUMN_NAMES[c])))?;
+        } else {
+            col.clear();
+        }
+        pos += data_len;
+    }
+    if payload.len() - pos != STATS_BYTES {
+        return Err(corrupt(format!(
+            "{} bytes where the {STATS_BYTES}-byte stats footer should be",
+            payload.len() - pos
+        )));
+    }
+    let stats = ChunkStats::decode(&payload[pos..]);
+    if stats.rows != chunk.rows {
+        return Err(corrupt(format!(
+            "stats footer says {} rows but the chunk header says {}",
+            stats.rows, chunk.rows
+        )));
+    }
+    if proj.includes_column(0) {
+        if let Some(&bad) = cols[0].iter().find(|&&d| d != chunk.day as u64) {
+            return Err(corrupt(format!(
+                "chunk for day {} contains a row stamped day {bad}",
+                chunk.day
+            )));
+        }
+    }
+    // Column-major scatter: fill with the day-stamped default row, then
+    // one tight loop per projected column — a row-major loop would
+    // re-test the projection on every field of every row.
+    out.clear();
+    out.resize(
+        n,
+        Observation {
+            day: chunk.day,
+            domain_id: 0,
+            rank: 0,
+            flags: 0,
+            ns_category: 0,
+            org: OrgId::NONE,
+            min_priority: 0,
+        },
+    );
+    if proj.includes_column(1) {
+        for (o, &v) in out.iter_mut().zip(cols[1].iter()) {
+            o.domain_id = v as u32;
+        }
+    }
+    if proj.includes_column(2) {
+        for (o, &v) in out.iter_mut().zip(cols[2].iter()) {
+            o.rank = v as u32;
+        }
+    }
+    if proj.includes_column(3) {
+        for (o, &v) in out.iter_mut().zip(cols[3].iter()) {
+            o.flags = v as u32;
+        }
+    }
+    if proj.includes_column(4) {
+        for (o, &v) in out.iter_mut().zip(cols[4].iter()) {
+            o.ns_category = v as u8;
+        }
+    }
+    if proj.includes_column(5) {
+        for (o, &v) in out.iter_mut().zip(cols[5].iter()) {
+            o.org = OrgId(v as u32);
+        }
+    }
+    if proj.includes_column(6) {
+        for (o, &v) in out.iter_mut().zip(cols[6].iter()) {
+            o.min_priority = v as u16;
+        }
+    }
+    Ok(())
+}
+
+/// Reusable decode buffers: the raw payload plus one value column per
+/// field, so streaming a store allocates once and stays bounded by the
+/// largest single day.
+#[derive(Debug, Default)]
+struct Scratch {
+    bytes: Vec<u8>,
+    cols: [Vec<u64>; COLUMN_COUNT],
+}
+
+/// Where a chunk read is happening, for error messages: a corrupt
+/// multi-GB store is only debuggable if the error names the file, the
+/// vantage, the day, and the byte offset of the bad chunk.
+#[derive(Clone, Copy)]
+struct ChunkLocus<'a> {
+    path: &'a Path,
+    vantage: &'a str,
+}
+
+impl ChunkLocus<'_> {
+    fn wrap(&self, chunk: &ChunkRef, e: io::Error) -> io::Error {
+        io::Error::new(
+            e.kind(),
+            format!(
+                "{} (vantage \"{}\"), day {} chunk at byte offset {}: {e}",
+                self.path.display(),
+                self.vantage,
+                chunk.day,
+                chunk.header_offset()
+            ),
+        )
+    }
+}
+
+/// Read, checksum-verify, and decode one chunk's payload into `out`
+/// (reusing `scratch`), decoding only the columns in `proj`; fields of
+/// unprojected columns come back as deterministic defaults. Errors
+/// carry the full locus from `locus`.
 fn read_chunk(
     file: &mut File,
     chunk: &ChunkRef,
-    scratch: &mut Vec<u8>,
+    proj: Projection,
+    scratch: &mut Scratch,
+    out: &mut Vec<Observation>,
+    locus: ChunkLocus<'_>,
+) -> io::Result<()> {
+    read_chunk_inner(file, chunk, proj, scratch, out).map_err(|e| locus.wrap(chunk, e))
+}
+
+fn read_chunk_inner(
+    file: &mut File,
+    chunk: &ChunkRef,
+    proj: Projection,
+    scratch: &mut Scratch,
     out: &mut Vec<Observation>,
 ) -> io::Result<()> {
-    scratch.clear();
-    scratch.resize(chunk.rows as usize * ROW_BYTES, 0);
+    scratch.bytes.clear();
+    scratch.bytes.resize(chunk.payload_len as usize, 0);
     file.seek(SeekFrom::Start(chunk.payload_offset))?;
-    file.read_exact(scratch)?;
-    let sum = fnv1a64(scratch);
+    file.read_exact(&mut scratch.bytes)?;
+    let sum = fnv1a64(&scratch.bytes);
     if sum != chunk.checksum {
         return Err(corrupt(format!(
-            "checksum mismatch on day {} chunk (stored {:#018x}, computed {sum:#018x})",
-            chunk.day, chunk.checksum
+            "checksum mismatch (stored {:#018x}, computed {sum:#018x})",
+            chunk.checksum
         )));
     }
-    decode_payload(chunk, scratch, out)
+    match chunk.version {
+        1 => decode_payload_v1(chunk, &scratch.bytes, proj, out),
+        2 => decode_payload_v2(chunk, &scratch.bytes, proj, &mut scratch.cols, out),
+        v => Err(corrupt(format!("unknown chunk version {v}"))),
+    }
+}
+
+/// Read a v2 chunk's statistics footer without decoding the payload.
+fn read_chunk_stats(file: &mut File, chunk: &ChunkRef) -> io::Result<Option<ChunkStats>> {
+    if chunk.version < 2 {
+        return Ok(None);
+    }
+    let mut buf = [0u8; STATS_BYTES];
+    file.seek(SeekFrom::Start(
+        chunk.payload_offset + chunk.payload_len as u64 - STATS_BYTES as u64,
+    ))?;
+    file.read_exact(&mut buf)?;
+    let stats = ChunkStats::decode(&buf);
+    if stats.rows != chunk.rows {
+        return Err(corrupt(format!(
+            "stats footer says {} rows but the chunk header says {}",
+            stats.rows, chunk.rows
+        )));
+    }
+    Ok(Some(stats))
 }
 
 // ---------------------------------------------------------------------
@@ -460,6 +993,7 @@ fn read_chunk(
 pub struct StoreWriter {
     dir: PathBuf,
     meta: StoreMeta,
+    format: StoreFormat,
     files: Vec<File>,
     indexes: Vec<Vec<ChunkRef>>,
     dict_file: File,
@@ -469,9 +1003,22 @@ pub struct StoreWriter {
 }
 
 impl StoreWriter {
-    /// Create a fresh store directory. Fails (rather than clobbering)
-    /// if `dir` already contains a store manifest.
+    /// Create a fresh store directory in the current (v2) format. Fails
+    /// (rather than clobbering) if `dir` already contains a store
+    /// manifest.
     pub fn create(dir: &Path, meta: StoreMeta) -> io::Result<StoreWriter> {
+        StoreWriter::create_with_format(dir, meta, StoreFormat::V2)
+    }
+
+    /// Create a fresh store writing chunks in an explicit format.
+    /// [`StoreFormat::V1`] reproduces the raw fixed-width layout of
+    /// older builds byte-for-byte — kept for the bench's
+    /// compressed-vs-raw comparison and the back-compat fixtures.
+    pub fn create_with_format(
+        dir: &Path,
+        meta: StoreMeta,
+        format: StoreFormat,
+    ) -> io::Result<StoreWriter> {
         assert!(!meta.vantages.is_empty(), "a store needs at least one vantage");
         std::fs::create_dir_all(dir)?;
         let manifest = dir.join("MANIFEST");
@@ -481,7 +1028,8 @@ impl StoreWriter {
                 format!("{}: store already exists (use resume)", dir.display()),
             ));
         }
-        std::fs::write(&manifest, manifest_bytes(&meta))?;
+        let version = format.header_version();
+        std::fs::write(&manifest, manifest_bytes(&meta, version))?;
         let mut dict_file = OpenOptions::new()
             .create(true)
             .truncate(true)
@@ -490,7 +1038,7 @@ impl StoreWriter {
             .open(dir.join("orgs.dict"))?;
         let mut dict_header = Vec::new();
         dict_header.extend_from_slice(&DICT_MAGIC);
-        put_u16(&mut dict_header, FORMAT_VERSION);
+        put_u16(&mut dict_header, version);
         dict_file.write_all(&dict_header)?;
         let mut files = Vec::with_capacity(meta.vantages.len());
         for (i, vantage) in meta.vantages.iter().enumerate() {
@@ -500,13 +1048,14 @@ impl StoreWriter {
                 .read(true)
                 .write(true)
                 .open(dir.join(column_file_name(i)))?;
-            file.write_all(&column_header_bytes(vantage))?;
+            file.write_all(&column_header_bytes(vantage, version))?;
             files.push(file);
         }
         let indexes = vec![Vec::new(); meta.vantages.len()];
         Ok(StoreWriter {
             dir: dir.to_path_buf(),
             meta,
+            format,
             files,
             indexes,
             dict_file,
@@ -545,10 +1094,13 @@ impl StoreWriter {
             // The only chunk that can be silently damaged (vs torn) is
             // the last one the writer was flushing; verify its payload
             // checksum and drop it if it does not hold.
-            let mut scratch = Vec::new();
+            let mut scratch = Scratch::default();
             let mut decoded = Vec::new();
+            let locus = ChunkLocus { path: &path, vantage };
             if let Some(last) = scan.chunks.last().copied() {
-                if read_chunk(&mut file, &last, &mut scratch, &mut decoded).is_err() {
+                if read_chunk(&mut file, &last, Projection::ALL, &mut scratch, &mut decoded, locus)
+                    .is_err()
+                {
                     scan.valid_end = last.header_offset();
                     scan.chunks.pop();
                     scan.truncated = true;
@@ -579,9 +1131,13 @@ impl StoreWriter {
             file.seek(SeekFrom::End(0))?;
         }
         let indexes = scans.into_iter().map(|s| s.chunks).collect();
+        // Appends always use the current format — a resumed v1 store
+        // grows v2 chunks, which the per-chunk magic dispatch reads
+        // alongside the old ones.
         Ok(StoreWriter {
             dir: dir.to_path_buf(),
             meta,
+            format: StoreFormat::V2,
             files,
             indexes,
             dict_file,
@@ -691,27 +1247,14 @@ impl StoreWriter {
             ));
         }
         let start = Instant::now();
-        let payload = encode_payload(obs);
-        let checksum = fnv1a64(&payload);
-        let mut buf = Vec::with_capacity(CHUNK_HEADER_BYTES as usize + payload.len());
-        buf.extend_from_slice(&CHUNK_MAGIC);
-        put_u32(&mut buf, day);
-        put_u32(&mut buf, u32::try_from(obs.len()).expect("row count fits in u32"));
-        put_u32(&mut buf, u32::try_from(payload.len()).expect("payload fits in u32"));
-        put_u64(&mut buf, checksum);
-        buf.extend_from_slice(&payload);
         let file = &mut self.files[vantage];
-        let payload_offset = file.seek(SeekFrom::End(0))? + CHUNK_HEADER_BYTES;
+        let header_offset = file.seek(SeekFrom::End(0))?;
+        let (buf, chunk) = encode_chunk(self.format, day, obs, header_offset);
         file.write_all(&buf)?;
         file.flush()?;
         self.write_nanos += start.elapsed().as_nanos() as u64;
         self.bytes_written += buf.len() as u64;
-        self.indexes[vantage].push(ChunkRef {
-            day,
-            rows: obs.len() as u32,
-            payload_offset,
-            checksum,
-        });
+        self.indexes[vantage].push(chunk);
         Ok(())
     }
 
@@ -725,9 +1268,18 @@ impl StoreWriter {
                     format!("no chunk for day {day} in vantage {vantage}"),
                 )
             })?;
-        let mut scratch = Vec::new();
+        let mut scratch = Scratch::default();
         let mut out = Vec::new();
-        read_chunk(&mut self.files[vantage], &chunk, &mut scratch, &mut out)?;
+        let path = self.dir.join(column_file_name(vantage));
+        let locus = ChunkLocus { path: &path, vantage: &self.meta.vantages[vantage] };
+        read_chunk(
+            &mut self.files[vantage],
+            &chunk,
+            Projection::ALL,
+            &mut scratch,
+            &mut out,
+            locus,
+        )?;
         Ok(out)
     }
 }
@@ -750,6 +1302,7 @@ impl StoreWriter {
 /// for the duration of the visit).
 pub struct StoreReader {
     vantage: String,
+    path: PathBuf,
     state: Mutex<ReaderState>,
     index: Vec<ChunkRef>,
     orgs: Arc<OrgInterner>,
@@ -758,7 +1311,7 @@ pub struct StoreReader {
 
 struct ReaderState {
     file: File,
-    scratch: Vec<u8>,
+    scratch: Scratch,
     decoded: Vec<Observation>,
 }
 
@@ -776,11 +1329,30 @@ impl StoreReader {
         self.index.iter().map(|c| c.rows as usize).max().unwrap_or(0)
     }
 
-    fn visit_chunk(&self, chunk: &ChunkRef, visit: &mut dyn FnMut(u32, &[Observation])) {
+    /// The statistics footer of `day`'s chunk: `None` for absent days
+    /// and for v1 chunks (which carry no footer). Advisory metadata —
+    /// it is read without checksum verification, but a footer whose row
+    /// count contradicts the chunk header is an error.
+    pub fn chunk_stats(&self, day: u32) -> io::Result<Option<ChunkStats>> {
+        let Some(chunk) = self.index.iter().find(|c| c.day == day) else {
+            return Ok(None);
+        };
+        let mut state = self.state.lock().expect("reader lock");
+        read_chunk_stats(&mut state.file, chunk)
+            .map_err(|e| ChunkLocus { path: &self.path, vantage: &self.vantage }.wrap(chunk, e))
+    }
+
+    fn visit_chunk(
+        &self,
+        chunk: &ChunkRef,
+        proj: Projection,
+        visit: &mut dyn FnMut(u32, &[Observation]),
+    ) {
         let mut state = self.state.lock().expect("reader lock");
         let ReaderState { file, scratch, decoded } = &mut *state;
-        if let Err(e) = read_chunk(file, chunk, scratch, decoded) {
-            panic!("snapshot store corrupted (vantage \"{}\"): {e}", self.vantage);
+        let locus = ChunkLocus { path: &self.path, vantage: &self.vantage };
+        if let Err(e) = read_chunk(file, chunk, proj, scratch, decoded, locus) {
+            panic!("snapshot store corrupted: {e}");
         }
         visit(chunk.day, decoded);
     }
@@ -801,13 +1373,33 @@ impl ObservationSource for StoreReader {
 
     fn for_each_day(&self, visit: &mut dyn FnMut(u32, &[Observation])) {
         for chunk in &self.index {
-            self.visit_chunk(chunk, visit);
+            self.visit_chunk(chunk, Projection::ALL, visit);
         }
     }
 
     fn for_day(&self, day: u32, visit: &mut dyn FnMut(&[Observation])) {
+        self.for_day_projected(day, Projection::ALL, visit);
+    }
+
+    /// Chunks outside the filter's day range are skipped without
+    /// touching their payloads, and only the projected columns' blocks
+    /// are decoded — the pruned path analyses stream through.
+    fn for_each_day_filtered(
+        &self,
+        filter: ScanFilter,
+        visit: &mut dyn FnMut(u32, &[Observation]),
+    ) {
+        for chunk in &self.index {
+            if !filter.admits_day(chunk.day) {
+                continue;
+            }
+            self.visit_chunk(chunk, filter.projection, visit);
+        }
+    }
+
+    fn for_day_projected(&self, day: u32, proj: Projection, visit: &mut dyn FnMut(&[Observation])) {
         if let Some(chunk) = self.index.iter().find(|c| c.day == day) {
-            self.visit_chunk(chunk, &mut |_, obs| visit(obs));
+            self.visit_chunk(chunk, proj, &mut |_, obs| visit(obs));
         }
     }
 
@@ -875,13 +1467,131 @@ pub fn open_store(dir: &Path) -> io::Result<OpenStore> {
         }
         readers.push(StoreReader {
             vantage: scan.vantage,
-            state: Mutex::new(ReaderState { file, scratch: Vec::new(), decoded: Vec::new() }),
+            path,
+            state: Mutex::new(ReaderState {
+                file,
+                scratch: Scratch::default(),
+                decoded: Vec::new(),
+            }),
             index: scan.chunks,
             orgs: orgs.clone(),
             truncated_tail: scan.truncated,
         });
     }
     Ok(OpenStore { meta, readers })
+}
+
+/// What [`compact_store`] did: chunk/row totals and the size change.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompactReport {
+    /// Column files rewritten.
+    pub vantages: usize,
+    /// Chunks re-encoded.
+    pub chunks: usize,
+    /// Observation rows carried over.
+    pub rows: u64,
+    /// Store directory size before (sum of file lengths).
+    pub bytes_before: u64,
+    /// Store directory size after.
+    pub bytes_after: u64,
+}
+
+fn dir_bytes(dir: &Path) -> io::Result<u64> {
+    let mut total = 0;
+    for entry in std::fs::read_dir(dir)? {
+        total += entry?.metadata()?.len();
+    }
+    Ok(total)
+}
+
+/// Rewrite a store (typically v1) into the v2 block format, in a
+/// sibling directory swapped in by atomic renames.
+///
+/// Every chunk is checksum-verified, fully decoded, and re-encoded as
+/// v2; the manifest's campaign shape and the org dictionary's complete
+/// entries are carried over unchanged, so the compacted store resumes
+/// and streams exactly like the original (a torn tail chunk, which a
+/// resume would re-scan anyway, is dropped — mid-store corruption is an
+/// error, not a drop). The directory is replaced via
+/// `dir` → `<dir>.compact-old`, `<dir>.compact-tmp` → `dir`, so a crash
+/// mid-compact never leaves a half-written store under the original
+/// name.
+pub fn compact_store(dir: &Path) -> io::Result<CompactReport> {
+    let name = dir.file_name().and_then(|n| n.to_str()).ok_or_else(|| {
+        io::Error::new(ErrorKind::InvalidInput, "store path has no directory name")
+    })?;
+    let tmp = dir.with_file_name(format!("{name}.compact-tmp"));
+    let old = dir.with_file_name(format!("{name}.compact-old"));
+    if tmp.exists() {
+        std::fs::remove_dir_all(&tmp)?;
+    }
+    if old.exists() {
+        return Err(io::Error::new(
+            ErrorKind::AlreadyExists,
+            format!(
+                "{}: leftover from an interrupted compact — inspect and remove it",
+                old.display()
+            ),
+        ));
+    }
+    let bytes_before = dir_bytes(dir)?;
+
+    let meta = read_manifest(&dir.join("MANIFEST"))?;
+    std::fs::create_dir_all(&tmp)?;
+    std::fs::write(tmp.join("MANIFEST"), manifest_bytes(&meta, FORMAT_V2))?;
+
+    // Dictionary: complete entries only, under a v2 header.
+    let mut dict_file = File::open(dir.join("orgs.dict"))?;
+    let (names, _, _) = scan_dict(&mut dict_file)?;
+    let mut dict = Vec::new();
+    dict.extend_from_slice(&DICT_MAGIC);
+    put_u16(&mut dict, FORMAT_V2);
+    for n in &names {
+        dict.extend_from_slice(&dict_entry_bytes(n));
+    }
+    std::fs::write(tmp.join("orgs.dict"), dict)?;
+
+    let mut report = CompactReport {
+        vantages: meta.vantages.len(),
+        chunks: 0,
+        rows: 0,
+        bytes_before,
+        bytes_after: 0,
+    };
+    let mut scratch = Scratch::default();
+    let mut decoded = Vec::new();
+    for (i, vantage) in meta.vantages.iter().enumerate() {
+        let path = dir.join(column_file_name(i));
+        let mut src = File::open(&path)?;
+        let scan = scan_column(&mut src, &path)?;
+        if scan.vantage != *vantage {
+            return Err(corrupt(format!(
+                "{}: vantage \"{}\" does not match manifest \"{vantage}\"",
+                path.display(),
+                scan.vantage
+            )));
+        }
+        let mut dst = File::create(tmp.join(column_file_name(i)))?;
+        let header = column_header_bytes(vantage, FORMAT_V2);
+        dst.write_all(&header)?;
+        let mut offset = header.len() as u64;
+        let locus = ChunkLocus { path: &path, vantage };
+        for chunk in &scan.chunks {
+            read_chunk(&mut src, chunk, Projection::ALL, &mut scratch, &mut decoded, locus)?;
+            let (buf, _) = encode_chunk(StoreFormat::V2, chunk.day, &decoded, offset);
+            dst.write_all(&buf)?;
+            offset += buf.len() as u64;
+            report.chunks += 1;
+            report.rows += chunk.rows as u64;
+        }
+        dst.flush()?;
+    }
+
+    std::fs::rename(dir, &old)?;
+    std::fs::rename(&tmp, dir)?;
+    std::fs::remove_dir_all(&old)?;
+    report.bytes_after = dir_bytes(dir)?;
+    Ok(report)
 }
 
 #[cfg(test)]
@@ -1041,7 +1751,7 @@ mod tests {
     }
 
     #[test]
-    fn flipped_payload_byte_fails_checksum() {
+    fn flipped_payload_byte_fails_checksum_with_full_locus() {
         let dir = temp_dir("bitflip");
         let orgs = OrgInterner::default();
         let day0: Vec<Observation> = (0..10).map(|i| obs(0, i, 0)).collect();
@@ -1055,7 +1765,9 @@ mod tests {
         )
         .unwrap();
         drop(w);
-        // Flip one byte inside the FIRST chunk's payload (not the tail).
+        // Flip one byte inside the FIRST chunk's payload (not the tail;
+        // a v2 payload is at least the 124-byte stats footer, so +5 is
+        // well inside it).
         let path = dir.join(column_file_name(0));
         let mut bytes = std::fs::read(&path).unwrap();
         let header_end = 12 + "google".len();
@@ -1064,7 +1776,7 @@ mod tests {
         std::fs::write(&path, &bytes).unwrap();
 
         // Structural scan still sees both chunks; reading the damaged
-        // one must fail loudly.
+        // one must fail loudly, naming file, vantage, day, and offset.
         let open = open_store(&dir).unwrap();
         assert_eq!(ObservationSource::days(&open.readers[0]), vec![0, 1]);
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
@@ -1073,6 +1785,176 @@ mod tests {
         let msg = *result.unwrap_err().downcast::<String>().unwrap();
         assert!(msg.contains("snapshot store corrupted"), "panic was: {msg}");
         assert!(msg.contains("checksum mismatch"), "panic was: {msg}");
+        assert!(msg.contains(&path.display().to_string()), "panic was: {msg}");
+        assert!(msg.contains("vantage \"google\""), "panic was: {msg}");
+        assert!(
+            msg.contains(&format!("day 0 chunk at byte offset {header_end}")),
+            "panic was: {msg}"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn v1_chunks_and_resumed_v2_appends_share_one_file() {
+        let dir = temp_dir("mixed");
+        let mut orgs = OrgInterner::default();
+        orgs.intern("Org A");
+        let day0: Vec<Observation> = (0..25).map(|i| obs(0, i, 1)).collect();
+        let day2: Vec<Observation> = (0..35).map(|i| obs(2, i, 0)).collect();
+
+        // A store written by the old raw-column format…
+        let mut w =
+            StoreWriter::create_with_format(&dir, meta_for(&[0, 2]), StoreFormat::V1).unwrap();
+        for v in 0..2 {
+            w.append_chunk(v, 0, &day0, &orgs).unwrap();
+        }
+        drop(w);
+
+        // …resumed by this build appends v2 chunks into the same files.
+        let mut w = StoreWriter::open_resume(&dir).unwrap();
+        assert_eq!(w.completed_days(), 1);
+        for v in 0..2 {
+            w.append_chunk(v, 2, &day2, &orgs).unwrap();
+        }
+        assert_eq!(w.read_day(0, 0).unwrap(), day0);
+        assert_eq!(w.read_day(0, 2).unwrap(), day2);
+        drop(w);
+
+        let open = open_store(&dir).unwrap();
+        let mut streamed = Vec::new();
+        open.readers[0].for_each_day(&mut |_, o| streamed.extend_from_slice(o));
+        let expect: Vec<Observation> = day0.iter().chain(&day2).copied().collect();
+        assert_eq!(streamed, expect);
+        // The v1 chunk has no stats footer, the v2 one does.
+        assert!(open.readers[0].chunk_stats(0).unwrap().is_none());
+        let stats = open.readers[0].chunk_stats(2).unwrap().expect("v2 footer");
+        assert_eq!(stats.rows, 35);
+        assert_eq!((stats.min[0], stats.max[0]), (2, 2));
+        assert_eq!((stats.min[1], stats.max[1]), (0, 34));
+        assert_eq!(stats.distinct_orgs, 3); // NONE plus OrgId(0)/OrgId(1)
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn backward_fast_scan_matches_forward_walk() {
+        let dir = temp_dir("backscan");
+        let orgs = OrgInterner::default();
+        let mut w = StoreWriter::create(&dir, meta_for(&[0, 2, 5])).unwrap();
+        for (i, day) in [0u32, 2, 5].into_iter().enumerate() {
+            let rows: Vec<Observation> =
+                (0..(10 + 7 * i as u32)).map(|j| obs(day, j, j % 3)).collect();
+            w.append_chunk(0, day, &rows, &orgs).unwrap();
+        }
+        drop(w);
+
+        let path = dir.join(column_file_name(0));
+        let mut file = File::open(&path).unwrap();
+        let len = file.metadata().unwrap().len();
+        let header_end = (12 + "google".len()) as u64;
+        let backward = scan_chunks_backward(&mut file, header_end, len)
+            .unwrap()
+            .expect("clean v2 file takes the fast path");
+        let (forward, valid_end, truncated) =
+            scan_chunks_forward(&mut file, header_end, len).unwrap();
+        assert_eq!(backward, forward);
+        assert_eq!(valid_end, len);
+        assert!(!truncated);
+        assert_eq!(backward.iter().map(|c| c.day).collect::<Vec<_>>(), vec![0, 2, 5]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn projection_skips_columns_and_defaults_the_rest() {
+        let dir = temp_dir("projection");
+        let mut orgs = OrgInterner::default();
+        orgs.intern("Org A");
+        orgs.intern("Org B");
+        let day0: Vec<Observation> = (0..40).map(|i| obs(0, i, flags::HTTPS_PRESENT)).collect();
+        let mut w = StoreWriter::create(&dir, meta_for(&[0])).unwrap();
+        w.append_chunk(0, 0, &day0, &orgs).unwrap();
+        drop(w);
+
+        let open = open_store(&dir).unwrap();
+        let r = &open.readers[0];
+        let mut got = Vec::new();
+        r.for_day_projected(0, Projection::FLAGS.with(Projection::DOMAIN_ID), &mut |o| {
+            got.extend_from_slice(o)
+        });
+        assert_eq!(got.len(), day0.len());
+        for (g, o) in got.iter().zip(&day0) {
+            assert_eq!(g.flags, o.flags);
+            assert_eq!(g.domain_id, o.domain_id);
+            assert_eq!(g.day, 0, "day always comes from the chunk header");
+            assert_eq!((g.rank, g.ns_category, g.min_priority), (0, 0, 0));
+            assert_eq!(g.org, OrgId::NONE);
+        }
+
+        // Day-range pruning: a filter outside the stored days visits
+        // nothing at all.
+        let mut visited = 0;
+        r.for_each_day_filtered(
+            ScanFilter::projected(Projection::FLAGS).days(10, 20),
+            &mut |_, _| visited += 1,
+        );
+        assert_eq!(visited, 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn compact_rewrites_v1_store_smaller_and_byte_identical_streams() {
+        let dir = temp_dir("compact");
+        let mut orgs = OrgInterner::default();
+        orgs.intern("Org A");
+        let mut w =
+            StoreWriter::create_with_format(&dir, meta_for(&[0, 2]), StoreFormat::V1).unwrap();
+        for v in 0..2 {
+            for day in [0u32, 2] {
+                let rows: Vec<Observation> = (0..200).map(|i| obs(day, i, i % 4)).collect();
+                w.append_chunk(v, day, &rows, &orgs).unwrap();
+            }
+        }
+        drop(w);
+
+        let mut before = Vec::new();
+        let open = open_store(&dir).unwrap();
+        open.readers[0].for_each_day(&mut |_, o| before.extend_from_slice(o));
+        drop(open);
+
+        let report = compact_store(&dir).unwrap();
+        assert_eq!((report.vantages, report.chunks, report.rows), (2, 4, 800));
+        assert!(
+            report.bytes_after < report.bytes_before,
+            "compact grew the store: {} -> {}",
+            report.bytes_before,
+            report.bytes_after
+        );
+        assert!(!dir.with_file_name("compact.compact-tmp").exists());
+        assert!(!dir.with_file_name("compact.compact-old").exists());
+
+        let open = open_store(&dir).unwrap();
+        assert_eq!(open.meta, meta_for(&[0, 2]));
+        let mut after = Vec::new();
+        open.readers[0].for_each_day(&mut |_, o| after.extend_from_slice(o));
+        assert_eq!(before, after);
+        // The rewritten chunks are v2: stats footers exist now.
+        assert!(open.readers[0].chunk_stats(0).unwrap().is_some());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn empty_chunks_round_trip_in_v2() {
+        let dir = temp_dir("emptyv2");
+        let orgs = OrgInterner::default();
+        let mut w = StoreWriter::create(&dir, meta_for(&[0, 2])).unwrap();
+        w.append_chunk(0, 0, &[], &orgs).unwrap();
+        w.append_chunk(0, 2, &[obs(2, 1, 0)], &orgs).unwrap();
+        drop(w);
+        let open = open_store(&dir).unwrap();
+        assert_eq!(ObservationSource::days(&open.readers[0]), vec![0, 2]);
+        assert_eq!(open.readers[0].total_observations(), 1);
+        let stats = open.readers[0].chunk_stats(0).unwrap().expect("footer");
+        assert_eq!(stats.rows, 0);
+        assert!(stats.min[0] > stats.max[0], "empty chunk signals min > max");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -73,6 +73,34 @@ fn csv_of(source: &dyn ObservationSource) -> String {
     String::from_utf8(out).expect("csv is utf8")
 }
 
+/// Byte spans of every chunk in a column file, `(header_offset,
+/// total_bytes)`, walked with the same per-chunk version dispatch the
+/// reader uses: a v1 `CHNK` is header plus raw rows, a v2 `CHK2` is
+/// header plus encoded payload plus 12-byte trailer. Tests use this
+/// instead of hard-coding `24 + rows * 23`, which only held for the
+/// raw v1 format.
+fn chunk_spans(path: &Path) -> Vec<(u64, u64)> {
+    let bytes = std::fs::read(path).expect("read column file");
+    let name_len = u16::from_le_bytes([bytes[10], bytes[11]]) as usize;
+    let mut pos = 12 + name_len;
+    let mut spans = Vec::new();
+    while pos + 24 <= bytes.len() {
+        let magic = &bytes[pos..pos + 4];
+        let trailer: u64 = match magic {
+            b"CHNK" => 0,
+            b"CHK2" => 12,
+            other => panic!("unknown chunk magic {other:?} at offset {pos}"),
+        };
+        let payload_len =
+            u32::from_le_bytes(bytes[pos + 12..pos + 16].try_into().expect("4 bytes")) as u64;
+        let total = 24 + payload_len + trailer;
+        spans.push((pos as u64, total));
+        pos += total as usize;
+    }
+    assert_eq!(pos, bytes.len(), "column file has a partial tail chunk");
+    spans
+}
+
 fn read_store_files(dir: &Path, vantages: usize) -> Vec<Vec<u8>> {
     let mut files = vec![
         std::fs::read(dir.join("MANIFEST")).expect("manifest"),
@@ -215,8 +243,7 @@ proptest! {
         // (header or payload — both must be survivable).
         let victim = dir.join(format!("v{:02}.col", c.chunks.len() - 1));
         let len = std::fs::metadata(&victim).expect("victim meta").len();
-        let tail_rows = c.chunks[c.chunks.len() - 1][c.days.len() - 1].len() as u64;
-        let tail_bytes = 24 + tail_rows * 23;
+        let (_, tail_bytes) = *chunk_spans(&victim).last().expect("tail chunk");
         // Land strictly *inside* the tail chunk (cutting exactly at its
         // start is a clean boundary, not a tear).
         let cut_at = len - 1 - (cut % (tail_bytes - 1));
@@ -305,21 +332,10 @@ fn killed_and_resumed_store_is_byte_identical_to_uninterrupted() {
         // Drop the last two days from vantage 1, the last day (plus
         // `cut_back` bytes into the previous chunk for the mid-chunk
         // case) from vantage 2; vantage 0 keeps all four days.
-        let store = open_store(&dir).expect("probe sizes");
-        let day_bytes: Vec<u64> = store
-            .readers
-            .iter()
-            .map(|r| {
-                let mut rows = 0u64;
-                r.for_day(3, &mut |obs| rows = obs.len() as u64);
-                24 + rows * 23
-            })
-            .collect();
-        drop(store);
-        for (vi, back) in [(1usize, 2u64), (2, 1)] {
+        for (vi, back) in [(1usize, 2usize), (2, 1)] {
             let path = dir.join(format!("v{vi:02}.col"));
-            let len = std::fs::metadata(&path).expect("meta").len();
-            let cut = len - back * day_bytes[vi] - if vi == 2 { cut_back } else { 0 };
+            let spans = chunk_spans(&path);
+            let cut = spans[spans.len() - back].0 - if vi == 2 { cut_back } else { 0 };
             let f = std::fs::OpenOptions::new().write(true).open(&path).expect("open");
             f.set_len(cut).expect("truncate");
         }
